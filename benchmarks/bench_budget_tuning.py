@@ -1,0 +1,135 @@
+"""E6 (Budget tuning, Section V): N_v feedback keeps violations under control.
+
+A demanding query starts with a deliberately insufficient budget.  The trace
+shows the per-batch rate-violation feedback, the budget trajectory (+/-
+delta-beta) and the achieved rate; the paper's claims to check are that the
+budget climbs while violations exceed the threshold, that violations drop
+below the threshold once the budget is sufficient, and that an impossible
+rate drives the budget to its limit and is flagged (accept the feasible rate
+or pay more).  An oracle controller that knows the response probability is
+included as the ablation upper bound.  The benchmark measures the cost of a
+full engine batch including the tuning step.
+"""
+
+import pytest
+
+from repro import AcquisitionalQuery, CraqrEngine
+from repro.baselines import OracleBudgetController
+from repro.config import BudgetConfig, EngineConfig
+from repro.geometry import Rectangle
+from repro.metrics import ResultTable, ViolationTracker
+from repro.workloads import build_rain_temperature_world
+
+RESPONSE_PROBABILITY = 0.5
+BATCHES = 24
+
+
+def build_engine(initial_budget=20, limit=300, seed=503):
+    world = build_rain_temperature_world(
+        sensor_count=320, seed=501, response_probability=RESPONSE_PROBABILITY
+    )
+    config = EngineConfig(
+        grid_cells=16,
+        batch_duration=1.0,
+        budget=BudgetConfig(
+            initial=initial_budget, delta=10, limit=limit, floor=10, violation_threshold=5.0
+        ),
+        seed=seed,
+    )
+    return CraqrEngine(config, world)
+
+
+def run_feedback_trace(engine, handle, batches=BATCHES):
+    tracker = ViolationTracker()
+    cell = engine.planner.cells_for_query(handle.query_id)[0]
+    trace = []
+    for _ in range(batches):
+        report = engine.run_batch()
+        tracker.record(report.fabrication.violations)
+        trace.append(
+            {
+                "batch": report.batch_index,
+                "violation": report.fabrication.violations.get(("rain", cell), 0.0),
+                "budget": engine.handler.budget_for("rain", cell),
+                "rate": handle.achieved_rate(last_batches=1).achieved_rate,
+            }
+        )
+    return trace, tracker, cell
+
+
+def test_budget_tuning_convergence(benchmark, record_table):
+    # --- feasible query: the budget climbs until violations stay below the
+    # threshold, then hovers there.
+    engine = build_engine()
+    handle = engine.register_query(
+        AcquisitionalQuery("rain", Rectangle(1, 1, 2, 2), 20.0, name="feasible")
+    )
+    trace, tracker, cell = run_feedback_trace(engine, handle)
+    benchmark(engine.run_batch)
+
+    table = ResultTable(
+        "E6 - budget tuning trace (feasible rate 20 /km^2/min, threshold 5%)",
+        ["batch", "N_v %", "budget beta", "achieved rate"],
+    )
+    for row in trace:
+        table.add_row(row["batch"], round(row["violation"], 1), row["budget"], round(row["rate"], 1))
+    record_table("E6_budget_tuning_trace", table)
+
+    first_budget = trace[0]["budget"]
+    peak_budget = max(row["budget"] for row in trace)
+    assert peak_budget > first_budget, "the budget must grow while violations persist"
+    assert tracker.converged(("rain", cell), threshold=25.0, window=5), (
+        "violations must settle once the budget suffices"
+    )
+    late_rate = handle.achieved_rate(last_batches=6).achieved_rate
+    assert late_rate == pytest.approx(20.0, rel=0.35)
+
+    # --- infeasible query: the budget saturates at the limit and the pair is
+    # flagged so the user can accept the feasible rate or pay more.
+    capped = build_engine(initial_budget=20, limit=60, seed=509)
+    demanding = capped.register_query(
+        AcquisitionalQuery("rain", Rectangle(1, 1, 2, 2), 200.0, name="infeasible")
+    )
+    capped.run(12)
+    saturation = ResultTable(
+        "E6 - infeasible rate: budget saturates at its limit",
+        ["requested rate", "budget limit", "final budget", "saturated pairs", "achieved rate"],
+    )
+    cell2 = capped.planner.cells_for_query(demanding.query_id)[0]
+    saturation.add_row(
+        200.0,
+        60,
+        capped.handler.budget_for("rain", cell2),
+        len(capped.budget_tuner.saturated_pairs),
+        round(demanding.achieved_rate(last_batches=6).achieved_rate, 1),
+    )
+    record_table("E6_budget_saturation", saturation)
+    assert capped.handler.budget_for("rain", cell2) == 60
+    assert ("rain", cell2) in capped.budget_tuner.saturated_pairs
+
+    # --- ablation: the oracle controller reaches a sufficient budget in one
+    # step; the feedback loop needs several batches to get there.
+    oracle_engine = build_engine(initial_budget=20, seed=511)
+    oracle_handle = oracle_engine.register_query(
+        AcquisitionalQuery("rain", Rectangle(1, 1, 2, 2), 20.0, name="oracle")
+    )
+    oracle_cell = oracle_engine.planner.cells_for_query(oracle_handle.query_id)[0]
+    oracle = OracleBudgetController(
+        oracle_engine.world, oracle_engine.handler, response_probability=RESPONSE_PROBABILITY
+    )
+    oracle_budget = oracle.apply("rain", oracle_engine.grid.cell(*oracle_cell), 20.0, 1.0)
+    oracle_engine.run(6)
+    ablation = ResultTable(
+        "E6 - ablation: feedback tuner vs oracle budget",
+        ["controller", "budget after setup", "batches to rate within 20%", "rate (last 3)"],
+    )
+    batches_to_converge = next(
+        (i + 1 for i, row in enumerate(trace) if abs(row["rate"] - 20.0) / 20.0 <= 0.2),
+        len(trace),
+    )
+    ablation.add_row("feedback (+/- delta-beta)", peak_budget, batches_to_converge,
+                     round(handle.achieved_rate(last_batches=3).achieved_rate, 1))
+    ablation.add_row("oracle (ground truth)", oracle_budget, 1,
+                     round(oracle_handle.achieved_rate(last_batches=3).achieved_rate, 1))
+    record_table("E6_budget_ablation", ablation)
+    assert oracle_handle.achieved_rate(last_batches=3).achieved_rate == pytest.approx(20.0, rel=0.35)

@@ -1,0 +1,111 @@
+"""E2 (Fig. 2): the query-processing topology for Q1, Q2, Q3.
+
+Reproduces the paper's worked example: three queries (rain at the highest
+rate, temp at a middle rate, temp at the lowest rate; Q3 only partially
+overlaps its grid cells) inserted into the hashmap of per-cell execution
+topologies.  The table reports the structure the figure draws — which cells
+are materialised, which operators each cell holds, where the branching
+points are — and the benchmark measures the map/process/merge cost of one
+batch through that exact topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BudgetConfig, EngineConfig
+from repro.core import CraqrEngine
+from repro.geometry import Rectangle
+from repro.metrics import ResultTable
+from repro.sensing import (
+    AlwaysRespond,
+    RainField,
+    RandomWaypointMobility,
+    SensingWorld,
+    TemperatureField,
+    WorldConfig,
+)
+from repro.workloads import fig2_queries
+
+BATCHES = 10
+
+
+def build_fig2_engine():
+    region = Rectangle(0, 0, 3, 3)
+    world = SensingWorld(
+        WorldConfig(region=region, sensor_count=240, seed=111),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.3),
+        participation_factory=lambda sensor_id: AlwaysRespond(),
+    )
+    world.register_field(RainField(region))
+    world.register_field(TemperatureField(region))
+    config = EngineConfig(
+        grid_cells=9,
+        batch_duration=1.0,
+        budget=BudgetConfig(initial=70, delta=10, limit=400, floor=25),
+        seed=113,
+    )
+    engine = CraqrEngine(config, world)
+    queries = fig2_queries(engine.grid)
+    handles = [engine.register_query(query) for query in queries]
+    return engine, queries, handles
+
+
+def test_fig2_topology_structure_and_rates(benchmark, record_table):
+    engine, queries, handles = build_fig2_engine()
+    q1, q2, q3 = queries
+
+    # --- structure table (the content of Fig. 2b)
+    table = ResultTable(
+        "E2 / Fig.2 - per-cell execution topologies for Q1(rain), Q2(temp), Q3(temp)",
+        ["grid cell", "attribute", "operators (F/T/P)", "branching points", "queries tapping"],
+    )
+    planner = engine.planner
+    for key in sorted(planner.materialized_cells):
+        topology = planner.cell_topology(key)
+        for attribute in topology.attributes:
+            chain = topology.chain(attribute)
+            partitions = sum(
+                1 for level in chain.levels for tap in level.taps if tap.partition is not None
+            )
+            ops = f"1F + {len(chain.levels)}T + {partitions}P"
+            branching = len(topology.stream_topology.branching_points())
+            tapping = sorted(
+                {tap.query_id for level in chain.levels for tap in level.taps}
+            )
+            labels = [q.label for q in queries if q.query_id in tapping]
+            table.add_row(str(key), attribute, ops, branching, ",".join(labels))
+
+    # --- run the scenario and benchmark one batch through it
+    for _ in range(BATCHES):
+        engine.run_batch()
+    benchmark(engine.run_batch)
+
+    rates = ResultTable(
+        "E2 / Fig.2 - fabricated stream rates (lambda1 > lambda2 > lambda3)",
+        ["query", "attribute", "requested", "achieved (last 5)"],
+    )
+    achieved = []
+    for handle in handles:
+        estimate = handle.achieved_rate(last_batches=5)
+        achieved.append(estimate.achieved_rate)
+        rates.add_row(
+            handle.query.label,
+            handle.query.attribute,
+            round(estimate.requested_rate, 2),
+            round(estimate.achieved_rate, 2),
+        )
+    record_table("E2_fig2_topology_structure", table)
+    record_table("E2_fig2_topology_rates", rates)
+
+    # Shape checks mirroring the figure:
+    stats = engine.planner_stats()
+    # 4 cells for Q1 + 1 cell for Q2 + 2 cells for Q3 (no overlap between them).
+    assert stats.materialized_cells == 7
+    # Q3 partially overlaps its cells -> P-operators exist; Q1/Q2 need none.
+    q3_cells = planner.cells_for_query(q3.query_id)
+    for key in q3_cells:
+        chain = planner.cell_topology(key).chain("temp")
+        assert any(tap.partition is not None for level in chain.levels for tap in level.taps)
+    # The requested ordering lambda1 > lambda2 > lambda3 survives fabrication.
+    assert achieved[0] > achieved[1] > achieved[2]
+    planner.check_invariants()

@@ -1,0 +1,115 @@
+"""A1 (ablation, Section VI "Alternative topologies"): flat vs tree merge.
+
+The paper's default merge phase (Fig. 2c) unions every per-cell partial
+stream of a query with one U-operator; Section VI suggests tree-like
+topologies as an alternative.  This ablation merges an increasing number of
+per-cell partial streams with (a) a single flat Union and (b) binary and
+4-ary Union trees, and reports operator counts, tree depth and merge
+throughput.  The shape: all variants deliver the same tuples; the tree uses
+more operators but bounds each operator's fan-in (the property a distributed
+placement needs), with a modest throughput cost in this single-process
+setting.  The benchmark times the binary-tree merge at the largest width.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TreeMergeBuilder, UnionOperator, merge_depth, operator_count
+from repro.geometry import Rectangle
+from repro.metrics import ResultTable
+from repro.pointprocess import HomogeneousMDPP
+from repro.streams import CountingSink, SensorTuple, Stream
+
+CELL_COUNTS = [4, 16, 64]
+TUPLES_PER_CELL = 500
+RATE = float(TUPLES_PER_CELL)
+
+
+def make_cell_streams(count, seed=1201):
+    """One source stream per grid cell plus the tuples each will push."""
+    rng = np.random.default_rng(seed)
+    streams = [Stream(f"cell{i}") for i in range(count)]
+    payloads = []
+    for i in range(count):
+        batch = HomogeneousMDPP(RATE, Rectangle(0, 0, 1, 1)).sample(
+            1.0, rng=rng, count=TUPLES_PER_CELL
+        )
+        payloads.append(
+            [
+                SensorTuple(tuple_id=i * 100000 + j, attribute="rain", t=float(t), x=float(x), y=float(y))
+                for j, (t, x, y) in enumerate(zip(batch.t, batch.x, batch.y))
+            ]
+        )
+    return streams, payloads
+
+
+def run_flat(streams, payloads):
+    union = UnionOperator(name="U-flat", rng=np.random.default_rng(0))
+    sink = CountingSink().attach(union.output)
+    for stream in streams:
+        union.attach_input(stream)
+    start = time.perf_counter()
+    for stream, items in zip(streams, payloads):
+        for item in items:
+            stream.push(item)
+    elapsed = time.perf_counter() - start
+    return sink.count, elapsed, 1, 1
+
+
+def run_tree(streams, payloads, fan_in):
+    tree = TreeMergeBuilder(fan_in=fan_in, rng=np.random.default_rng(1)).build(streams)
+    sink = CountingSink().attach(tree.output)
+    start = time.perf_counter()
+    for stream, items in zip(streams, payloads):
+        for item in items:
+            stream.push(item)
+    elapsed = time.perf_counter() - start
+    return sink.count, elapsed, tree.operator_count, tree.depth
+
+
+def test_merge_topologies(benchmark, record_table):
+    table = ResultTable(
+        "A1 - merge phase: flat Union vs Union trees (tuples per cell = 500)",
+        [
+            "cells",
+            "variant",
+            "U operators",
+            "depth",
+            "tuples delivered",
+            "merge throughput (tuples/s)",
+        ],
+    )
+    for count in CELL_COUNTS:
+        expected = count * TUPLES_PER_CELL
+        for variant, runner in (
+            ("flat (fan-in = cells)", lambda s, p: run_flat(s, p)),
+            ("binary tree", lambda s, p: run_tree(s, p, 2)),
+            ("4-ary tree", lambda s, p: run_tree(s, p, 4)),
+        ):
+            streams, payloads = make_cell_streams(count)
+            delivered, elapsed, operators, depth = runner(streams, payloads)
+            table.add_row(
+                count,
+                variant,
+                operators,
+                depth,
+                delivered,
+                int(delivered / elapsed),
+            )
+            # Correctness: every variant delivers every tuple exactly once.
+            assert delivered == expected
+        # Structural claims: the binary tree over k cells uses k-1 operators
+        # and log2(k) levels, while the flat merge is a single operator.
+        assert operator_count(count, 2) == count - 1
+        assert merge_depth(count, 2) == int(np.ceil(np.log2(count)))
+    record_table("A1_merge_topologies", table)
+
+    # Benchmark the binary-tree merge at the largest width.
+    def run_largest():
+        streams, payloads = make_cell_streams(CELL_COUNTS[-1])
+        return run_tree(streams, payloads, 2)[0]
+
+    delivered = benchmark(run_largest)
+    assert delivered == CELL_COUNTS[-1] * TUPLES_PER_CELL

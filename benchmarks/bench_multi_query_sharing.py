@@ -1,0 +1,124 @@
+"""E7 (multi-query sharing, Section III): shared topologies beat naive re-acquisition.
+
+The paper motivates CrAQR's shared execution topologies by the cost of the
+naive strategy: "processing each query from scratch (i.e., individually), is
+not cost effective especially for the human-sensed attributes.  This is
+because the data acquired for a particular attribute will not be re-used
+across queries."
+
+The sweep registers 1..16 queries over the same region (maximum sharing
+opportunity) with both the shared CrAQR engine and the naive per-query
+engine, runs the same number of batches, and compares acquisition requests
+and cost per delivered tuple.  The shape to reproduce: naive cost grows
+linearly with the number of queries while the shared cost stays nearly
+flat, so the advantage grows with query count.  The benchmark measures a
+shared-engine batch with the largest query count.
+"""
+
+import pytest
+
+from repro import CraqrEngine
+from repro.baselines import NaivePerQueryEngine
+from repro.metrics import CostReport, ResultTable
+from repro.workloads import (
+    build_rain_temperature_world,
+    default_engine_config,
+    overlapping_query_workload,
+)
+
+QUERY_COUNTS = [1, 2, 4, 8, 16]
+BATCHES = 4
+WORLD_SEED = 601
+
+
+def run_shared(queries, config):
+    world = build_rain_temperature_world(sensor_count=300, seed=WORLD_SEED)
+    engine = CraqrEngine(config, world)
+    for query in queries:
+        engine.register_query(query)
+    engine.run(BATCHES)
+    return engine
+
+
+def run_naive(queries, config):
+    world = build_rain_temperature_world(sensor_count=300, seed=WORLD_SEED)
+    engine = NaivePerQueryEngine(config, world)
+    for query in queries:
+        engine.register_query(query.with_rate(query.rate))
+    engine.run(BATCHES)
+    return engine
+
+
+def test_multi_query_sharing_sweep(benchmark, record_table):
+    config = default_engine_config(seed=607)
+    table = ResultTable(
+        "E7 - shared CrAQR topologies vs naive per-query acquisition "
+        f"({BATCHES} batches, fully overlapping rain queries)",
+        [
+            "queries",
+            "shared requests",
+            "naive requests",
+            "request ratio (naive/shared)",
+            "shared cost/tuple",
+            "naive cost/tuple",
+        ],
+    )
+
+    rows = []
+    last_queries = None
+    for count in QUERY_COUNTS:
+        queries = overlapping_query_workload(
+            CraqrEngine(config, build_rain_temperature_world(sensor_count=10, seed=1)).grid,
+            count,
+            base_rate=15.0,
+            overlap_cells=2,
+            seed=611 + count,
+        )
+        last_queries = queries
+        shared = run_shared(queries, config)
+        naive = run_naive(queries, config)
+        shared_cost = CostReport(
+            requests=shared.total_requests_sent(),
+            responses=shared.total_tuples_acquired(),
+            incentive_spent=0.0,
+        ).per_delivered_tuple(shared.total_tuples_delivered())
+        naive_cost = CostReport(
+            requests=naive.total_requests_sent(),
+            responses=naive.total_responses_received(),
+            incentive_spent=0.0,
+        ).per_delivered_tuple(naive.total_tuples_delivered())
+        ratio = naive.total_requests_sent() / max(shared.total_requests_sent(), 1)
+        rows.append(
+            {
+                "count": count,
+                "shared_requests": shared.total_requests_sent(),
+                "naive_requests": naive.total_requests_sent(),
+                "ratio": ratio,
+                "shared_cost": shared_cost,
+                "naive_cost": naive_cost,
+            }
+        )
+        table.add_row(
+            count,
+            shared.total_requests_sent(),
+            naive.total_requests_sent(),
+            round(ratio, 2),
+            round(shared_cost, 3),
+            round(naive_cost, 3),
+        )
+    record_table("E7_multi_query_sharing", table)
+
+    # Shape checks: naive requests grow linearly with the query count while
+    # shared requests stay within a small factor of the single-query cost, so
+    # the ratio grows with the number of queries and clearly exceeds 1.
+    assert rows[-1]["naive_requests"] > 10 * rows[0]["naive_requests"]
+    assert rows[-1]["shared_requests"] < 3 * rows[0]["shared_requests"]
+    assert rows[-1]["ratio"] > 4.0
+    assert rows[-1]["ratio"] > rows[0]["ratio"]
+    # With many queries the naive strategy also pays more per delivered tuple.
+    assert rows[-1]["naive_cost"] > rows[-1]["shared_cost"]
+
+    # Benchmark one shared batch at the largest query count.
+    config_bench = default_engine_config(seed=617)
+    shared = run_shared(last_queries, config_bench)
+    benchmark(shared.run_batch)

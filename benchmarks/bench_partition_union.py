@@ -1,0 +1,95 @@
+"""E5 (Partition / Union claims): rates are preserved by P and U.
+
+The paper: Partition splits a process into processes "of the same rate" on
+disjoint sub-regions; Union merges equal-rate processes on adjacent regions
+into one process on the union region.  The sweep partitions a homogeneous
+process into k sub-regions and unions it back, checking the rate is
+preserved at every step (and that a Partition->Union round trip loses no
+tuples).  The benchmark measures the per-tuple routing cost of Partition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pmat import PartitionOperator, UnionOperator
+from repro.geometry import Rectangle, RectRegion
+from repro.metrics import ResultTable
+from repro.pointprocess import HomogeneousMDPP
+from repro.streams import CollectingSink, SensorTuple
+
+REGION = Rectangle(0.0, 0.0, 2.0, 1.0)
+RATE = 150.0
+DURATION = 4.0
+
+#: Numbers of vertical slices to partition the region into.
+PARTITION_COUNTS = [2, 3, 4, 6, 8]
+
+
+def make_tuples(seed=401):
+    batch = HomogeneousMDPP(RATE, REGION).sample(DURATION, rng=np.random.default_rng(seed))
+    return [
+        SensorTuple(tuple_id=i, attribute="rain", t=float(t), x=float(x), y=float(y))
+        for i, (t, x, y) in enumerate(zip(batch.t, batch.x, batch.y))
+    ]
+
+
+def run_partition_union(items, parts, seed=409):
+    rng = np.random.default_rng(seed)
+    slices = [RectRegion(r) for r in REGION.subdivide(parts, 1)]
+    partition = PartitionOperator(slices, rng=rng)
+    union = UnionOperator(slices, rate=RATE, rng=rng)
+    slice_sinks = [CollectingSink().attach(partition.output_for(i)) for i in range(parts)]
+    for i in range(parts):
+        union.attach_input(partition.output_for(i))
+    merged = CollectingSink().attach(union.output)
+    for item in items:
+        partition.accept(item)
+    per_slice_rates = [
+        len(sink) / (region.area * DURATION) for sink, region in zip(slice_sinks, slices)
+    ]
+    merged_rate = len(merged) / (union.region.area * DURATION)
+    return per_slice_rates, merged_rate, len(merged)
+
+
+def test_partition_union_rate_preservation(benchmark, record_table):
+    items = make_tuples()
+    input_rate = len(items) / (REGION.area * DURATION)
+
+    table = ResultTable(
+        "E5 - Partition/Union: rate preserved on sub-regions and on the union",
+        [
+            "sub-regions",
+            "input rate",
+            "min slice rate",
+            "max slice rate",
+            "union rate",
+            "tuples lost",
+        ],
+    )
+    for parts in PARTITION_COUNTS:
+        per_slice, merged_rate, merged_count = run_partition_union(items, parts)
+        table.add_row(
+            parts,
+            round(input_rate, 1),
+            round(min(per_slice), 1),
+            round(max(per_slice), 1),
+            round(merged_rate, 1),
+            len(items) - merged_count,
+        )
+        # Every slice sees (statistically) the same rate as the input and the
+        # round trip through U recovers every tuple and the original rate.
+        for slice_rate in per_slice:
+            assert slice_rate == pytest.approx(input_rate, rel=0.25)
+        assert merged_rate == pytest.approx(input_rate, rel=0.05)
+        assert merged_count == len(items)
+    record_table("E5_partition_union", table)
+
+    # Benchmark the per-batch routing cost of an 8-way Partition.
+    slices = [RectRegion(r) for r in REGION.subdivide(8, 1)]
+
+    def route_all():
+        partition = PartitionOperator(slices, rng=np.random.default_rng(0))
+        for item in items:
+            partition.accept(item)
+
+    benchmark(route_all)

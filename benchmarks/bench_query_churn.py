@@ -1,0 +1,110 @@
+"""E10 (Section V): query insertion/deletion maintains the topology invariants
+and touches only the affected grid cells.
+
+The paper describes incremental query insertion and deletion over the
+hashmap of per-cell topologies (sorted T-operators, merge rule for
+consecutive T's, dropping hashmap keys that become empty).  The churn
+experiment registers increasingly large query workloads, then deletes half
+of them, and reports: materialised cells, PMAT operator counts, cells
+touched by the last insertion (which should track the query's own footprint,
+not the total number of queries), and whether the structural invariants hold
+throughout.  The benchmark measures a single insert+delete round trip on a
+loaded planner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AcquisitionalQuery, QueryPlanner
+from repro.geometry import Grid, Rectangle, RectRegion
+from repro.metrics import ResultTable
+from repro.workloads import random_query_workload
+
+GRID = Grid(Rectangle(0, 0, 8, 8), side=8)
+WORKLOAD_SIZES = [10, 25, 50, 100, 200]
+
+
+def build_planner(seed=901):
+    return QueryPlanner(GRID, rng=np.random.default_rng(seed))
+
+
+def run_churn(count, seed=907):
+    planner = build_planner(seed)
+    queries = random_query_workload(
+        GRID, count, max_cells_per_side=2, seed=seed + count
+    )
+    touched_per_insert = []
+    for query in queries:
+        touched = planner.insert_query(query)
+        touched_per_insert.append(len(touched))
+        planner.check_invariants()
+    stats_after_insert = planner.stats()
+
+    for query in queries[: count // 2]:
+        planner.delete_query(query.query_id)
+    planner.check_invariants()
+    stats_after_delete = planner.stats()
+    return {
+        "count": count,
+        "mean_touched": float(np.mean(touched_per_insert)),
+        "max_touched": max(touched_per_insert),
+        "cells_after_insert": stats_after_insert.materialized_cells,
+        "operators_after_insert": stats_after_insert.pmat_operators,
+        "cells_after_delete": stats_after_delete.materialized_cells,
+        "operators_after_delete": stats_after_delete.pmat_operators,
+    }
+
+
+def test_query_churn(benchmark, record_table):
+    rows = [run_churn(count) for count in WORKLOAD_SIZES]
+
+    table = ResultTable(
+        "E10 - query churn: insert N queries, delete N/2 (8x8 grid)",
+        [
+            "queries",
+            "mean cells touched per insert",
+            "max cells touched per insert",
+            "cells after inserts",
+            "PMAT ops after inserts",
+            "cells after deletes",
+            "PMAT ops after deletes",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["count"],
+            round(row["mean_touched"], 2),
+            row["max_touched"],
+            row["cells_after_insert"],
+            row["operators_after_insert"],
+            row["cells_after_delete"],
+            row["operators_after_delete"],
+        )
+    record_table("E10_query_churn", table)
+
+    # Shape checks:
+    # (1) an insertion touches only the query's own footprint (<= 4 cells for
+    #     2x2-cell queries), independent of how many queries already exist;
+    assert all(row["max_touched"] <= 4 for row in rows)
+    # (2) the number of materialised cells never exceeds the grid size, while
+    #     operator counts grow with the workload;
+    assert all(row["cells_after_insert"] <= GRID.cell_count for row in rows)
+    assert rows[-1]["operators_after_insert"] > rows[0]["operators_after_insert"]
+    # (3) deleting queries shrinks the topology.
+    assert all(
+        row["operators_after_delete"] < row["operators_after_insert"] for row in rows
+    )
+
+    # Benchmark one insert + delete round trip on a planner loaded with the
+    # largest workload.
+    planner = build_planner(seed=911)
+    for query in random_query_workload(GRID, 200, max_cells_per_side=2, seed=913):
+        planner.insert_query(query)
+    probe_region = RectRegion(Rectangle(3.0, 3.0, 5.0, 5.0))
+
+    def insert_delete_round_trip():
+        query = AcquisitionalQuery("rain", probe_region, 12.0)
+        planner.insert_query(query)
+        planner.delete_query(query.query_id)
+
+    benchmark(insert_delete_round_trip)

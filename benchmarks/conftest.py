@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or quantitative
+claims (see DESIGN.md section 3 and EXPERIMENTS.md).  The reproduced tables
+are printed to stdout and also written to ``benchmarks/results/`` so the
+numbers quoted in EXPERIMENTS.md can be re-derived.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory the reproduced tables are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Return a callable that prints a ResultTable and persists it to disk."""
+
+    def _record(name: str, table) -> None:
+        text = table.render()
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

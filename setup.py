@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``python setup.py develop`` or
+``pip install -e .`` on environments without the ``wheel`` package) keep
+working in offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CrAQR: crowdsensed data acquisition using multi-dimensional point "
+        "processes (ICDE Workshops 2015 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

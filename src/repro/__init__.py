@@ -1,0 +1,104 @@
+"""CrAQR: crowdsensed data acquisition using multi-dimensional point processes.
+
+A production-quality reproduction of
+
+    S. Sathe, T. Sellis, K. Aberer.
+    "On Crowdsensed Data Acquisition using Multi-Dimensional Point Processes."
+    ICDE Workshops 2015.
+
+The library provides
+
+* a multi-dimensional point-process substrate (:mod:`repro.pointprocess`),
+* the PMAT operators and the CrAQR engine (:mod:`repro.core`),
+* a crowdsensing simulator standing in for a real deployment
+  (:mod:`repro.sensing`),
+* a declarative acquisitional query language (:mod:`repro.query`),
+* baselines, metrics, storage and workload generators used by the
+  benchmark harness.
+
+Quick start::
+
+    from repro import CraqrEngine, AcquisitionalQuery
+    from repro.workloads import build_rain_temperature_world, default_engine_config
+    from repro.geometry import Rectangle
+
+    world = build_rain_temperature_world()
+    engine = CraqrEngine(default_engine_config(), world)
+    handle = engine.register_query(
+        AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), rate=10.0)
+    )
+    engine.run(batches=20)
+    print(handle.achieved_rate())
+"""
+
+from .config import BudgetConfig, EngineConfig
+from .errors import (
+    CraqrError,
+    GeometryError,
+    PointProcessError,
+    EstimationError,
+    StreamError,
+    QueryError,
+    QueryParseError,
+    PlanningError,
+    BudgetError,
+    AcquisitionError,
+    StorageError,
+    WorkloadError,
+)
+from .core import (
+    AcquisitionalQuery,
+    RateSpec,
+    CraqrEngine,
+    QueryHandle,
+    EngineReport,
+    FlattenOperator,
+    ThinOperator,
+    PartitionOperator,
+    UnionOperator,
+)
+from .geometry import Rectangle, RectRegion, CompositeRegion, Grid
+from .pointprocess import HomogeneousMDPP, InhomogeneousMDPP, LinearIntensity
+from .sensing import SensingWorld, WorldConfig
+from .query import parse_query, parse_queries, AttributeCatalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BudgetConfig",
+    "EngineConfig",
+    "CraqrError",
+    "GeometryError",
+    "PointProcessError",
+    "EstimationError",
+    "StreamError",
+    "QueryError",
+    "QueryParseError",
+    "PlanningError",
+    "BudgetError",
+    "AcquisitionError",
+    "StorageError",
+    "WorkloadError",
+    "AcquisitionalQuery",
+    "RateSpec",
+    "CraqrEngine",
+    "QueryHandle",
+    "EngineReport",
+    "FlattenOperator",
+    "ThinOperator",
+    "PartitionOperator",
+    "UnionOperator",
+    "Rectangle",
+    "RectRegion",
+    "CompositeRegion",
+    "Grid",
+    "HomogeneousMDPP",
+    "InhomogeneousMDPP",
+    "LinearIntensity",
+    "SensingWorld",
+    "WorldConfig",
+    "parse_query",
+    "parse_queries",
+    "AttributeCatalog",
+]

@@ -1,0 +1,25 @@
+"""Baseline acquisition strategies the paper argues against (or implies).
+
+* :class:`NaivePerQueryEngine` — processes every query "from scratch
+  (i.e., individually)": no data re-use across queries, one acquisition
+  round per query per batch.  The multi-query sharing benchmark (E7)
+  compares its cost against CrAQR's shared topologies.
+* :class:`UniformSamplingAcquirer` — acquires raw tuples and keeps a uniform
+  random subset of the *tuples* (no intensity weighting).  It hits the right
+  count but inherits the spatial skew of the raw arrivals, which is what the
+  Flatten operator fixes (E8).
+* :class:`OracleBudgetController` — sets the acquisition budget in one step
+  using ground-truth knowledge of the response process; the upper bound the
+  feedback budget tuner is compared against (E6 ablation).
+"""
+
+from .naive import NaivePerQueryEngine, NaiveQueryResult
+from .uniform import UniformSamplingAcquirer
+from .oracle import OracleBudgetController
+
+__all__ = [
+    "NaivePerQueryEngine",
+    "NaiveQueryResult",
+    "UniformSamplingAcquirer",
+    "OracleBudgetController",
+]

@@ -1,0 +1,65 @@
+"""Oracle budget controller.
+
+The feedback budget tuner of Section V discovers the right budget by
+trial and error (±delta-beta per batch).  The oracle controller instead
+computes the budget in one step from ground truth it should not normally
+have: the expected response probability and the number of sensors available
+per cell.  It serves as the upper bound in the budget-tuning ablation — how
+quickly could budgets converge if the server knew everything?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import BudgetError
+from ..geometry import GridCell
+from ..sensing import RequestResponseHandler, SensingWorld
+
+
+class OracleBudgetController:
+    """Sets per-cell budgets directly from ground-truth response behaviour."""
+
+    def __init__(
+        self,
+        world: SensingWorld,
+        handler: RequestResponseHandler,
+        *,
+        response_probability: float,
+        headroom: float = 1.25,
+        max_budget: Optional[int] = None,
+    ) -> None:
+        if not 0 < response_probability <= 1:
+            raise BudgetError("response_probability must be in (0, 1]")
+        if headroom < 1:
+            raise BudgetError("headroom must be at least 1")
+        if max_budget is not None and max_budget <= 0:
+            raise BudgetError("max_budget must be positive or None")
+        self._world = world
+        self._handler = handler
+        self._response_probability = response_probability
+        self._headroom = headroom
+        self._max_budget = max_budget
+
+    def required_budget(self, target_rate: float, cell: GridCell, duration: float) -> int:
+        """Requests needed so the *expected* responses cover the target rate.
+
+        ``target_rate * cell_area * duration`` tuples are needed; each request
+        yields a response with probability ``p``; the headroom covers the
+        Flatten operator's need for strictly more than the target.
+        """
+        if target_rate <= 0 or duration <= 0:
+            raise BudgetError("target_rate and duration must be positive")
+        needed_tuples = self._headroom * target_rate * cell.area * duration
+        budget = int(math.ceil(needed_tuples / self._response_probability))
+        budget = max(budget, 1)
+        if self._max_budget is not None:
+            budget = min(budget, self._max_budget)
+        return budget
+
+    def apply(self, attribute: str, cell: GridCell, target_rate: float, duration: float) -> int:
+        """Compute and install the oracle budget for one (attribute, cell) pair."""
+        budget = self.required_budget(target_rate, cell, duration)
+        self._handler.set_budget(attribute, cell.key, budget)
+        return budget

@@ -1,0 +1,179 @@
+"""Command-line interface for the CrAQR reproduction.
+
+Lets a user run acquisitional queries against one of the stock simulated
+scenarios without writing Python::
+
+    python -m repro.cli run \
+        --scenario rain-temperature --batches 20 \
+        --query "ACQUIRE rain FROM RECT(0,0,2,2) AT RATE 10 PER KM2 PER MIN AS Storm" \
+        --query "ACQUIRE temp FROM RECT(1,1,3,3) AT RATE 6 PER KM2 PER MIN AS Heat"
+
+    python -m repro.cli scenarios           # list available scenarios
+    python -m repro.cli attributes          # list the attribute catalog
+
+The ``run`` sub-command prints, per query, the requested and achieved rates
+and (optionally, ``--show-samples``) the first tuples of each fabricated
+stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core import CraqrEngine
+from .errors import CraqrError
+from .metrics import ResultTable
+from .query import AttributeCatalog, parse_queries
+from .sensing import SensingWorld
+from .workloads import (
+    build_hotspot_world,
+    build_rain_temperature_world,
+    build_uniform_world,
+    default_engine_config,
+)
+
+#: Scenario name -> (description, world builder).
+SCENARIOS: Dict[str, tuple] = {
+    "rain-temperature": (
+        "4x4 km city, 300 random-waypoint sensors, rain front + heat islands",
+        build_rain_temperature_world,
+    ),
+    "uniform": (
+        "4x4 km city with roughly uniform sensor coverage",
+        build_uniform_world,
+    ),
+    "hotspot": (
+        "4x4 km city with sensors clustered around two hotspots (skew stress case)",
+        build_hotspot_world,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="CrAQR: crowdsensed data acquisition using multi-dimensional point processes",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run acquisitional queries on a simulated scenario")
+    run.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="rain-temperature",
+        help="which simulated world to acquire from",
+    )
+    run.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        required=True,
+        help="a declarative ACQUIRE statement (repeatable)",
+    )
+    run.add_argument("--batches", type=int, default=20, help="acquisition batches to run")
+    run.add_argument("--sensors", type=int, default=300, help="number of mobile sensors")
+    run.add_argument("--grid-cells", type=int, default=16, help="grid cells h (perfect square)")
+    run.add_argument("--seed", type=int, default=7, help="random seed")
+    run.add_argument(
+        "--show-samples",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N tuples of each fabricated stream",
+    )
+
+    subparsers.add_parser("scenarios", help="list the available simulated scenarios")
+    subparsers.add_parser("attributes", help="list the attribute catalog")
+    return parser
+
+
+def _command_scenarios(out: Callable[[str], None]) -> int:
+    table = ResultTable("available scenarios", ["name", "description"])
+    for name, (description, _) in sorted(SCENARIOS.items()):
+        table.add_row(name, description)
+    out(table.render())
+    return 0
+
+
+def _command_attributes(out: Callable[[str], None]) -> int:
+    catalog = AttributeCatalog.default()
+    table = ResultTable("attribute catalog", ["attribute", "kind", "value type", "description"])
+    for name in catalog.names():
+        info = catalog.get(name)
+        table.add_row(name, info.kind.value, info.value_type.__name__, info.description)
+    out(table.render())
+    return 0
+
+
+def _command_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    description, builder = SCENARIOS[args.scenario]
+    out(f"scenario '{args.scenario}': {description}")
+    world: SensingWorld = builder(sensor_count=args.sensors, seed=args.seed)
+    config = default_engine_config(grid_cells=args.grid_cells, seed=args.seed + 1)
+    engine = CraqrEngine(config, world)
+    catalog = AttributeCatalog.default()
+
+    statements = []
+    for text in args.queries:
+        statements.extend(parse_queries(text))
+    handles = []
+    for statement in statements:
+        catalog.validate_attribute(statement.attribute)
+        handles.append(engine.register_query(statement.to_query()))
+    out(f"registered {len(handles)} queries; running {args.batches} batches ...")
+
+    engine.run(args.batches)
+
+    table = ResultTable(
+        "acquired crowdsensed streams",
+        ["query", "attribute", "area", "requested rate", "achieved rate", "tuples"],
+    )
+    for handle in handles:
+        estimate = handle.achieved_rate()
+        table.add_row(
+            handle.query.label,
+            handle.query.attribute,
+            round(handle.query.region.area, 2),
+            round(estimate.requested_rate, 2),
+            round(estimate.achieved_rate, 2),
+            handle.buffer.total_tuples,
+        )
+    out(table.render())
+    out(
+        f"requests sent: {engine.total_requests_sent()}   "
+        f"raw tuples acquired: {engine.total_tuples_acquired()}   "
+        f"tuples delivered: {engine.total_tuples_delivered()}"
+    )
+    if args.show_samples > 0:
+        for handle in handles:
+            out(f"\nfirst tuples of {handle.query.label} (t, x, y, value):")
+            for item in handle.results()[: args.show_samples]:
+                out(f"  ({item.t:8.2f}, {item.x:6.2f}, {item.y:6.2f}, {item.value})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "scenarios":
+            return _command_scenarios(out)
+        if args.command == "attributes":
+            return _command_attributes(out)
+        if args.command == "run":
+            if args.batches <= 0:
+                raise CraqrError("--batches must be positive")
+            return _command_run(args, out)
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    except CraqrError as exc:
+        out(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

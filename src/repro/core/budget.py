@@ -1,0 +1,133 @@
+"""Budget tuning driven by rate-violation feedback (Section V, "Budget Tuning").
+
+"The F-operators report the percent rate violation N_v in a batch.  We check
+whether N_v is under a user-defined threshold.  If N_v exceeds the
+threshold, then the budget beta is increased by delta-beta, otherwise it is
+decreased by the same amount.  If the budget cannot be increased beyond a
+limit, then the user is requested to either accept the feasible rate or pay
+more to obtain the required rate."
+
+:class:`BudgetTuner` implements exactly that control loop over the
+request/response handler's per-(attribute, cell) budgets and reports which
+pairs hit the budget limit (so the engine can surface the accept-or-pay-more
+decision to the user, e.g. by switching on incentives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import BudgetConfig
+from ..errors import BudgetError
+from ..sensing import RequestResponseHandler
+
+CellKey = Tuple[int, int]
+PairKey = Tuple[str, CellKey]
+
+
+@dataclass(frozen=True)
+class BudgetDecision:
+    """The tuner's decision for one (attribute, cell) pair in one batch."""
+
+    attribute: str
+    cell: CellKey
+    violation_percent: float
+    old_budget: int
+    new_budget: int
+    saturated: bool
+
+    @property
+    def changed(self) -> bool:
+        """Whether the budget actually moved."""
+        return self.new_budget != self.old_budget
+
+    @property
+    def direction(self) -> int:
+        """+1 for an increase, -1 for a decrease, 0 for no change."""
+        if self.new_budget > self.old_budget:
+            return 1
+        if self.new_budget < self.old_budget:
+            return -1
+        return 0
+
+
+class BudgetTuner:
+    """Adjusts acquisition budgets from Flatten rate-violation feedback."""
+
+    def __init__(self, handler: RequestResponseHandler, config: BudgetConfig) -> None:
+        self._handler = handler
+        self._config = config
+        self._saturated: Dict[PairKey, bool] = {}
+        self._history: List[BudgetDecision] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> BudgetConfig:
+        """The budget configuration (threshold, delta, limits)."""
+        return self._config
+
+    @property
+    def history(self) -> List[BudgetDecision]:
+        """Every decision made so far (batch order)."""
+        return list(self._history)
+
+    @property
+    def saturated_pairs(self) -> List[PairKey]:
+        """(attribute, cell) pairs whose budget is pinned at the limit.
+
+        For these the paper asks the user to "either accept the feasible
+        rate or pay more to obtain the required rate".
+        """
+        return [pair for pair, saturated in self._saturated.items() if saturated]
+
+    def budget_for(self, attribute: str, cell: CellKey) -> int:
+        """The handler's current budget for the pair."""
+        return self._handler.budget_for(attribute, cell)
+
+    # ------------------------------------------------------------------
+    def ensure_initial_budget(self, attribute: str, cell: CellKey) -> None:
+        """Set the configured initial budget for a pair the first time it is seen."""
+        pair = (attribute, cell)
+        if pair not in self._saturated:
+            self._handler.set_budget(attribute, cell, self._config.initial)
+            self._saturated[pair] = False
+
+    def tune(self, violations: Dict[PairKey, float]) -> List[BudgetDecision]:
+        """Apply one round of budget adjustments.
+
+        Parameters
+        ----------
+        violations:
+            Last-batch percent rate violation ``N_v`` per (attribute, cell)
+            pair, as produced by
+            :meth:`repro.core.planner.QueryPlanner.violations`.
+        """
+        decisions: List[BudgetDecision] = []
+        for (attribute, cell), violation in violations.items():
+            if violation < 0:
+                raise BudgetError("a rate violation percentage cannot be negative")
+            pair = (attribute, cell)
+            self.ensure_initial_budget(attribute, cell)
+            old_budget = self._handler.budget_for(attribute, cell)
+            if violation > self._config.violation_threshold:
+                desired = old_budget + self._config.delta
+                new_budget = min(desired, self._config.limit)
+                saturated = desired > self._config.limit or new_budget == self._config.limit
+            else:
+                new_budget = max(old_budget - self._config.delta, self._config.floor)
+                saturated = False
+            if new_budget != old_budget:
+                self._handler.set_budget(attribute, cell, new_budget)
+            self._saturated[pair] = saturated
+            decision = BudgetDecision(
+                attribute=attribute,
+                cell=cell,
+                violation_percent=violation,
+                old_budget=old_budget,
+                new_budget=new_budget,
+                saturated=saturated,
+            )
+            decisions.append(decision)
+            self._history.append(decision)
+        return decisions

@@ -1,0 +1,300 @@
+"""The CrAQR engine: the facade tying every component together (Fig. 1).
+
+A :class:`CraqrEngine` owns
+
+* the logical grid over the deployment region,
+* the request/response handler talking to a :class:`~repro.sensing.SensingWorld`,
+* the query planner (per-cell PMAT topologies + per-query merge stage),
+* the stream fabricator (map / process / merge per batch),
+* the budget tuner (``N_v`` feedback control of acquisition budgets), and
+* per-query result buffers.
+
+A typical session::
+
+    engine = CraqrEngine(config, world)
+    handle = engine.register_query(AcquisitionalQuery("rain", region, rate=10.0))
+    for _ in range(30):
+        engine.run_batch()
+    print(handle.achieved_rate())
+
+Each :meth:`run_batch` call acquires one batch window of crowdsensed tuples
+from the world, fabricates every registered query's stream and adjusts
+budgets from the rate-violation feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import EngineConfig
+from ..errors import PlanningError, QueryError
+from ..geometry import Grid
+from ..sensing import HandlerReport, IncentiveScheme, RequestResponseHandler, SensingWorld
+from ..storage import DiscardedStore, QueryResultBuffer, RateEstimate
+from ..streams import SensorTuple
+from .budget import BudgetDecision, BudgetTuner
+from .fabricator import BatchResult, StreamFabricator
+from .planner import PlannerStats, QueryPlanner
+from .query import AcquisitionalQuery
+
+CellKey = Tuple[int, int]
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one :meth:`CraqrEngine.run_batch` call."""
+
+    batch_index: int
+    handler: HandlerReport
+    fabrication: BatchResult
+    budget_decisions: List[BudgetDecision] = field(default_factory=list)
+
+    @property
+    def tuples_acquired(self) -> int:
+        """Raw tuples the handler collected this batch."""
+        return self.handler.responses_received
+
+    @property
+    def tuples_delivered(self) -> int:
+        """Tuples delivered to query result streams this batch."""
+        return self.fabrication.tuples_delivered
+
+
+class QueryHandle:
+    """The user-facing handle to one registered query's results."""
+
+    def __init__(
+        self,
+        query: AcquisitionalQuery,
+        buffer: QueryResultBuffer,
+        engine: "CraqrEngine",
+    ) -> None:
+        self._query = query
+        self._buffer = buffer
+        self._engine = engine
+
+    @property
+    def query(self) -> AcquisitionalQuery:
+        """The underlying acquisitional query."""
+        return self._query
+
+    @property
+    def query_id(self) -> int:
+        """The query's id."""
+        return self._query.query_id
+
+    @property
+    def buffer(self) -> QueryResultBuffer:
+        """The query's result buffer."""
+        return self._buffer
+
+    def results(self) -> List[SensorTuple]:
+        """Tuples of the fabricated crowdsensed data stream so far."""
+        return self._buffer.items()
+
+    def achieved_rate(self, last_batches: Optional[int] = None) -> RateEstimate:
+        """Achieved spatio-temporal rate (over all or the last N batches)."""
+        return self._buffer.rate_over_batches(
+            self._engine.config.batch_duration, last=last_batches
+        )
+
+    def is_active(self) -> bool:
+        """Whether the query is still registered with the engine."""
+        return self._engine.has_query(self._query.query_id)
+
+    def delete(self) -> None:
+        """Deregister the query from the engine."""
+        self._engine.delete_query(self._query.query_id)
+
+
+class CraqrEngine:
+    """The complete CrAQR query processor."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        world: SensingWorld,
+        *,
+        incentive: Optional[IncentiveScheme] = None,
+    ) -> None:
+        self._config = config
+        self._world = world
+        self._rng = np.random.default_rng(config.seed)
+        self._grid = Grid(world.region, config.grid_side)
+        self._handler = RequestResponseHandler(
+            world,
+            self._grid,
+            default_budget=config.budget.initial,
+            incentive=incentive,
+        )
+        self._discarded = DiscardedStore() if config.store_discarded else None
+        self._planner = QueryPlanner(
+            self._grid,
+            batch_duration=config.batch_duration,
+            online_estimation=config.online_estimation,
+            discard_recorder=(self._discarded.record if self._discarded is not None else None),
+            rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
+        )
+        self._fabricator = StreamFabricator(self._planner, self._grid)
+        self._tuner = BudgetTuner(self._handler, config.budget)
+        self._buffers: Dict[int, QueryResultBuffer] = {}
+        self._handles: Dict[int, QueryHandle] = {}
+        self._reports: List[EngineReport] = []
+        self._batch_index = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration."""
+        return self._config
+
+    @property
+    def world(self) -> SensingWorld:
+        """The sensing world the engine acquires from."""
+        return self._world
+
+    @property
+    def grid(self) -> Grid:
+        """The logical grid over the deployment region."""
+        return self._grid
+
+    @property
+    def handler(self) -> RequestResponseHandler:
+        """The request/response handler."""
+        return self._handler
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The query planner."""
+        return self._planner
+
+    @property
+    def fabricator(self) -> StreamFabricator:
+        """The crowdsensed stream fabricator."""
+        return self._fabricator
+
+    @property
+    def budget_tuner(self) -> BudgetTuner:
+        """The budget tuner."""
+        return self._tuner
+
+    @property
+    def discarded_store(self) -> Optional[DiscardedStore]:
+        """The store of discarded tuples, when enabled."""
+        return self._discarded
+
+    @property
+    def reports(self) -> List[EngineReport]:
+        """Reports of every batch run so far."""
+        return list(self._reports)
+
+    @property
+    def batches_run(self) -> int:
+        """Number of batches executed."""
+        return self._batch_index
+
+    def planner_stats(self) -> PlannerStats:
+        """Snapshot of the planner's state (operator counts, materialised cells)."""
+        return self._planner.stats()
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+    def has_query(self, query_id: int) -> bool:
+        """Whether the query is currently registered."""
+        return query_id in self._handles
+
+    def query_handles(self) -> List[QueryHandle]:
+        """Handles of every registered query."""
+        return list(self._handles.values())
+
+    def register_query(self, query: AcquisitionalQuery) -> QueryHandle:
+        """Register an acquisitional query and return a handle to its results."""
+        if query.query_id in self._handles:
+            raise QueryError(f"query {query.label} is already registered")
+        buffer = QueryResultBuffer(
+            query.query_id,
+            requested_rate=query.rate,
+            region_area=query.region.area,
+        )
+        self._buffers[query.query_id] = buffer
+
+        def deliver(query_id: int, item: SensorTuple) -> None:
+            target = self._buffers.get(query_id)
+            if target is None:
+                return
+            target.append(item)
+            self._fabricator.register_delivery(query_id)
+
+        touched = self._planner.insert_query(query, on_result=deliver)
+        # Seed the handler's budget for every (attribute, cell) pair the
+        # query activates so the first batch already respects the config.
+        for key in touched:
+            self._tuner.ensure_initial_budget(query.attribute, key)
+        handle = QueryHandle(query, buffer, self)
+        self._handles[query.query_id] = handle
+        return handle
+
+    def delete_query(self, query_id: int) -> None:
+        """Deregister a query and tear down its topology pieces."""
+        if query_id not in self._handles:
+            raise PlanningError(f"query id {query_id} is not registered")
+        self._planner.delete_query(query_id)
+        del self._handles[query_id]
+        # The buffer is kept so already-fabricated results stay readable.
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run_batch(self) -> EngineReport:
+        """Acquire and fabricate one batch window."""
+        duration = self._config.batch_duration
+        attribute_cells = self._planner.attribute_cells()
+        tuples_by_cell, handler_report = self._handler.acquire(
+            attribute_cells, duration=duration
+        )
+        # Move the world forward to the end of the batch window.
+        self._world.advance(duration)
+        fabrication = self._fabricator.process_batch(tuples_by_cell)
+        decisions = self._tuner.tune(fabrication.violations)
+        for buffer in self._buffers.values():
+            buffer.end_batch()
+        report = EngineReport(
+            batch_index=self._batch_index,
+            handler=handler_report,
+            fabrication=fabrication,
+            budget_decisions=decisions,
+        )
+        self._reports.append(report)
+        self._batch_index += 1
+        return report
+
+    def run(self, batches: int) -> List[EngineReport]:
+        """Run several consecutive batches."""
+        if batches <= 0:
+            raise QueryError("the number of batches must be positive")
+        return [self.run_batch() for _ in range(batches)]
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def total_requests_sent(self) -> int:
+        """Acquisition requests sent since the engine was created."""
+        return self._handler.total_requests
+
+    def total_tuples_acquired(self) -> int:
+        """Raw tuples collected since the engine was created."""
+        return self._handler.total_responses
+
+    def total_tuples_delivered(self) -> int:
+        """Tuples delivered to query streams since the engine was created."""
+        return sum(buffer.total_tuples for buffer in self._buffers.values())
+
+    def describe(self) -> str:
+        """Human-readable dump of the engine's planner state."""
+        return self._planner.describe()

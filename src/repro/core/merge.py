@@ -1,0 +1,157 @@
+"""Alternative merge topologies (Section VI extension).
+
+The paper: "The execution topology presented in Section V is one of the many
+ways in which queries can be processed.  For example, a tree-like topology
+can be formed.  We have already started working on the necessary operators
+to perform this task."
+
+The default merge phase (Fig. 2c) unions every per-cell partial stream of a
+query with a single U-operator (a flat, star-shaped merge).  For queries
+spanning many cells a *tree* of U-operators with bounded fan-in is the
+natural alternative: each operator handles a bounded number of inputs, the
+merge work is spread over ``O(log k)`` levels, and intermediate unions can
+be placed near the cells they merge in a distributed deployment.
+
+:class:`TreeMergeBuilder` constructs such a tree from a list of upstream
+streams and exposes its root output; :func:`merge_depth` and
+:func:`operator_count` describe the resulting shape so the flat and tree
+variants can be compared (see ``benchmarks/bench_merge_topologies.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import PlanningError
+from ..streams import Stream
+from .pmat import UnionOperator
+
+
+@dataclass
+class MergeTree:
+    """A built tree of Union operators.
+
+    Attributes
+    ----------
+    root:
+        The Union operator producing the query's final merged stream.
+    operators:
+        Every Union operator in the tree (root included), level by level
+        from the leaves upward.
+    fan_in:
+        The maximum number of inputs each operator accepts.
+    leaves:
+        Number of upstream partial streams merged.
+    """
+
+    root: UnionOperator
+    operators: List[UnionOperator]
+    fan_in: int
+    leaves: int
+
+    @property
+    def output(self) -> Stream:
+        """The merged output stream."""
+        return self.root.output
+
+    @property
+    def depth(self) -> int:
+        """Number of Union levels between a leaf stream and the output."""
+        return merge_depth(self.leaves, self.fan_in)
+
+    @property
+    def operator_count(self) -> int:
+        """Number of Union operators in the tree."""
+        return len(self.operators)
+
+
+def merge_depth(leaves: int, fan_in: int) -> int:
+    """Depth of a fan-in-bounded merge tree over ``leaves`` inputs."""
+    if leaves <= 0:
+        raise PlanningError("a merge tree needs at least one input")
+    if fan_in < 2:
+        raise PlanningError("the merge fan-in must be at least 2")
+    if leaves == 1:
+        return 1
+    return int(math.ceil(math.log(leaves, fan_in)))
+
+
+def operator_count(leaves: int, fan_in: int) -> int:
+    """Number of Union operators a fan-in-bounded tree needs."""
+    if leaves <= 0:
+        raise PlanningError("a merge tree needs at least one input")
+    if fan_in < 2:
+        raise PlanningError("the merge fan-in must be at least 2")
+    count = 0
+    level = leaves
+    while level > 1:
+        level = int(math.ceil(level / fan_in))
+        count += level
+    return max(count, 1)
+
+
+class TreeMergeBuilder:
+    """Builds a tree of Union operators over a query's per-cell streams."""
+
+    def __init__(
+        self,
+        *,
+        fan_in: int = 2,
+        attribute: Optional[str] = None,
+        rate: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if fan_in < 2:
+            raise PlanningError("the merge fan-in must be at least 2")
+        self._fan_in = fan_in
+        self._attribute = attribute
+        self._rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def fan_in(self) -> int:
+        """Maximum inputs per Union operator."""
+        return self._fan_in
+
+    def _make_union(self, level: int, index: int) -> UnionOperator:
+        return UnionOperator(
+            rate=self._rate,
+            attribute=self._attribute,
+            name=f"U-tree:L{level}#{index}",
+            rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
+        )
+
+    def build(self, inputs: Sequence[Stream]) -> MergeTree:
+        """Build the tree over the given upstream streams and return it."""
+        streams = list(inputs)
+        if not streams:
+            raise PlanningError("a merge tree needs at least one input stream")
+        operators: List[UnionOperator] = []
+        level = 0
+        current: List[Stream] = streams
+        root: Optional[UnionOperator] = None
+        while True:
+            next_level: List[Stream] = []
+            for index in range(0, len(current), self._fan_in):
+                group = current[index: index + self._fan_in]
+                union = self._make_union(level, index // self._fan_in)
+                for upstream in group:
+                    union.attach_input(upstream)
+                operators.append(union)
+                next_level.append(union.output)
+                root = union
+            if len(next_level) == 1:
+                break
+            current = next_level
+            level += 1
+        assert root is not None
+        return MergeTree(
+            root=root,
+            operators=operators,
+            fan_in=self._fan_in,
+            leaves=len(streams),
+        )

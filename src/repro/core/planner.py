@@ -1,0 +1,303 @@
+"""Topology construction, query insertion and query deletion (Section V).
+
+The planner maintains the hashmap from grid-cell coordinates to
+:class:`~repro.core.topology.CellTopology` and the per-query merge stage
+(the U-operators of Fig. 2c).  Only the grid cells with at least one
+overlapping query are materialised ("in reality only the grid cells that are
+useful for query processing are materialized").
+
+Query insertion computes the overlap of the query region with every grid
+cell, registers the query with the affected cell topologies and rebuilds
+only those topologies; query deletion removes the query from its cells and
+drops cells (hashmap entries) that become empty — the paper's delete-right-
+to-left-until-a-branching-point rule expressed over the canonical form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlanningError, QueryError
+from ..geometry import Grid, GridCell, Region
+from ..streams import CallbackSink, SensorTuple
+from .pmat import UnionOperator
+from .query import AcquisitionalQuery
+from .topology import CellTopology, DeliverFn
+
+CellKey = Tuple[int, int]
+
+
+@dataclass
+class PlannerStats:
+    """Aggregate statistics about the planner's current state."""
+
+    queries: int = 0
+    materialized_cells: int = 0
+    pmat_operators: int = 0
+    union_operators: int = 0
+    rebuilds: int = 0
+    insertions: int = 0
+    deletions: int = 0
+    cells_touched_by_last_change: int = 0
+
+
+@dataclass
+class _QueryPlan:
+    """Book-keeping for one registered query."""
+
+    query: AcquisitionalQuery
+    cells: List[CellKey]
+    union: UnionOperator
+    union_sink: CallbackSink
+    overlaps: Dict[CellKey, Region] = field(default_factory=dict)
+
+
+class QueryPlanner:
+    """Builds and maintains the per-cell execution topologies."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        *,
+        batch_duration: float = 1.0,
+        headroom: float = 1.25,
+        online_estimation: bool = False,
+        discard_recorder=None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._grid = grid
+        self._batch_duration = batch_duration
+        self._headroom = headroom
+        self._online = online_estimation
+        self._discard_recorder = discard_recorder
+        self._rng = rng if rng is not None else np.random.default_rng()
+        #: the hashmap of Section V: grid-cell key -> execution topology
+        self._cells: Dict[CellKey, CellTopology] = {}
+        self._plans: Dict[int, _QueryPlan] = {}
+        self._result_handlers: Dict[int, DeliverFn] = {}
+        self._insertions = 0
+        self._deletions = 0
+        self._last_touched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> Grid:
+        """The logical grid over the deployment region."""
+        return self._grid
+
+    @property
+    def materialized_cells(self) -> List[CellKey]:
+        """Keys of the grid cells that currently have a topology."""
+        return list(self._cells.keys())
+
+    @property
+    def queries(self) -> List[AcquisitionalQuery]:
+        """All currently registered queries."""
+        return [plan.query for plan in self._plans.values()]
+
+    def has_query(self, query_id: int) -> bool:
+        """Whether a query with this id is registered."""
+        return query_id in self._plans
+
+    def cell_topology(self, key: CellKey) -> CellTopology:
+        """The topology materialised for a grid cell."""
+        try:
+            return self._cells[key]
+        except KeyError:
+            raise PlanningError(f"no topology materialised for cell {key}") from None
+
+    def cells_for_query(self, query_id: int) -> List[CellKey]:
+        """The grid cells a query's region overlaps."""
+        return list(self._plan(query_id).cells)
+
+    def _plan(self, query_id: int) -> _QueryPlan:
+        try:
+            return self._plans[query_id]
+        except KeyError:
+            raise PlanningError(f"query id {query_id} is not registered") from None
+
+    # ------------------------------------------------------------------
+    # Query insertion (Section V, "Query Insertions")
+    # ------------------------------------------------------------------
+    def insert_query(
+        self,
+        query: AcquisitionalQuery,
+        *,
+        on_result: Optional[DeliverFn] = None,
+    ) -> List[CellKey]:
+        """Insert a query; returns the keys of the grid cells it touches.
+
+        Parameters
+        ----------
+        query:
+            The acquisitional query to register.
+        on_result:
+            Callback ``(query_id, tuple)`` invoked for every tuple of the
+            query's final, merged crowdsensed data stream.
+        """
+        if query.query_id in self._plans:
+            raise PlanningError(f"query {query.label} is already registered")
+        query.validate_against(self._grid.region, self._grid.cell_area)
+
+        overlapping = self._grid.overlapping_cells(query.region)
+        if not overlapping:
+            raise QueryError(
+                f"query {query.label} does not overlap any grid cell"
+            )
+
+        # The merge stage: one U-operator per query aggregates the per-cell
+        # partial streams into the final MCDS (Fig. 2c).
+        union = UnionOperator(
+            rate=query.rate,
+            attribute=query.attribute,
+            name=f"U:{query.label}",
+            rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
+        )
+        handler = on_result or (lambda query_id, item: None)
+        union_sink = CallbackSink(
+            lambda item, qid=query.query_id: handler(qid, item),
+            name=f"result:{query.label}",
+        )
+        union_sink.attach(union.output)
+
+        plan = _QueryPlan(query=query, cells=[], union=union, union_sink=union_sink)
+        self._plans[query.query_id] = plan
+        self._result_handlers[query.query_id] = handler
+
+        touched: List[CellKey] = []
+        for cell in overlapping:
+            overlap = query.region.intersection(cell.region)
+            if overlap is None:
+                continue
+            topology = self._cells.get(cell.key)
+            if topology is None:
+                topology = CellTopology(
+                    cell,
+                    batch_duration=self._batch_duration,
+                    headroom=self._headroom,
+                    online_estimation=self._online,
+                    discard_recorder=self._discard_recorder,
+                    rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
+                )
+                self._cells[cell.key] = topology
+            topology.add_query(query, overlap)
+            plan.overlaps[cell.key] = overlap
+            touched.append(cell.key)
+        plan.cells = touched
+
+        self._rebuild_cells(touched)
+        self._insertions += 1
+        self._last_touched = len(touched)
+        return touched
+
+    # ------------------------------------------------------------------
+    # Query deletion (Section V, "Query Deletions")
+    # ------------------------------------------------------------------
+    def delete_query(self, query_id: int) -> List[CellKey]:
+        """Delete a query; returns the keys of the grid cells it touched.
+
+        Cells whose topology no longer serves any query are dropped from the
+        hashmap entirely, matching the paper's "until all the streams and the
+        key in the hashmap are deleted".
+        """
+        plan = self._plan(query_id)
+        touched: List[CellKey] = []
+        for key in plan.cells:
+            topology = self._cells.get(key)
+            if topology is None:
+                continue
+            topology.remove_query(plan.query)
+            touched.append(key)
+            if topology.is_empty:
+                del self._cells[key]
+        self._rebuild_cells([key for key in touched if key in self._cells])
+        del self._plans[query_id]
+        self._result_handlers.pop(query_id, None)
+        self._deletions += 1
+        self._last_touched = len(touched)
+        return touched
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+    def _deliver(self, query_id: int, item: SensorTuple) -> None:
+        """Route a per-cell partial-stream tuple into the query's merge stage."""
+        plan = self._plans.get(query_id)
+        if plan is None:
+            return
+        plan.union.accept(item)
+
+    def _rebuild_cells(self, keys: List[CellKey]) -> None:
+        for key in keys:
+            topology = self._cells.get(key)
+            if topology is not None and not topology.is_empty:
+                topology.rebuild(self._deliver)
+
+    # ------------------------------------------------------------------
+    # Batch processing helpers used by the fabricator
+    # ------------------------------------------------------------------
+    def attribute_cells(self) -> Dict[str, List[GridCell]]:
+        """Which grid cells each attribute must be acquired from.
+
+        The request/response handler uses this to know where to send
+        acquisition requests: exactly the (attribute, cell) pairs with at
+        least one overlapping query.
+        """
+        needed: Dict[str, List[GridCell]] = {}
+        for key, topology in self._cells.items():
+            cell = self._grid.cell(*key)
+            for attribute in topology.attributes:
+                needed.setdefault(attribute, []).append(cell)
+        return needed
+
+    def route_cell_batch(self, key: CellKey, items: List[SensorTuple]) -> int:
+        """Inject one cell's batch of raw tuples into its topology."""
+        topology = self._cells.get(key)
+        if topology is None:
+            return 0
+        return topology.inject_many(items)
+
+    def flush_all(self) -> None:
+        """Flush every materialised cell topology (end of batch)."""
+        for topology in self._cells.values():
+            topology.flush()
+
+    def violations(self) -> Dict[Tuple[str, CellKey], float]:
+        """Last-batch ``N_v`` per (attribute, cell) pair."""
+        report: Dict[Tuple[str, CellKey], float] = {}
+        for key, topology in self._cells.items():
+            for attribute, violation in topology.violations().items():
+                report[(attribute, key)] = violation
+        return report
+
+    def check_invariants(self) -> None:
+        """Check the structural invariants of every materialised topology."""
+        for topology in self._cells.values():
+            topology.check_invariants()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PlannerStats:
+        """A snapshot of the planner's current state."""
+        return PlannerStats(
+            queries=len(self._plans),
+            materialized_cells=len(self._cells),
+            pmat_operators=sum(t.operator_count() for t in self._cells.values()),
+            union_operators=len(self._plans),
+            rebuilds=sum(t.rebuilds for t in self._cells.values()),
+            insertions=self._insertions,
+            deletions=self._deletions,
+            cells_touched_by_last_change=self._last_touched,
+        )
+
+    def describe(self) -> str:
+        """Human-readable dump of every materialised cell topology."""
+        lines = [
+            f"planner: {len(self._plans)} queries over "
+            f"{len(self._cells)} materialised cells"
+        ]
+        for key in sorted(self._cells):
+            lines.append(self._cells[key].describe())
+        return "\n".join(lines)

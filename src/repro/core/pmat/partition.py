@@ -1,0 +1,111 @@
+"""The Partition (``P``) operator.
+
+Splits a point process ``P(lambda, R*)`` into processes of the *same* rate
+on disjoint sub-regions (paper Section IV-B.1).  "This operator is
+implemented by checking to which region the incoming tuple belongs, and then
+transmitting it to the appropriate output branch.  This operator can be
+easily extended to partition processes into multiple regions" — which is
+what this implementation does: any number of pairwise-disjoint sub-regions,
+each with its own output stream, plus an optional rest output for tuples
+matching none of them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import StreamError
+from ...geometry import Region
+from ...streams import SensorTuple, Stream
+from .base import PMATOperator, coerce_region
+
+
+class PartitionOperator(PMATOperator):
+    """Partition a process by sub-region.
+
+    Parameters
+    ----------
+    regions:
+        The pairwise-disjoint sub-regions ``R*_1, ..., R*_k``.  Output stream
+        ``i`` carries the tuples falling inside ``regions[i]``.
+    keep_rest:
+        When true an extra final output stream carries tuples that fall in
+        none of the sub-regions; when false those tuples are dropped (the
+        behaviour CrAQR uses to carve a query's overlap out of a grid cell).
+    """
+
+    symbol = "P"
+
+    def __init__(
+        self,
+        regions: Sequence,
+        *,
+        attribute: Optional[str] = None,
+        keep_rest: bool = False,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        coerced: List[Region] = [coerce_region(region) for region in regions]
+        if not coerced:
+            raise StreamError("Partition needs at least one sub-region")
+        for i, a in enumerate(coerced):
+            for b in coerced[i + 1:]:
+                if a.intersects(b):
+                    raise StreamError(
+                        "Partition sub-regions must be pairwise disjoint"
+                    )
+        outputs = len(coerced) + (1 if keep_rest else 0)
+        super().__init__(
+            name,
+            attribute=attribute,
+            region=None,
+            outputs=outputs,
+            rng=rng,
+        )
+        self._regions = coerced
+        self._keep_rest = bool(keep_rest)
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> Sequence[Region]:
+        """The sub-regions, in output order."""
+        return tuple(self._regions)
+
+    @property
+    def keep_rest(self) -> bool:
+        """Whether unmatched tuples are forwarded to a rest output."""
+        return self._keep_rest
+
+    @property
+    def rest_output(self) -> Stream:
+        """The output stream carrying unmatched tuples."""
+        if not self._keep_rest:
+            raise StreamError("this Partition operator drops unmatched tuples")
+        return self.outputs[-1]
+
+    @property
+    def dropped(self) -> int:
+        """Number of unmatched tuples dropped (0 when ``keep_rest``)."""
+        return self._dropped
+
+    def output_for(self, index: int) -> Stream:
+        """The output stream of sub-region ``index``."""
+        if not 0 <= index < len(self._regions):
+            raise StreamError(
+                f"Partition has {len(self._regions)} sub-regions; index {index} is invalid"
+            )
+        return self.outputs[index]
+
+    # ------------------------------------------------------------------
+    def process(self, item: SensorTuple) -> None:
+        for index, region in enumerate(self._regions):
+            if region.contains(item.x, item.y):
+                self.emit(item, output_index=index)
+                return
+        if self._keep_rest:
+            self.emit(item, output_index=len(self._regions))
+        else:
+            self._dropped += 1

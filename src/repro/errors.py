@@ -1,0 +1,65 @@
+"""Exception hierarchy for the CrAQR reproduction.
+
+Every error raised by the library derives from :class:`CraqrError`, so a
+caller can catch a single base class at the engine boundary.  The subclasses
+mirror the main subsystems: geometry, point processes, streaming, query
+planning and the request/response handler.
+"""
+
+from __future__ import annotations
+
+
+class CraqrError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(CraqrError):
+    """Invalid geometric construction or operation.
+
+    Raised, for instance, when building a rectangle with non-positive extent
+    or when unioning rectangles that are not adjacent with a common side.
+    """
+
+
+class PointProcessError(CraqrError):
+    """Invalid point-process specification or operation.
+
+    Raised for non-positive rates, intensities that are not strictly positive
+    on the simulation domain, or malformed event batches.
+    """
+
+
+class EstimationError(PointProcessError):
+    """Raised when intensity-parameter estimation fails to produce a model."""
+
+
+class StreamError(CraqrError):
+    """Invalid stream topology construction or execution."""
+
+
+class QueryError(CraqrError):
+    """Invalid acquisitional query (bad region, rate, or attribute)."""
+
+
+class QueryParseError(QueryError):
+    """Raised by the declarative query parser on malformed query text."""
+
+
+class PlanningError(CraqrError):
+    """Raised when the planner cannot build or modify an execution topology."""
+
+
+class BudgetError(CraqrError):
+    """Raised on invalid budget specifications or impossible budget requests."""
+
+
+class AcquisitionError(CraqrError):
+    """Raised by the request/response handler on invalid acquisition requests."""
+
+
+class StorageError(CraqrError):
+    """Raised by tuple stores and result buffers on invalid operations."""
+
+
+class WorkloadError(CraqrError):
+    """Raised by workload and scenario generators on invalid parameters."""

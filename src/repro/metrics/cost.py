@@ -1,0 +1,60 @@
+"""Acquisition cost accounting.
+
+The paper motivates multi-query sharing by cost: "The naive strategy of
+processing each query from scratch (i.e., individually), is not cost
+effective especially for the human-sensed attributes."  The cost model here
+prices an experiment run by the number of acquisition requests sent (each
+request interrupts a participant), the responses collected (each consumes
+bandwidth/energy) and any incentive paid, so shared and naive strategies can
+be compared on one number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CraqrError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit prices of the three cost drivers."""
+
+    cost_per_request: float = 1.0
+    cost_per_response: float = 0.2
+    cost_per_incentive_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.cost_per_request, self.cost_per_response, self.cost_per_incentive_unit) < 0:
+            raise CraqrError("cost components cannot be negative")
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Total cost of one experiment run under a :class:`CostModel`."""
+
+    requests: int
+    responses: int
+    incentive_spent: float
+    model: CostModel = CostModel()
+
+    def __post_init__(self) -> None:
+        if self.requests < 0 or self.responses < 0 or self.incentive_spent < 0:
+            raise CraqrError("cost inputs cannot be negative")
+
+    @property
+    def total(self) -> float:
+        """Total monetised cost."""
+        return (
+            self.requests * self.model.cost_per_request
+            + self.responses * self.model.cost_per_response
+            + self.incentive_spent * self.model.cost_per_incentive_unit
+        )
+
+    def per_delivered_tuple(self, delivered: int) -> float:
+        """Cost per tuple delivered to query streams (inf when nothing delivered)."""
+        if delivered < 0:
+            raise CraqrError("delivered count cannot be negative")
+        if delivered == 0:
+            return float("inf")
+        return self.total / delivered

@@ -1,0 +1,74 @@
+"""Multi-dimensional point process (MDPP) substrate.
+
+This package implements the mathematical machinery Section III of the paper
+relies on: spatio-temporal Poisson processes over ``(t, x, y)``, conditional
+intensity models such as the linear form of Eq. (1), simulation of
+homogeneous and inhomogeneous processes, independent thinning and
+superposition, parameter estimation (batch maximum likelihood and online
+stochastic gradient descent) and statistical tests used to check that a
+process is (approximately) homogeneous at a given rate.
+"""
+
+from .events import EventBatch
+from .intensity import (
+    IntensityModel,
+    ConstantIntensity,
+    LinearIntensity,
+    LogLinearIntensity,
+    SeparableIntensity,
+    PiecewiseConstantIntensity,
+    GaussianHotspotIntensity,
+)
+from .homogeneous import HomogeneousMDPP
+from .inhomogeneous import InhomogeneousMDPP
+from .thinning import thin_events, thin_to_rate, flatten_events, ThinningResult
+from .superposition import superpose
+from .estimation import (
+    EstimationResult,
+    fit_linear_intensity_mle,
+    fit_linear_intensity_least_squares,
+    OnlineIntensityEstimator,
+)
+from .statistics import (
+    empirical_rate,
+    quadrat_counts,
+    quadrat_chi_square_test,
+    coefficient_of_variation,
+    ks_uniformity_test,
+    ripley_k,
+    HomogeneityReport,
+    assess_homogeneity,
+)
+from .residuals import rescaled_time_residuals, residual_ks_statistic
+
+__all__ = [
+    "EventBatch",
+    "IntensityModel",
+    "ConstantIntensity",
+    "LinearIntensity",
+    "LogLinearIntensity",
+    "SeparableIntensity",
+    "PiecewiseConstantIntensity",
+    "GaussianHotspotIntensity",
+    "HomogeneousMDPP",
+    "InhomogeneousMDPP",
+    "thin_events",
+    "thin_to_rate",
+    "flatten_events",
+    "ThinningResult",
+    "superpose",
+    "EstimationResult",
+    "fit_linear_intensity_mle",
+    "fit_linear_intensity_least_squares",
+    "OnlineIntensityEstimator",
+    "empirical_rate",
+    "quadrat_counts",
+    "quadrat_chi_square_test",
+    "coefficient_of_variation",
+    "ks_uniformity_test",
+    "ripley_k",
+    "HomogeneityReport",
+    "assess_homogeneity",
+    "rescaled_time_residuals",
+    "residual_ks_statistic",
+]

@@ -1,0 +1,48 @@
+"""Superposition of point processes.
+
+The superposition of independent Poisson processes is again a Poisson
+process whose rate is the sum of the component rates.  The Union PMAT
+operator is the special case of superposing equal-rate processes on disjoint
+adjacent regions; general superposition is provided as an extension operator
+and as a test utility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import PointProcessError
+from ..geometry import Region, union_regions
+from .events import EventBatch
+from .homogeneous import HomogeneousMDPP
+
+
+def superpose(batches: Iterable[EventBatch]) -> EventBatch:
+    """Merge several event batches into one, ordered by time."""
+    merged = EventBatch.concatenate(batches)
+    return merged.sorted_by_time()
+
+
+def superpose_processes(
+    processes: Sequence[HomogeneousMDPP],
+    *,
+    rate_tolerance: float = 1e-9,
+) -> HomogeneousMDPP:
+    """Model-level union of equal-rate homogeneous processes on disjoint regions.
+
+    Parameters
+    ----------
+    processes:
+        The processes to union; all rates must agree within ``rate_tolerance``
+        and their regions must be pairwise disjoint (``union_regions``
+        enforces this), so the resulting process keeps the common rate.
+    """
+    processes = list(processes)
+    if not processes:
+        raise PointProcessError("need at least one process to superpose")
+    rate = processes[0].rate
+    for process in processes[1:]:
+        if abs(process.rate - rate) > rate_tolerance:
+            raise PointProcessError("all processes must share the same rate")
+    regions: Sequence[Region] = [p.region for p in processes]
+    return HomogeneousMDPP(rate, union_regions(regions))

@@ -1,0 +1,30 @@
+"""Declarative acquisitional query language.
+
+The paper argues for "declarative specification of data acquisition
+queries".  This package provides a small textual language for the simplest
+acquisitional query — attribute, region, rate — in the spirit of the paper's
+example Q1::
+
+    ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 10 PER KM2 PER MIN
+
+plus an attribute catalog that records which attributes exist and whether
+they are human- or sensor-sensed.
+"""
+
+from .ast import ParsedQuery, RegionLiteral
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_query, parse_queries
+from .catalog import AttributeCatalog, AttributeInfo, AttributeKind
+
+__all__ = [
+    "ParsedQuery",
+    "RegionLiteral",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_query",
+    "parse_queries",
+    "AttributeCatalog",
+    "AttributeInfo",
+    "AttributeKind",
+]

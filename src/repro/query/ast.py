@@ -1,0 +1,49 @@
+"""Abstract syntax of the declarative query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.query import AcquisitionalQuery, RateSpec
+from ..errors import QueryParseError
+from ..geometry import Rectangle, RectRegion
+
+
+@dataclass(frozen=True)
+class RegionLiteral:
+    """A ``RECT(x_min, y_min, x_max, y_max)`` literal."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def to_region(self) -> RectRegion:
+        """Convert to a geometry region (validates the extent)."""
+        try:
+            return RectRegion(Rectangle(self.x_min, self.y_min, self.x_max, self.y_max))
+        except Exception as exc:  # GeometryError, surfaced as a parse-level error
+            raise QueryParseError(f"invalid RECT literal: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The AST of one ``ACQUIRE ...`` statement."""
+
+    attribute: str
+    region: RegionLiteral
+    rate_value: float
+    area_unit: str = "unit2"
+    time_unit: str = "unit"
+    name: Optional[str] = None
+
+    def to_query(self) -> AcquisitionalQuery:
+        """Materialise the AST as an :class:`AcquisitionalQuery`."""
+        rate = RateSpec(self.rate_value, area_unit=self.area_unit, time_unit=self.time_unit)
+        return AcquisitionalQuery(
+            self.attribute,
+            self.region.to_region(),
+            rate,
+            name=self.name,
+        )

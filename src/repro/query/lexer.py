@@ -1,0 +1,99 @@
+"""Tokenizer for the declarative acquisitional query language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List
+
+from ..errors import QueryParseError
+
+#: Keywords of the language (case-insensitive).
+KEYWORDS = {
+    "ACQUIRE",
+    "FROM",
+    "RECT",
+    "REGION",
+    "AT",
+    "RATE",
+    "PER",
+    "AS",
+    "AND",
+}
+
+
+class TokenType(Enum):
+    """Kinds of token the lexer produces."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    SEMICOLON = auto()
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>[+-]?\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<semicolon>;)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text; raises :class:`QueryParseError` on bad characters."""
+    tokens: List[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryParseError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        if match.lastgroup == "ws":
+            position = match.end()
+            continue
+        value = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenType.NUMBER, value, position))
+        elif match.lastgroup == "word":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, position))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, value, position))
+        elif match.lastgroup == "lparen":
+            tokens.append(Token(TokenType.LPAREN, value, position))
+        elif match.lastgroup == "rparen":
+            tokens.append(Token(TokenType.RPAREN, value, position))
+        elif match.lastgroup == "comma":
+            tokens.append(Token(TokenType.COMMA, value, position))
+        elif match.lastgroup == "semicolon":
+            tokens.append(Token(TokenType.SEMICOLON, value, position))
+        position = match.end()
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

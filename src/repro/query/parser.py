@@ -1,0 +1,178 @@
+"""Recursive-descent parser for the declarative query language.
+
+Grammar (keywords are case-insensitive)::
+
+    statement  := ACQUIRE attribute FROM region [AT] RATE number
+                  [PER area_unit [PER time_unit]] [AS identifier]
+    region     := RECT '(' number ',' number ',' number ',' number ')'
+    attribute  := identifier
+    area_unit  := identifier        (e.g. KM2, M2, UNIT2)
+    time_unit  := identifier        (e.g. MIN, SEC, HOUR)
+
+Multiple statements may be separated by semicolons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import QueryParseError
+from .ast import ParsedQuery, RegionLiteral
+from .lexer import Token, TokenType, tokenize
+
+#: Accepted spellings of area units, mapped to RateSpec unit names.
+_AREA_UNIT_ALIASES = {
+    "KM2": "km2",
+    "M2": "m2",
+    "UNIT2": "unit2",
+    "HECTARE": "hectare",
+}
+
+#: Accepted spellings of time units, mapped to RateSpec unit names.
+_TIME_UNIT_ALIASES = {
+    "MIN": "min",
+    "MINUTE": "min",
+    "SEC": "sec",
+    "SECOND": "sec",
+    "HOUR": "hour",
+    "DAY": "day",
+    "UNIT": "unit",
+}
+
+
+class _TokenCursor:
+    """A small cursor over the token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def expect(self, token_type: TokenType, description: str) -> Token:
+        token = self.peek()
+        if token.type is not token_type:
+            raise QueryParseError(
+                f"expected {description} at position {token.position}, got {token.value!r}"
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise QueryParseError(
+                f"expected keyword {word} at position {token.position}, got {token.value!r}"
+            )
+        return self.advance()
+
+    def match_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    @property
+    def at_end(self) -> bool:
+        return self.peek().type is TokenType.END
+
+
+def _parse_number(cursor: _TokenCursor, description: str) -> float:
+    token = cursor.expect(TokenType.NUMBER, description)
+    return float(token.value)
+
+
+def _parse_region(cursor: _TokenCursor) -> RegionLiteral:
+    token = cursor.peek()
+    if not (token.is_keyword("RECT") or token.is_keyword("REGION")):
+        raise QueryParseError(
+            f"expected RECT(...) region at position {token.position}, got {token.value!r}"
+        )
+    cursor.advance()
+    cursor.expect(TokenType.LPAREN, "'('")
+    x_min = _parse_number(cursor, "x_min")
+    cursor.expect(TokenType.COMMA, "','")
+    y_min = _parse_number(cursor, "y_min")
+    cursor.expect(TokenType.COMMA, "','")
+    x_max = _parse_number(cursor, "x_max")
+    cursor.expect(TokenType.COMMA, "','")
+    y_max = _parse_number(cursor, "y_max")
+    cursor.expect(TokenType.RPAREN, "')'")
+    if x_max <= x_min or y_max <= y_min:
+        raise QueryParseError(
+            "RECT coordinates must satisfy x_min < x_max and y_min < y_max; got "
+            f"RECT({x_min}, {y_min}, {x_max}, {y_max})"
+        )
+    return RegionLiteral(x_min, y_min, x_max, y_max)
+
+
+def _parse_unit(cursor: _TokenCursor, aliases: dict, kind: str) -> str:
+    token = cursor.peek()
+    if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+        raise QueryParseError(
+            f"expected a {kind} unit at position {token.position}, got {token.value!r}"
+        )
+    cursor.advance()
+    name = token.value.upper()
+    if name not in aliases:
+        raise QueryParseError(
+            f"unknown {kind} unit '{token.value}'; known: {sorted(aliases)}"
+        )
+    return aliases[name]
+
+
+def _parse_statement(cursor: _TokenCursor) -> ParsedQuery:
+    cursor.expect_keyword("ACQUIRE")
+    attribute_token = cursor.expect(TokenType.IDENTIFIER, "an attribute name")
+    cursor.expect_keyword("FROM")
+    region = _parse_region(cursor)
+    cursor.match_keyword("AT")
+    cursor.expect_keyword("RATE")
+    rate_value = _parse_number(cursor, "a rate value")
+    area_unit = "unit2"
+    time_unit = "unit"
+    if cursor.match_keyword("PER"):
+        area_unit = _parse_unit(cursor, _AREA_UNIT_ALIASES, "area")
+        if cursor.match_keyword("PER"):
+            time_unit = _parse_unit(cursor, _TIME_UNIT_ALIASES, "time")
+    name: Optional[str] = None
+    if cursor.match_keyword("AS"):
+        name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
+        name = name_token.value
+    return ParsedQuery(
+        attribute=attribute_token.value,
+        region=region,
+        rate_value=rate_value,
+        area_unit=area_unit,
+        time_unit=time_unit,
+        name=name,
+    )
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a single ``ACQUIRE`` statement."""
+    queries = parse_queries(text)
+    if len(queries) != 1:
+        raise QueryParseError(f"expected exactly one statement, found {len(queries)}")
+    return queries[0]
+
+
+def parse_queries(text: str) -> List[ParsedQuery]:
+    """Parse one or more semicolon-separated ``ACQUIRE`` statements."""
+    if not text or not text.strip():
+        raise QueryParseError("the query text is empty")
+    cursor = _TokenCursor(tokenize(text))
+    statements: List[ParsedQuery] = []
+    while not cursor.at_end:
+        statements.append(_parse_statement(cursor))
+        while cursor.peek().type is TokenType.SEMICOLON:
+            cursor.advance()
+    if not statements:
+        raise QueryParseError("no ACQUIRE statement found")
+    return statements

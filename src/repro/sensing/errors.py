@@ -1,0 +1,137 @@
+"""Measurement-error models (Section VI extension).
+
+The paper: "Errors can be introduced by sampling constraints, GPS errors,
+sensors inaccuracies, or errors in human judgment.  In the future, we will
+explore methods for mitigating the effect of such errors on query accuracy."
+
+This module provides the error sources; the mitigation operators live in
+:mod:`repro.core.pmat.cleaning`.
+
+* :class:`GpsNoiseModel` — Gaussian position error, clamped to the region.
+* :class:`ValueErrorModel` — additive sensor noise plus occasional gross
+  outliers for numeric attributes, and random flips for boolean (human
+  judgment) attributes.
+* :class:`ErrorInjector` — applies both models to sensor tuples, so any
+  stream (from the handler or from synthetic generators) can be corrupted
+  in a controlled, reproducible way for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import CraqrError
+from ..geometry import Rectangle
+from ..streams import SensorTuple
+
+
+@dataclass(frozen=True)
+class GpsNoiseModel:
+    """Gaussian GPS error with standard deviation ``sigma`` (in map units)."""
+
+    sigma: float
+    region: Optional[Rectangle] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise CraqrError("the GPS noise sigma cannot be negative")
+
+    def perturb(self, x: float, y: float, rng: np.random.Generator) -> tuple:
+        """Return a noisy position (clamped into the region when one is set)."""
+        if self.sigma == 0:
+            return (x, y)
+        noisy_x = x + float(rng.normal(0.0, self.sigma))
+        noisy_y = y + float(rng.normal(0.0, self.sigma))
+        if self.region is not None:
+            noisy_x = min(max(noisy_x, self.region.x_min), self.region.x_max)
+            noisy_y = min(max(noisy_y, self.region.y_min), self.region.y_max)
+        return (noisy_x, noisy_y)
+
+
+@dataclass(frozen=True)
+class ValueErrorModel:
+    """Sensor inaccuracy and human-judgment errors on the sensed value.
+
+    Attributes
+    ----------
+    noise_std:
+        Standard deviation of additive Gaussian noise on numeric values.
+    outlier_probability:
+        Probability that a numeric reading is replaced by a gross outlier.
+    outlier_scale:
+        Magnitude of gross outliers (added or subtracted).
+    flip_probability:
+        Probability that a boolean (human-sensed) value is flipped.
+    """
+
+    noise_std: float = 0.0
+    outlier_probability: float = 0.0
+    outlier_scale: float = 10.0
+    flip_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0 or self.outlier_scale < 0:
+            raise CraqrError("noise parameters cannot be negative")
+        if not 0 <= self.outlier_probability <= 1:
+            raise CraqrError("outlier_probability must be in [0, 1]")
+        if not 0 <= self.flip_probability <= 1:
+            raise CraqrError("flip_probability must be in [0, 1]")
+
+    def corrupt(self, value, rng: np.random.Generator):
+        """Return the corrupted value (type preserved)."""
+        if isinstance(value, bool):
+            if rng.random() < self.flip_probability:
+                return not value
+            return value
+        if isinstance(value, (int, float)) and value is not None:
+            corrupted = float(value)
+            if self.noise_std > 0:
+                corrupted += float(rng.normal(0.0, self.noise_std))
+            if self.outlier_probability > 0 and rng.random() < self.outlier_probability:
+                sign = 1.0 if rng.random() < 0.5 else -1.0
+                corrupted += sign * self.outlier_scale
+            return corrupted
+        return value
+
+
+class ErrorInjector:
+    """Applies GPS and value error models to sensor tuples."""
+
+    def __init__(
+        self,
+        *,
+        gps: Optional[GpsNoiseModel] = None,
+        value: Optional[ValueErrorModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._gps = gps
+        self._value = value
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._corrupted = 0
+
+    @property
+    def corrupted(self) -> int:
+        """Number of tuples processed so far."""
+        return self._corrupted
+
+    def corrupt_tuple(self, item: SensorTuple) -> SensorTuple:
+        """Return a corrupted copy of one tuple."""
+        x, y = item.x, item.y
+        if self._gps is not None:
+            x, y = self._gps.perturb(x, y, self._rng)
+        value = item.value
+        if self._value is not None:
+            value = self._value.corrupt(value, self._rng)
+        self._corrupted += 1
+        metadata = dict(item.metadata)
+        metadata.setdefault("true_x", item.x)
+        metadata.setdefault("true_y", item.y)
+        metadata.setdefault("true_value", item.value)
+        return replace(item, x=x, y=y, value=value, metadata=metadata)
+
+    def corrupt_many(self, items: Iterable[SensorTuple]) -> List[SensorTuple]:
+        """Corrupted copies of every tuple in ``items``."""
+        return [self.corrupt_tuple(item) for item in items]

@@ -1,0 +1,272 @@
+"""The request/response handler (paper Section IV-A).
+
+The handler "has the task of sending data acquisition requests to mobile
+sensors and collecting their responses".  Its key parameter is the *budget*:
+the number of acquisition requests per attribute and per grid cell that may
+be sent in a given duration.  Requests go to a randomly selected set of
+mobile sensors, "sampled with or without replacement, depending on the
+number of mobile sensors available".
+
+The handler is deliberately unaware of queries and topologies: it produces a
+batch of raw :class:`~repro.streams.tuples.SensorTuple` observations per grid
+cell per acquisition round, which the crowdsensed stream fabricator then
+pushes through PMAT topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AcquisitionError, BudgetError
+from ..geometry import Grid, GridCell
+from ..streams import SensorTuple, make_tuple_id_allocator
+from .incentives import FlatIncentive, IncentiveScheme
+from .world import SensingWorld
+
+CellKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AcquisitionRequest:
+    """One acquisition request sent to one sensor."""
+
+    attribute: str
+    cell: CellKey
+    sensor_id: int
+    sent_at: float
+    incentive: float = 0.0
+
+
+@dataclass(frozen=True)
+class AcquisitionResponse:
+    """One response received from a sensor (already shaped as a tuple)."""
+
+    request: AcquisitionRequest
+    tuple: SensorTuple
+
+
+@dataclass
+class HandlerReport:
+    """Book-keeping of one acquisition round.
+
+    Attributes
+    ----------
+    requests_sent:
+        Total requests dispatched this round.
+    responses_received:
+        Total responses collected this round.
+    per_cell_requests / per_cell_responses:
+        Breakdown per ``(attribute, cell)`` pair.
+    incentive_spent:
+        Total incentive paid this round.
+    """
+
+    requests_sent: int = 0
+    responses_received: int = 0
+    per_cell_requests: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
+    per_cell_responses: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
+    incentive_spent: float = 0.0
+
+    @property
+    def response_rate(self) -> float:
+        """Fraction of requests that were answered (0 when nothing was sent)."""
+        if self.requests_sent == 0:
+            return 0.0
+        return self.responses_received / self.requests_sent
+
+
+class RequestResponseHandler:
+    """Budget-limited acquisition of crowdsensed observations.
+
+    Parameters
+    ----------
+    world:
+        The sensing world the requests go to.
+    grid:
+        The logical grid over the world region; budgets are per cell.
+    default_budget:
+        Budget used for ``(attribute, cell)`` pairs that have not been set
+        explicitly.
+    incentive:
+        Optional incentive scheme attached to every request; ``None`` means
+        no payment (multiplier 1).
+    """
+
+    def __init__(
+        self,
+        world: SensingWorld,
+        grid: Grid,
+        *,
+        default_budget: int = 50,
+        incentive: Optional[IncentiveScheme] = None,
+    ) -> None:
+        if default_budget <= 0:
+            raise BudgetError("default_budget must be positive")
+        self._world = world
+        self._grid = grid
+        self._default_budget = default_budget
+        self._budgets: Dict[Tuple[str, CellKey], int] = {}
+        self._incentive = incentive
+        self._allocate_tuple_id = make_tuple_id_allocator()
+        self._total_requests = 0
+        self._total_responses = 0
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    # Budget management (consumed by the budget tuner)
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> Grid:
+        """The grid the handler partitions budgets over."""
+        return self._grid
+
+    @property
+    def default_budget(self) -> int:
+        """Budget used when no per-cell budget has been set."""
+        return self._default_budget
+
+    def budget_for(self, attribute: str, cell: CellKey) -> int:
+        """The current budget ``beta`` for an attribute on a grid cell."""
+        return self._budgets.get((attribute, cell), self._default_budget)
+
+    def set_budget(self, attribute: str, cell: CellKey, budget: int) -> None:
+        """Set the budget for an attribute on a grid cell."""
+        if budget <= 0:
+            raise BudgetError("budget must be positive")
+        self._budgets[(attribute, cell)] = int(budget)
+
+    def budgets(self) -> Dict[Tuple[str, CellKey], int]:
+        """A copy of all explicitly set budgets."""
+        return dict(self._budgets)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        """Requests sent over the handler's lifetime."""
+        return self._total_requests
+
+    @property
+    def total_responses(self) -> int:
+        """Responses received over the handler's lifetime."""
+        return self._total_responses
+
+    @property
+    def rounds(self) -> int:
+        """Number of acquisition rounds executed."""
+        return self._rounds
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def _incentive_for_request(self) -> Tuple[float, float]:
+        """Return ``(payment, multiplier)`` for the next request."""
+        if self._incentive is None:
+            return (0.0, 1.0)
+        payment = self._incentive.payment_for_request()
+        return (payment, self._incentive.multiplier())
+
+    def acquire_cell(
+        self,
+        attribute: str,
+        cell: GridCell,
+        *,
+        duration: float,
+        report: Optional[HandlerReport] = None,
+    ) -> List[SensorTuple]:
+        """Run one acquisition round for one attribute on one grid cell.
+
+        Sends up to ``budget`` requests to sensors currently inside the cell
+        (sampling without replacement when enough sensors are available,
+        with replacement otherwise, per the paper) spread uniformly over the
+        batch window, and returns the tuples for the responses received.
+        """
+        if duration <= 0:
+            raise AcquisitionError("duration must be positive")
+        field_model = self._world.field_for(attribute)
+        budget = self.budget_for(attribute, cell.key)
+        sensors = self._world.sensors_in_rectangle(cell.rect)
+        rng = self._world.rng
+        report = report if report is not None else HandlerReport()
+        key = (attribute, cell.key)
+        report.per_cell_requests.setdefault(key, 0)
+        report.per_cell_responses.setdefault(key, 0)
+        if not sensors:
+            return []
+
+        if len(sensors) >= budget:
+            chosen_indices = rng.choice(len(sensors), size=budget, replace=False)
+        else:
+            chosen_indices = rng.choice(len(sensors), size=budget, replace=True)
+
+        t_start = self._world.now
+        request_times = np.sort(rng.uniform(t_start, t_start + duration, size=budget))
+        collected: List[SensorTuple] = []
+        for index, request_time in zip(chosen_indices, request_times):
+            sensor = sensors[int(index)]
+            payment, multiplier = self._incentive_for_request()
+            report.incentive_spent += payment
+            self._total_requests += 1
+            report.requests_sent += 1
+            report.per_cell_requests[key] += 1
+            row = sensor.handle_request(
+                field_model, float(request_time), incentive_multiplier=multiplier
+            )
+            if row is None:
+                continue
+            response_time, x, y, value = row
+            item = SensorTuple(
+                tuple_id=self._allocate_tuple_id(),
+                attribute=attribute,
+                t=float(response_time),
+                x=float(x),
+                y=float(y),
+                value=value,
+                sensor_id=sensor.sensor_id,
+                metadata={"cell": cell.key, "incentive": payment},
+            )
+            collected.append(item)
+            self._total_responses += 1
+            report.responses_received += 1
+            report.per_cell_responses[key] += 1
+        return collected
+
+    def acquire(
+        self,
+        attribute_cells: Dict[str, List[GridCell]],
+        *,
+        duration: float,
+    ) -> Tuple[Dict[CellKey, List[SensorTuple]], HandlerReport]:
+        """Run one acquisition round over several attributes and cells.
+
+        Parameters
+        ----------
+        attribute_cells:
+            Maps each attribute to the grid cells it must be acquired from
+            (the cells that host at least one query for that attribute).
+        duration:
+            Length of the batch window.
+
+        Returns
+        -------
+        A pair ``(tuples_by_cell, report)`` where ``tuples_by_cell`` groups
+        the collected tuples by grid-cell key (all attributes merged, since
+        the per-cell topology routes per attribute internally).
+        """
+        report = HandlerReport()
+        tuples_by_cell: Dict[CellKey, List[SensorTuple]] = {}
+        for attribute, cells in attribute_cells.items():
+            for cell in cells:
+                items = self.acquire_cell(
+                    attribute, cell, duration=duration, report=report
+                )
+                if items:
+                    tuples_by_cell.setdefault(cell.key, []).extend(items)
+        for items in tuples_by_cell.values():
+            items.sort(key=lambda item: item.t)
+        self._rounds += 1
+        return tuples_by_cell, report

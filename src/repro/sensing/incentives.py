@@ -1,0 +1,132 @@
+"""Incentive schemes (Section VI extension).
+
+The paper proposes, as an alternative to increasing the request budget, to
+"offer more incentive to the mobile sensors to respond".  An incentive
+scheme maps an offered payment to a multiplier on the base response
+probability (an elasticity curve) and tracks how much was spent — the
+quantity the incentives benchmark trades off against acquisition-request
+cost.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import CraqrError
+
+
+def incentive_boost(payment: float, *, elasticity: float = 1.0, saturation: float = 3.0) -> float:
+    """Response-probability multiplier for a given payment.
+
+    A concave saturating curve: no payment gives multiplier 1, large payments
+    approach ``saturation``.  ``elasticity`` controls how quickly the curve
+    rises.
+    """
+    if payment < 0:
+        raise CraqrError("payment must be non-negative")
+    if elasticity <= 0 or saturation < 1:
+        raise CraqrError("elasticity must be > 0 and saturation >= 1")
+    return 1.0 + (saturation - 1.0) * (1.0 - math.exp(-elasticity * payment))
+
+
+class IncentiveScheme(ABC):
+    """Maps a desired response boost to a payment and tracks spending."""
+
+    def __init__(self) -> None:
+        self._total_spent = 0.0
+        self._payments = 0
+
+    @property
+    def total_spent(self) -> float:
+        """Total incentive paid out so far."""
+        return self._total_spent
+
+    @property
+    def payments(self) -> int:
+        """Number of individual payments made."""
+        return self._payments
+
+    def record_payment(self, amount: float) -> None:
+        """Account for one payment."""
+        if amount < 0:
+            raise CraqrError("payment must be non-negative")
+        self._total_spent += amount
+        self._payments += 1
+
+    @abstractmethod
+    def payment_for_request(self) -> float:
+        """Payment attached to the next acquisition request."""
+
+    @abstractmethod
+    def multiplier(self) -> float:
+        """Response-probability multiplier the current payment buys."""
+
+
+class FlatIncentive(IncentiveScheme):
+    """A fixed payment per request (possibly zero)."""
+
+    def __init__(self, payment: float = 0.0, *, elasticity: float = 1.0, saturation: float = 3.0) -> None:
+        super().__init__()
+        if payment < 0:
+            raise CraqrError("payment must be non-negative")
+        self._payment = payment
+        self._elasticity = elasticity
+        self._saturation = saturation
+
+    @property
+    def payment(self) -> float:
+        """The per-request payment."""
+        return self._payment
+
+    def set_payment(self, payment: float) -> None:
+        """Change the per-request payment (used by adaptive controllers)."""
+        if payment < 0:
+            raise CraqrError("payment must be non-negative")
+        self._payment = payment
+
+    def payment_for_request(self) -> float:
+        self.record_payment(self._payment)
+        return self._payment
+
+    def multiplier(self) -> float:
+        return incentive_boost(
+            self._payment, elasticity=self._elasticity, saturation=self._saturation
+        )
+
+
+@dataclass
+class LinearIncentiveResponse:
+    """A simple adaptive incentive controller.
+
+    When the rate-violation feedback exceeds the threshold the controller
+    raises the payment by ``step`` (up to ``max_payment``); otherwise it
+    lowers it by the same step (down to zero).  This mirrors the paper's
+    budget-tuning loop but acts on incentives instead of request counts.
+    """
+
+    scheme: FlatIncentive
+    step: float = 0.1
+    max_payment: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise CraqrError("step must be positive")
+        if self.max_payment <= 0:
+            raise CraqrError("max_payment must be positive")
+
+    def adjust(self, violation_percent: float, threshold: float) -> float:
+        """Adjust the payment based on violation feedback; returns the new payment."""
+        current = self.scheme.payment
+        if violation_percent > threshold:
+            new_payment = min(current + self.step, self.max_payment)
+        else:
+            new_payment = max(current - self.step, 0.0)
+        self.scheme.set_payment(new_payment)
+        return new_payment
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the payment has reached its maximum."""
+        return self.scheme.payment >= self.max_payment

@@ -1,0 +1,241 @@
+"""Mobility models for mobile sensors.
+
+The paper's core motivation is that crowdsensed data has a highly skewed
+spatio-temporal distribution "caused largely due to the mobility of
+sensors".  These models generate that mobility:
+
+* :class:`StationaryMobility` — a degenerate model for WSN-style baselines.
+* :class:`RandomWalkMobility` — independent Gaussian steps.
+* :class:`RandomWaypointMobility` — the classic pick-a-destination-and-walk
+  model; produces centre-heavy spatial densities.
+* :class:`GaussMarkovMobility` — velocity with temporal correlation.
+* :class:`HotspotMobility` — sensors are attracted to a set of hotspots,
+  producing the strong spatial skew used in the skew-mitigation experiment.
+
+All models implement ``step(state, dt, rng) -> (x, y)``: given the sensor's
+current state and a time step, return the next position (clamped to the
+world region by the caller).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CraqrError
+from ..geometry import Rectangle
+
+
+@dataclass
+class MobilityState:
+    """Mutable per-sensor mobility state."""
+
+    x: float
+    y: float
+    vx: float = 0.0
+    vy: float = 0.0
+    target_x: Optional[float] = None
+    target_y: Optional[float] = None
+    pause_remaining: float = 0.0
+
+
+class MobilityModel(ABC):
+    """Abstract mobility model."""
+
+    def __init__(self, region: Rectangle) -> None:
+        self._region = region
+
+    @property
+    def region(self) -> Rectangle:
+        """The world rectangle sensors move in."""
+        return self._region
+
+    def initial_state(self, rng: np.random.Generator) -> MobilityState:
+        """Place the sensor uniformly at random in the region."""
+        return MobilityState(
+            x=float(rng.uniform(self._region.x_min, self._region.x_max)),
+            y=float(rng.uniform(self._region.y_min, self._region.y_max)),
+        )
+
+    @abstractmethod
+    def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
+        """Advance the state in place by ``dt`` time units."""
+
+    def _clamp(self, state: MobilityState) -> None:
+        """Keep the position inside the region (reflecting at the walls)."""
+        state.x = min(max(state.x, self._region.x_min), self._region.x_max)
+        state.y = min(max(state.y, self._region.y_min), self._region.y_max)
+
+
+class StationaryMobility(MobilityModel):
+    """Sensors that never move (traditional WSN baseline)."""
+
+    def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
+        del dt, rng  # stationary sensors ignore both
+
+
+class RandomWalkMobility(MobilityModel):
+    """Independent Gaussian displacement at every step."""
+
+    def __init__(self, region: Rectangle, *, step_std: float = 0.05) -> None:
+        super().__init__(region)
+        if step_std <= 0:
+            raise CraqrError("step_std must be positive")
+        self._step_std = step_std
+
+    def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
+        scale = self._step_std * math.sqrt(dt)
+        state.x += float(rng.normal(0.0, scale))
+        state.y += float(rng.normal(0.0, scale))
+        self._clamp(state)
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Pick a uniform destination, walk towards it at constant speed, pause, repeat."""
+
+    def __init__(
+        self,
+        region: Rectangle,
+        *,
+        speed: float = 0.2,
+        pause: float = 0.5,
+    ) -> None:
+        super().__init__(region)
+        if speed <= 0:
+            raise CraqrError("speed must be positive")
+        if pause < 0:
+            raise CraqrError("pause must be non-negative")
+        self._speed = speed
+        self._pause = pause
+
+    def _pick_target(self, state: MobilityState, rng: np.random.Generator) -> None:
+        state.target_x = float(rng.uniform(self._region.x_min, self._region.x_max))
+        state.target_y = float(rng.uniform(self._region.y_min, self._region.y_max))
+
+    def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
+        if state.pause_remaining > 0:
+            state.pause_remaining = max(0.0, state.pause_remaining - dt)
+            return
+        if state.target_x is None or state.target_y is None:
+            self._pick_target(state, rng)
+        dx = state.target_x - state.x
+        dy = state.target_y - state.y
+        distance = math.hypot(dx, dy)
+        travel = self._speed * dt
+        if travel >= distance:
+            state.x, state.y = state.target_x, state.target_y
+            state.target_x = state.target_y = None
+            state.pause_remaining = self._pause
+        else:
+            state.x += travel * dx / distance
+            state.y += travel * dy / distance
+        self._clamp(state)
+
+
+class GaussMarkovMobility(MobilityModel):
+    """Velocity process with temporal correlation (Gauss-Markov model)."""
+
+    def __init__(
+        self,
+        region: Rectangle,
+        *,
+        mean_speed: float = 0.15,
+        alpha: float = 0.75,
+        speed_std: float = 0.05,
+    ) -> None:
+        super().__init__(region)
+        if not 0 <= alpha <= 1:
+            raise CraqrError("alpha must be in [0, 1]")
+        if mean_speed <= 0 or speed_std <= 0:
+            raise CraqrError("mean_speed and speed_std must be positive")
+        self._mean_speed = mean_speed
+        self._alpha = alpha
+        self._speed_std = speed_std
+
+    def initial_state(self, rng: np.random.Generator) -> MobilityState:
+        state = super().initial_state(rng)
+        angle = rng.uniform(0.0, 2 * math.pi)
+        state.vx = self._mean_speed * math.cos(angle)
+        state.vy = self._mean_speed * math.sin(angle)
+        return state
+
+    def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
+        a = self._alpha
+        noise_scale = self._speed_std * math.sqrt(1 - a * a)
+        state.vx = a * state.vx + (1 - a) * self._mean_speed * 0.0 + float(
+            rng.normal(0.0, noise_scale)
+        )
+        state.vy = a * state.vy + (1 - a) * self._mean_speed * 0.0 + float(
+            rng.normal(0.0, noise_scale)
+        )
+        state.x += state.vx * dt
+        state.y += state.vy * dt
+        # Reflect velocity when a wall is hit so sensors stay inside.
+        if state.x <= self._region.x_min or state.x >= self._region.x_max:
+            state.vx = -state.vx
+        if state.y <= self._region.y_min or state.y >= self._region.y_max:
+            state.vy = -state.vy
+        self._clamp(state)
+
+
+class HotspotMobility(MobilityModel):
+    """Sensors gravitate towards hotspots, producing strong spatial skew.
+
+    Each step the sensor moves towards its currently assigned hotspot with
+    some jitter; occasionally it re-samples which hotspot it is attracted to
+    (weighted by hotspot popularity).
+    """
+
+    def __init__(
+        self,
+        region: Rectangle,
+        hotspots: Sequence[Tuple[float, float, float]],
+        *,
+        speed: float = 0.2,
+        jitter: float = 0.03,
+        switch_probability: float = 0.02,
+    ) -> None:
+        super().__init__(region)
+        if not hotspots:
+            raise CraqrError("hotspot mobility needs at least one hotspot")
+        for spot in hotspots:
+            if len(spot) != 3 or spot[2] <= 0:
+                raise CraqrError("hotspots must be (x, y, weight>0) triples")
+        if speed <= 0 or jitter < 0:
+            raise CraqrError("speed must be positive and jitter non-negative")
+        if not 0 <= switch_probability <= 1:
+            raise CraqrError("switch_probability must be in [0, 1]")
+        self._hotspots = [(float(x), float(y), float(w)) for x, y, w in hotspots]
+        weights = np.array([w for _, _, w in self._hotspots])
+        self._weights = weights / weights.sum()
+        self._speed = speed
+        self._jitter = jitter
+        self._switch_probability = switch_probability
+
+    def _assign_hotspot(self, state: MobilityState, rng: np.random.Generator) -> None:
+        index = int(rng.choice(len(self._hotspots), p=self._weights))
+        hx, hy, _ = self._hotspots[index]
+        state.target_x, state.target_y = hx, hy
+
+    def initial_state(self, rng: np.random.Generator) -> MobilityState:
+        state = super().initial_state(rng)
+        self._assign_hotspot(state, rng)
+        return state
+
+    def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
+        if state.target_x is None or rng.random() < self._switch_probability:
+            self._assign_hotspot(state, rng)
+        dx = state.target_x - state.x
+        dy = state.target_y - state.y
+        distance = math.hypot(dx, dy)
+        travel = min(self._speed * dt, distance)
+        if distance > 1e-12:
+            state.x += travel * dx / distance
+            state.y += travel * dy / distance
+        state.x += float(rng.normal(0.0, self._jitter * math.sqrt(dt)))
+        state.y += float(rng.normal(0.0, self._jitter * math.sqrt(dt)))
+        self._clamp(state)

@@ -1,0 +1,202 @@
+"""Participation models: whether and when a mobile sensor responds.
+
+The paper stresses that response behaviour is uncontrollable: "His/her reply
+could be unpredictably delayed for several reasons: he/she is not interested
+in responding at this moment, he/she thinks that the incentive offered for
+responding is not enough or he/she has moved to a different location."
+
+A participation model decides, for one acquisition request, whether a sensor
+responds at all and with what latency.  Models compose with the incentive
+schemes of :mod:`repro.sensing.incentives`: a higher incentive multiplies the
+base response probability.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CraqrError
+
+
+@dataclass(frozen=True)
+class ResponseDecision:
+    """Outcome of a participation decision for one request."""
+
+    responds: bool
+    latency: float = 0.0
+
+    @classmethod
+    def no_response(cls) -> "ResponseDecision":
+        """The sensor ignores the request."""
+        return cls(responds=False, latency=0.0)
+
+
+class ParticipationModel(ABC):
+    """Abstract decision model for responding to acquisition requests."""
+
+    @abstractmethod
+    def decide(
+        self,
+        sensor_id: int,
+        t: float,
+        *,
+        incentive_multiplier: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ResponseDecision:
+        """Decide whether sensor ``sensor_id`` responds to a request sent at ``t``."""
+
+
+class AlwaysRespond(ParticipationModel):
+    """Every request is answered immediately (idealised sensor-sensed attribute)."""
+
+    def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
+        del sensor_id, t, incentive_multiplier, rng
+        return ResponseDecision(responds=True, latency=0.0)
+
+
+class BernoulliParticipation(ParticipationModel):
+    """Responds with a fixed probability and an exponential latency.
+
+    Parameters
+    ----------
+    probability:
+        Base probability of responding to a single request.
+    mean_latency:
+        Mean of the exponential response latency (time units).
+    max_probability:
+        Cap applied after incentive boosting (people cannot respond more
+        than always).
+    """
+
+    def __init__(
+        self,
+        probability: float = 0.5,
+        *,
+        mean_latency: float = 0.2,
+        max_probability: float = 0.98,
+    ) -> None:
+        if not 0 < probability <= 1:
+            raise CraqrError("probability must be in (0, 1]")
+        if mean_latency < 0:
+            raise CraqrError("mean_latency must be non-negative")
+        if not probability <= max_probability <= 1:
+            raise CraqrError("max_probability must be in [probability, 1]")
+        self._probability = probability
+        self._mean_latency = mean_latency
+        self._max_probability = max_probability
+
+    @property
+    def base_probability(self) -> float:
+        """The un-boosted response probability."""
+        return self._probability
+
+    def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
+        del sensor_id, t
+        rng = rng if rng is not None else np.random.default_rng()
+        probability = min(self._probability * incentive_multiplier, self._max_probability)
+        if rng.random() >= probability:
+            return ResponseDecision.no_response()
+        latency = float(rng.exponential(self._mean_latency)) if self._mean_latency > 0 else 0.0
+        return ResponseDecision(responds=True, latency=latency)
+
+
+class DistanceDecayParticipation(ParticipationModel):
+    """Response probability decays with distance from a point of interest.
+
+    Models "he/she has moved to a different location, which now is not of
+    interest to the query": sensors far from the query's focus are less
+    likely to answer.  The caller supplies each sensor's current distance via
+    :meth:`set_distance` before asking for decisions.
+    """
+
+    def __init__(
+        self,
+        base_probability: float = 0.8,
+        *,
+        decay_scale: float = 0.5,
+        mean_latency: float = 0.2,
+    ) -> None:
+        if not 0 < base_probability <= 1:
+            raise CraqrError("base_probability must be in (0, 1]")
+        if decay_scale <= 0:
+            raise CraqrError("decay_scale must be positive")
+        if mean_latency < 0:
+            raise CraqrError("mean_latency must be non-negative")
+        self._base_probability = base_probability
+        self._decay_scale = decay_scale
+        self._mean_latency = mean_latency
+        self._distances: Dict[int, float] = {}
+
+    def set_distance(self, sensor_id: int, distance: float) -> None:
+        """Record the sensor's distance from the query focus."""
+        if distance < 0:
+            raise CraqrError("distance must be non-negative")
+        self._distances[sensor_id] = distance
+
+    def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
+        del t
+        rng = rng if rng is not None else np.random.default_rng()
+        distance = self._distances.get(sensor_id, 0.0)
+        probability = self._base_probability * math.exp(-distance / self._decay_scale)
+        probability = min(probability * incentive_multiplier, 1.0)
+        if rng.random() >= probability:
+            return ResponseDecision.no_response()
+        latency = float(rng.exponential(self._mean_latency)) if self._mean_latency > 0 else 0.0
+        return ResponseDecision(responds=True, latency=latency)
+
+
+class FatigueParticipation(ParticipationModel):
+    """Response probability drops as a sensor receives more requests.
+
+    Repeatedly pinging the same participant wears them out; the probability
+    recovers slowly over time.  This creates the diminishing returns that
+    make pure budget escalation less effective than incentives — the
+    behaviour explored in the incentives benchmark (E11).
+    """
+
+    def __init__(
+        self,
+        base_probability: float = 0.7,
+        *,
+        fatigue_per_request: float = 0.05,
+        recovery_per_time: float = 0.01,
+        min_probability: float = 0.05,
+        mean_latency: float = 0.2,
+    ) -> None:
+        if not 0 < base_probability <= 1:
+            raise CraqrError("base_probability must be in (0, 1]")
+        if fatigue_per_request < 0 or recovery_per_time < 0:
+            raise CraqrError("fatigue and recovery rates must be non-negative")
+        if not 0 <= min_probability <= base_probability:
+            raise CraqrError("min_probability must be in [0, base_probability]")
+        if mean_latency < 0:
+            raise CraqrError("mean_latency must be non-negative")
+        self._base_probability = base_probability
+        self._fatigue_per_request = fatigue_per_request
+        self._recovery_per_time = recovery_per_time
+        self._min_probability = min_probability
+        self._mean_latency = mean_latency
+        #: per-sensor (fatigue level, last decision time)
+        self._fatigue: Dict[int, Tuple[float, float]] = {}
+
+    def current_probability(self, sensor_id: int, t: float) -> float:
+        """The sensor's response probability at time ``t`` (before incentives)."""
+        fatigue, last_time = self._fatigue.get(sensor_id, (0.0, t))
+        recovered = max(0.0, fatigue - self._recovery_per_time * max(t - last_time, 0.0))
+        return max(self._base_probability - recovered, self._min_probability)
+
+    def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
+        rng = rng if rng is not None else np.random.default_rng()
+        probability = min(self.current_probability(sensor_id, t) * incentive_multiplier, 1.0)
+        fatigue, last_time = self._fatigue.get(sensor_id, (0.0, t))
+        recovered = max(0.0, fatigue - self._recovery_per_time * max(t - last_time, 0.0))
+        self._fatigue[sensor_id] = (recovered + self._fatigue_per_request, t)
+        if rng.random() >= probability:
+            return ResponseDecision.no_response()
+        latency = float(rng.exponential(self._mean_latency)) if self._mean_latency > 0 else 0.0
+        return ResponseDecision(responds=True, latency=latency)

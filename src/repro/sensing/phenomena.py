@@ -1,0 +1,140 @@
+"""Synthetic phenomena fields: the quantities the crowd senses.
+
+The paper's two running examples are *rain* (a human-sensed boolean
+attribute) and *ambient temperature* (a sensor-sensed real attribute).
+These fields provide ground-truth values at any space-time point so the
+simulator can answer acquisition requests realistically, and so examples
+can show end-to-end value streams rather than bare coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CraqrError
+from ..geometry import Rectangle
+
+
+class PhenomenonField(ABC):
+    """A spatio-temporal field ``value(t, x, y)``."""
+
+    #: Name of the attribute the field backs (e.g. ``"rain"``).
+    attribute: str = "value"
+
+    @abstractmethod
+    def value(self, t: float, x: float, y: float, rng: Optional[np.random.Generator] = None):
+        """Ground-truth (possibly noisy) value at the given point."""
+
+
+@dataclass
+class ConstantField(PhenomenonField):
+    """A field that always returns the same value; useful in tests."""
+
+    constant: object = 0.0
+    attribute: str = "value"
+
+    def value(self, t, x, y, rng=None):
+        return self.constant
+
+
+class RainField(PhenomenonField):
+    """A moving rain front: boolean rain indicator over space and time.
+
+    A rain band of width ``band_width`` sweeps across the region in the x
+    direction with the given period.  Inside the band it rains with high
+    probability, outside with low probability — so human responses are noisy
+    but spatially coherent, as real crowd reports would be.
+    """
+
+    attribute = "rain"
+
+    def __init__(
+        self,
+        region: Rectangle,
+        *,
+        band_width: float = 0.3,
+        period: float = 60.0,
+        p_rain_inside: float = 0.95,
+        p_rain_outside: float = 0.02,
+    ) -> None:
+        if band_width <= 0 or period <= 0:
+            raise CraqrError("band_width and period must be positive")
+        if not (0 <= p_rain_outside <= p_rain_inside <= 1):
+            raise CraqrError("need 0 <= p_rain_outside <= p_rain_inside <= 1")
+        self._region = region
+        self._band_width = band_width
+        self._period = period
+        self._p_inside = p_rain_inside
+        self._p_outside = p_rain_outside
+
+    def band_center(self, t: float) -> float:
+        """x-coordinate of the centre of the rain band at time ``t``."""
+        phase = (t % self._period) / self._period
+        return self._region.x_min + phase * self._region.width
+
+    def rain_probability(self, t: float, x: float, y: float) -> float:
+        """Probability that a responder at ``(x, y)`` reports rain at time ``t``."""
+        del y  # the band is uniform in y
+        center = self.band_center(t)
+        # Wrap-around distance along x.
+        dx = abs(x - center)
+        dx = min(dx, self._region.width - dx)
+        if dx <= self._band_width / 2:
+            return self._p_inside
+        return self._p_outside
+
+    def value(self, t, x, y, rng=None) -> bool:
+        rng = rng if rng is not None else np.random.default_rng()
+        return bool(rng.random() < self.rain_probability(t, x, y))
+
+
+class TemperatureField(PhenomenonField):
+    """Smooth temperature surface with a diurnal cycle and urban heat islands.
+
+    ``temperature = base + diurnal(t) + sum of Gaussian heat islands + noise``
+    """
+
+    attribute = "temp"
+
+    def __init__(
+        self,
+        region: Rectangle,
+        *,
+        base: float = 18.0,
+        diurnal_amplitude: float = 6.0,
+        period: float = 1440.0,
+        heat_islands: Sequence[Tuple[float, float, float, float]] = (),
+        noise_std: float = 0.3,
+    ) -> None:
+        if period <= 0:
+            raise CraqrError("period must be positive")
+        if noise_std < 0:
+            raise CraqrError("noise_std must be non-negative")
+        for island in heat_islands:
+            if len(island) != 4 or island[3] <= 0:
+                raise CraqrError("heat islands must be (cx, cy, amplitude, sigma>0)")
+        self._region = region
+        self._base = base
+        self._diurnal_amplitude = diurnal_amplitude
+        self._period = period
+        self._heat_islands = [tuple(map(float, island)) for island in heat_islands]
+        self._noise_std = noise_std
+
+    def mean_value(self, t: float, x: float, y: float) -> float:
+        """Noise-free temperature at the given point."""
+        diurnal = self._diurnal_amplitude * math.sin(2 * math.pi * t / self._period)
+        value = self._base + diurnal
+        for cx, cy, amplitude, sigma in self._heat_islands:
+            d2 = (x - cx) ** 2 + (y - cy) ** 2
+            value += amplitude * math.exp(-d2 / (2 * sigma * sigma))
+        return value
+
+    def value(self, t, x, y, rng=None) -> float:
+        rng = rng if rng is not None else np.random.default_rng()
+        noise = float(rng.normal(0.0, self._noise_std)) if self._noise_std > 0 else 0.0
+        return self.mean_value(t, x, y) + noise

@@ -1,0 +1,132 @@
+"""Mobile sensors.
+
+Each :class:`MobileSensor` combines a mobility state, a participation model
+for human-sensed attributes, and local memory for sensed information (the
+paper assumes "each mobile sensor is assumed to have local memory to store
+sensed information").  Sensors answer acquisition requests for an attribute
+by reading the relevant phenomenon field at their current location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AcquisitionError
+from ..geometry import SpacePoint
+from .mobility import MobilityModel, MobilityState
+from .participation import AlwaysRespond, ParticipationModel, ResponseDecision
+from .phenomena import PhenomenonField
+
+
+@dataclass
+class SensorState:
+    """Snapshot of a sensor's public state at a point in time."""
+
+    sensor_id: int
+    t: float
+    x: float
+    y: float
+
+    @property
+    def location(self) -> SpacePoint:
+        """The sensor's position."""
+        return SpacePoint(self.x, self.y)
+
+
+class MobileSensor:
+    """One simulated mobile sensor (a smartphone, vehicle sensor or human)."""
+
+    def __init__(
+        self,
+        sensor_id: int,
+        mobility: MobilityModel,
+        *,
+        participation: Optional[ParticipationModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        memory_capacity: int = 256,
+    ) -> None:
+        if memory_capacity <= 0:
+            raise AcquisitionError("memory_capacity must be positive")
+        self._sensor_id = sensor_id
+        self._mobility = mobility
+        self._participation = participation or AlwaysRespond()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._state: MobilityState = mobility.initial_state(self._rng)
+        self._memory: List[Tuple[float, str, Any]] = []
+        self._memory_capacity = memory_capacity
+        self._requests_received = 0
+        self._responses_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sensor_id(self) -> int:
+        """Unique identifier of the sensor."""
+        return self._sensor_id
+
+    @property
+    def position(self) -> SpacePoint:
+        """Current position."""
+        return SpacePoint(self._state.x, self._state.y)
+
+    @property
+    def requests_received(self) -> int:
+        """Acquisition requests received so far."""
+        return self._requests_received
+
+    @property
+    def responses_sent(self) -> int:
+        """Responses actually produced so far."""
+        return self._responses_sent
+
+    @property
+    def memory(self) -> List[Tuple[float, str, Any]]:
+        """Locally stored observations as ``(t, attribute, value)`` rows."""
+        return list(self._memory)
+
+    def state_at(self, t: float) -> SensorState:
+        """A :class:`SensorState` snapshot stamped with time ``t``."""
+        return SensorState(self._sensor_id, t, self._state.x, self._state.y)
+
+    # ------------------------------------------------------------------
+    def move(self, dt: float) -> SpacePoint:
+        """Advance the sensor's position by ``dt`` time units."""
+        self._mobility.step(self._state, dt, self._rng)
+        return self.position
+
+    def _remember(self, t: float, attribute: str, value: Any) -> None:
+        self._memory.append((t, attribute, value))
+        if len(self._memory) > self._memory_capacity:
+            del self._memory[: len(self._memory) - self._memory_capacity]
+
+    def sense(self, field: PhenomenonField, t: float) -> Any:
+        """Sample the phenomenon at the sensor's location and store it locally."""
+        value = field.value(t, self._state.x, self._state.y, rng=self._rng)
+        self._remember(t, field.attribute, value)
+        return value
+
+    def handle_request(
+        self,
+        field: PhenomenonField,
+        t: float,
+        *,
+        incentive_multiplier: float = 1.0,
+    ) -> Optional[Tuple[float, float, float, Any]]:
+        """Answer an acquisition request, or return ``None`` when ignored.
+
+        The returned row is ``(response_time, x, y, value)`` where ``x, y``
+        is the sensor's position when the request arrived (the paper treats
+        the reported coordinates as the sensing location) and
+        ``response_time = t + latency``.
+        """
+        self._requests_received += 1
+        decision: ResponseDecision = self._participation.decide(
+            self._sensor_id, t, incentive_multiplier=incentive_multiplier, rng=self._rng
+        )
+        if not decision.responds:
+            return None
+        value = self.sense(field, t)
+        self._responses_sent += 1
+        return (t + decision.latency, self._state.x, self._state.y, value)

@@ -1,0 +1,185 @@
+"""The sensing world: region, sensors, phenomena and a shared clock.
+
+:class:`SensingWorld` is the simulated environment the CrAQR server talks
+to.  It owns the mobile sensors (with their mobility and participation
+models), the phenomena fields backing each attribute, and the simulation
+clock.  The request/response handler queries the world for the sensors
+currently inside a grid cell and forwards acquisition requests to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AcquisitionError, CraqrError
+from ..geometry import Rectangle, Region
+from .clock import SimulationClock
+from .mobility import MobilityModel, RandomWaypointMobility
+from .participation import ParticipationModel
+from .phenomena import PhenomenonField
+from .sensor import MobileSensor
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Configuration of a :class:`SensingWorld`.
+
+    Attributes
+    ----------
+    region:
+        The rectangular world region ``R``.
+    sensor_count:
+        Number of mobile sensors to create.
+    seed:
+        Seed of the world's random generator.
+    movement_step:
+        Time granularity at which sensor positions are updated.
+    """
+
+    region: Rectangle
+    sensor_count: int = 100
+    seed: Optional[int] = None
+    movement_step: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.sensor_count <= 0:
+            raise CraqrError("sensor_count must be positive")
+        if self.movement_step <= 0:
+            raise CraqrError("movement_step must be positive")
+
+
+class SensingWorld:
+    """The simulated crowd of mobile sensors and the phenomena they observe."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        *,
+        mobility_factory: Optional[Callable[[Rectangle], MobilityModel]] = None,
+        participation_factory: Optional[Callable[[int], ParticipationModel]] = None,
+    ) -> None:
+        self._config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._clock = SimulationClock()
+        mobility_factory = mobility_factory or (lambda region: RandomWaypointMobility(region))
+        self._sensors: List[MobileSensor] = []
+        for sensor_id in range(config.sensor_count):
+            mobility = mobility_factory(config.region)
+            participation = participation_factory(sensor_id) if participation_factory else None
+            sensor_rng = np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1))
+            self._sensors.append(
+                MobileSensor(
+                    sensor_id,
+                    mobility,
+                    participation=participation,
+                    rng=sensor_rng,
+                )
+            )
+        self._fields: Dict[str, PhenomenonField] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> WorldConfig:
+        """The world's configuration."""
+        return self._config
+
+    @property
+    def region(self) -> Rectangle:
+        """The world region ``R``."""
+        return self._config.region
+
+    @property
+    def clock(self) -> SimulationClock:
+        """The shared simulation clock."""
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._clock.now
+
+    @property
+    def sensors(self) -> Sequence[MobileSensor]:
+        """All mobile sensors."""
+        return tuple(self._sensors)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The world's random generator (used by the handler for sampling)."""
+        return self._rng
+
+    @property
+    def attributes(self) -> List[str]:
+        """Names of the attributes that have a registered field."""
+        return list(self._fields.keys())
+
+    # ------------------------------------------------------------------
+    def register_field(self, field_model: PhenomenonField) -> None:
+        """Register the phenomenon field backing an attribute."""
+        if not field_model.attribute:
+            raise CraqrError("a phenomenon field must name its attribute")
+        self._fields[field_model.attribute] = field_model
+
+    def field_for(self, attribute: str) -> PhenomenonField:
+        """The field backing ``attribute``."""
+        try:
+            return self._fields[attribute]
+        except KeyError:
+            raise AcquisitionError(
+                f"no phenomenon field registered for attribute '{attribute}'"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether a field is registered for the attribute."""
+        return attribute in self._fields
+
+    # ------------------------------------------------------------------
+    def advance(self, duration: float) -> float:
+        """Advance the clock by ``duration``, moving every sensor along the way."""
+        if duration <= 0:
+            raise CraqrError("duration must be positive")
+        remaining = duration
+        step = self._config.movement_step
+        while remaining > 1e-12:
+            dt = min(step, remaining)
+            for sensor in self._sensors:
+                sensor.move(dt)
+            self._clock.advance(dt)
+            remaining -= dt
+        return self._clock.now
+
+    def sensors_in(self, region: Region) -> List[MobileSensor]:
+        """Sensors whose current position lies inside ``region``."""
+        return [
+            sensor
+            for sensor in self._sensors
+            if region.contains(sensor.position.x, sensor.position.y, closed=True)
+        ]
+
+    def sensors_in_rectangle(self, rect: Rectangle) -> List[MobileSensor]:
+        """Sensors whose current position lies inside ``rect``."""
+        return [
+            sensor
+            for sensor in self._sensors
+            if rect.contains(sensor.position.x, sensor.position.y, closed=True)
+        ]
+
+    def sensor_positions(self) -> np.ndarray:
+        """An ``(n, 2)`` array of current sensor positions."""
+        return np.array([[s.position.x, s.position.y] for s in self._sensors])
+
+    def density_snapshot(self, nx: int = 8, ny: int = 8) -> np.ndarray:
+        """Counts of sensors in an ``ny x nx`` grid — a quick view of spatial skew."""
+        if nx <= 0 or ny <= 0:
+            raise CraqrError("grid dimensions must be positive")
+        counts = np.zeros((ny, nx), dtype=int)
+        region = self._config.region
+        for sensor in self._sensors:
+            pos = sensor.position
+            q = min(int((pos.x - region.x_min) / region.width * nx), nx - 1)
+            r = min(int((pos.y - region.y_min) / region.height * ny), ny - 1)
+            counts[r, q] += 1
+        return counts

@@ -1,0 +1,22 @@
+"""In-memory storage substrate.
+
+Acquired crowdsensed streams, the tuples discarded by Flatten/Thin ("the
+discarded tuples can be stored separately"), and raw acquisition batches all
+need somewhere to live.  This package provides small, indexed, in-memory
+stores with retention policies — the database-ish substrate the CrAQR server
+would sit on in a deployment.
+"""
+
+from .tuple_store import TupleStore, StoreStats
+from .result_buffer import QueryResultBuffer, RateEstimate
+from .discarded import DiscardedStore
+from .index import SpatioTemporalIndex
+
+__all__ = [
+    "TupleStore",
+    "StoreStats",
+    "QueryResultBuffer",
+    "RateEstimate",
+    "DiscardedStore",
+    "SpatioTemporalIndex",
+]

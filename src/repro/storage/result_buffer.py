@@ -1,0 +1,144 @@
+"""Per-query result buffers.
+
+Each registered acquisitional query gets a :class:`QueryResultBuffer` that
+accumulates its fabricated crowdsensed data stream, batch by batch, and can
+answer the questions the evaluation cares about: how many tuples arrived per
+batch, what the achieved rate is, and how far it is from the requested rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import StorageError
+from ..pointprocess import EventBatch
+from ..streams import SensorTuple
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """Achieved-rate summary over a span of batches."""
+
+    tuples: int
+    duration: float
+    area: float
+    achieved_rate: float
+    requested_rate: float
+
+    @property
+    def relative_error(self) -> float:
+        """``|achieved - requested| / requested``."""
+        if self.requested_rate <= 0:
+            return float("nan")
+        return abs(self.achieved_rate - self.requested_rate) / self.requested_rate
+
+
+class QueryResultBuffer:
+    """Accumulates the fabricated MCDS of one query."""
+
+    def __init__(
+        self,
+        query_id: int,
+        *,
+        requested_rate: float,
+        region_area: float,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if requested_rate <= 0:
+            raise StorageError("requested_rate must be positive")
+        if region_area <= 0:
+            raise StorageError("region_area must be positive")
+        if capacity is not None and capacity <= 0:
+            raise StorageError("capacity must be positive or None")
+        self._query_id = query_id
+        self._requested_rate = requested_rate
+        self._region_area = region_area
+        self._capacity = capacity
+        self._items: List[SensorTuple] = []
+        self._per_batch_counts: List[int] = []
+        self._current_batch = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def query_id(self) -> int:
+        """Id of the query this buffer belongs to."""
+        return self._query_id
+
+    @property
+    def requested_rate(self) -> float:
+        """The query's requested rate."""
+        return self._requested_rate
+
+    @property
+    def total_tuples(self) -> int:
+        """All tuples delivered since registration."""
+        return self._total
+
+    @property
+    def per_batch_counts(self) -> List[int]:
+        """Tuples delivered in each completed batch."""
+        return list(self._per_batch_counts)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    def append(self, item: SensorTuple) -> None:
+        """Deliver one tuple of the query's stream."""
+        self._items.append(item)
+        self._total += 1
+        self._current_batch += 1
+        if self._capacity is not None and len(self._items) > self._capacity:
+            del self._items[0: len(self._items) - self._capacity]
+
+    def end_batch(self) -> int:
+        """Close the current batch; returns the number of tuples it delivered."""
+        count = self._current_batch
+        self._per_batch_counts.append(count)
+        self._current_batch = 0
+        return count
+
+    # ------------------------------------------------------------------
+    def items(self) -> List[SensorTuple]:
+        """The retained tuples, oldest first."""
+        return list(self._items)
+
+    def values(self) -> List:
+        """The sensed values of the retained tuples."""
+        return [item.value for item in self._items]
+
+    def to_event_batch(self) -> EventBatch:
+        """The retained tuples' coordinates as an :class:`EventBatch`."""
+        return EventBatch.from_rows([(it.t, it.x, it.y) for it in self._items])
+
+    def rate_over(self, duration: float) -> RateEstimate:
+        """Achieved rate over the given total duration of observation."""
+        if duration <= 0:
+            raise StorageError("duration must be positive")
+        achieved = self._total / (self._region_area * duration)
+        return RateEstimate(
+            tuples=self._total,
+            duration=duration,
+            area=self._region_area,
+            achieved_rate=achieved,
+            requested_rate=self._requested_rate,
+        )
+
+    def rate_over_batches(self, batch_duration: float, last: Optional[int] = None) -> RateEstimate:
+        """Achieved rate over the most recent ``last`` completed batches."""
+        if batch_duration <= 0:
+            raise StorageError("batch_duration must be positive")
+        counts = self._per_batch_counts if last is None else self._per_batch_counts[-last:]
+        if not counts:
+            raise StorageError("no completed batches yet")
+        duration = batch_duration * len(counts)
+        achieved = sum(counts) / (self._region_area * duration)
+        return RateEstimate(
+            tuples=sum(counts),
+            duration=duration,
+            area=self._region_area,
+            achieved_rate=achieved,
+            requested_rate=self._requested_rate,
+        )

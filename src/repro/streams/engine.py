@@ -1,0 +1,119 @@
+"""A small execution engine that routes tuples to per-key topologies.
+
+Section V's *map* phase assigns each incoming tuple to the hashmap key of
+the grid cell it falls in; the *process* phase runs the topology stored
+under that key.  :class:`StreamEngine` implements exactly that hashmap-of-
+topologies pattern in a reusable form, independent of the CrAQR-specific
+planning logic (which lives in :mod:`repro.core.planner`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..errors import StreamError
+from .topology import StreamTopology
+from .tuples import SensorTuple
+
+KeyFunction = Callable[[SensorTuple], Hashable]
+
+
+class StreamEngine:
+    """Routes tuples to topologies keyed by an arbitrary key function."""
+
+    def __init__(self, key_fn: KeyFunction, name: str = "engine") -> None:
+        self._name = name
+        self._key_fn = key_fn
+        self._topologies: Dict[Hashable, StreamTopology] = {}
+        self._routed = 0
+        self._unrouted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The engine's name."""
+        return self._name
+
+    @property
+    def keys(self) -> List[Hashable]:
+        """Keys that currently have a topology."""
+        return list(self._topologies.keys())
+
+    @property
+    def routed(self) -> int:
+        """Tuples delivered to some topology."""
+        return self._routed
+
+    @property
+    def unrouted(self) -> int:
+        """Tuples whose key had no topology (dropped)."""
+        return self._unrouted
+
+    def __len__(self) -> int:
+        return len(self._topologies)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._topologies
+
+    # ------------------------------------------------------------------
+    def topology(self, key: Hashable) -> StreamTopology:
+        """The topology stored under ``key``."""
+        try:
+            return self._topologies[key]
+        except KeyError:
+            raise StreamError(f"no topology registered for key {key!r}") from None
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], StreamTopology]) -> StreamTopology:
+        """Return the topology under ``key``, creating it with ``factory`` when absent."""
+        if key not in self._topologies:
+            self._topologies[key] = factory()
+        return self._topologies[key]
+
+    def register(self, key: Hashable, topology: StreamTopology) -> None:
+        """Register a topology under a key."""
+        if key in self._topologies:
+            raise StreamError(f"a topology is already registered for key {key!r}")
+        self._topologies[key] = topology
+
+    def unregister(self, key: Hashable) -> StreamTopology:
+        """Remove and return the topology under a key."""
+        try:
+            return self._topologies.pop(key)
+        except KeyError:
+            raise StreamError(f"no topology registered for key {key!r}") from None
+
+    # ------------------------------------------------------------------
+    def route(self, item: SensorTuple) -> bool:
+        """Deliver one tuple to its topology; returns whether it was routed."""
+        key = self._key_fn(item)
+        topology = self._topologies.get(key)
+        if topology is None:
+            self._unrouted += 1
+            return False
+        topology.inject(item)
+        self._routed += 1
+        return True
+
+    def route_many(self, items: Iterable[SensorTuple]) -> Tuple[int, int]:
+        """Deliver many tuples; returns ``(routed, unrouted)`` counts."""
+        routed = 0
+        unrouted = 0
+        for item in items:
+            if self.route(item):
+                routed += 1
+            else:
+                unrouted += 1
+        return routed, unrouted
+
+    def flush_all(self) -> None:
+        """Flush every registered topology (end of batch)."""
+        for topology in self._topologies.values():
+            topology.flush()
+
+    def describe(self) -> str:
+        """Human-readable dump of every registered topology."""
+        lines = [f"engine '{self._name}' with {len(self._topologies)} topologies"]
+        for key, topology in self._topologies.items():
+            lines.append(f"-- key {key!r}")
+            lines.append(topology.describe())
+        return "\n".join(lines)

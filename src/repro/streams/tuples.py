@@ -1,0 +1,81 @@
+"""Crowdsensed tuples.
+
+The paper defines a tuple of attribute ``A<j>`` as ``(t_i, x_i, y_i, a_i)``
+where the first three entries are space-time coordinates, ``a_i`` is the
+attribute value, and ``i`` is a unique identifier across sensors.
+:class:`SensorTuple` captures exactly that, plus the sensor id and the
+attribute name so that one stream can carry tuples of several attributes
+before they are routed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from ..geometry import SpacePoint, SpaceTimePoint
+
+
+def make_tuple_id_allocator(start: int = 0) -> Callable[[], int]:
+    """Return a callable producing unique, monotonically increasing tuple ids."""
+    counter = itertools.count(start)
+    return lambda: next(counter)
+
+
+@dataclass(frozen=True)
+class SensorTuple:
+    """One crowdsensed observation ``(t, x, y, value)`` of an attribute.
+
+    Attributes
+    ----------
+    tuple_id:
+        Unique identifier ``i`` across sensors.
+    attribute:
+        Name of the attribute ``A<j>`` (e.g. ``"rain"`` or ``"temp"``).
+    t, x, y:
+        Space-time coordinates of the observation.
+    value:
+        The sensed value ``a_i`` (bool for human-sensed attributes such as
+        rain, float for sensor-sensed attributes such as temperature).
+    sensor_id:
+        Identifier of the mobile sensor that produced the observation, when
+        known.
+    metadata:
+        Free-form additional fields (e.g. response latency, incentive paid).
+    """
+
+    tuple_id: int
+    attribute: str
+    t: float
+    x: float
+    y: float
+    value: Any = None
+    sensor_id: Optional[int] = None
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def location(self) -> SpacePoint:
+        """The spatial coordinates as a :class:`SpacePoint`."""
+        return SpacePoint(self.x, self.y)
+
+    @property
+    def space_time(self) -> SpaceTimePoint:
+        """The spatio-temporal coordinates as a :class:`SpaceTimePoint`."""
+        return SpaceTimePoint(self.t, self.x, self.y)
+
+    def with_value(self, value: Any) -> "SensorTuple":
+        """A copy with a different sensed value."""
+        return replace(self, value=value)
+
+    def with_attribute(self, attribute: str) -> "SensorTuple":
+        """A copy tagged with a different attribute name."""
+        return replace(self, attribute=attribute)
+
+    def shifted(self, dt: float = 0.0, dx: float = 0.0, dy: float = 0.0) -> "SensorTuple":
+        """A copy displaced in space-time (used by the Shift extension operator)."""
+        return replace(self, t=self.t + dt, x=self.x + dx, y=self.y + dy)
+
+    def as_row(self):
+        """The tuple as ``(t, x, y, value)`` — the paper's column order."""
+        return (self.t, self.x, self.y, self.value)

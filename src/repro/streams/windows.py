@@ -1,0 +1,136 @@
+"""Batch and sliding windows over streams of sensor tuples.
+
+The Flatten operator works over *batches* of tuples (one acquisition window)
+and, as the paper notes, can also operate over *sliding windows* when
+combined with online parameter estimation.  The window classes here collect
+tuples and emit them grouped so window-based operators stay simple.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..errors import StreamError
+from .tuples import SensorTuple
+
+
+class BatchWindow:
+    """Collects tuples into fixed-size batches (count-based tumbling window)."""
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise StreamError("batch size must be positive")
+        self._batch_size = batch_size
+        self._buffer: List[SensorTuple] = []
+
+    @property
+    def batch_size(self) -> int:
+        """Number of tuples per emitted batch."""
+        return self._batch_size
+
+    @property
+    def pending(self) -> int:
+        """Number of tuples currently buffered."""
+        return len(self._buffer)
+
+    def add(self, item: SensorTuple) -> Optional[List[SensorTuple]]:
+        """Add a tuple; returns the completed batch when the window fills."""
+        self._buffer.append(item)
+        if len(self._buffer) >= self._batch_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> List[SensorTuple]:
+        """Emit whatever is buffered (possibly fewer than ``batch_size`` tuples)."""
+        batch, self._buffer = self._buffer, []
+        return batch
+
+
+class TumblingWindow:
+    """Time-based tumbling window: emits all tuples of each ``duration``-long interval."""
+
+    def __init__(self, duration: float, *, start: float = 0.0) -> None:
+        if duration <= 0:
+            raise StreamError("window duration must be positive")
+        self._duration = duration
+        self._window_start = start
+        self._buffer: List[SensorTuple] = []
+
+    @property
+    def duration(self) -> float:
+        """Window length in time units."""
+        return self._duration
+
+    @property
+    def window_start(self) -> float:
+        """Start time of the currently open window."""
+        return self._window_start
+
+    @property
+    def pending(self) -> int:
+        """Number of tuples buffered in the open window."""
+        return len(self._buffer)
+
+    def add(self, item: SensorTuple) -> Optional[List[SensorTuple]]:
+        """Add a tuple; returns the closed window's tuples when time advances past it.
+
+        Tuples must arrive in (approximately) non-decreasing time order; a
+        tuple older than the open window is accepted into the open window
+        rather than reopening a closed one.
+        """
+        if item.t >= self._window_start + self._duration:
+            emitted = self._buffer
+            self._buffer = [item]
+            # Advance by whole windows so long gaps do not emit many empties.
+            gap = item.t - self._window_start
+            skipped = int(gap // self._duration)
+            self._window_start += skipped * self._duration
+            return emitted
+        self._buffer.append(item)
+        return None
+
+    def flush(self) -> List[SensorTuple]:
+        """Emit the open window's tuples and start a fresh window."""
+        batch, self._buffer = self._buffer, []
+        self._window_start += self._duration
+        return batch
+
+
+@dataclass(frozen=True)
+class _TimedTuple:
+    t: float
+    item: SensorTuple
+
+
+class SlidingWindow:
+    """Time-based sliding window: keeps the tuples of the last ``duration`` time units."""
+
+    def __init__(self, duration: float) -> None:
+        if duration <= 0:
+            raise StreamError("window duration must be positive")
+        self._duration = duration
+        self._buffer: Deque[_TimedTuple] = deque()
+
+    @property
+    def duration(self) -> float:
+        """Window length in time units."""
+        return self._duration
+
+    def add(self, item: SensorTuple) -> None:
+        """Add a tuple and evict everything older than ``item.t - duration``."""
+        self._buffer.append(_TimedTuple(item.t, item))
+        self._evict(item.t)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self._duration
+        while self._buffer and self._buffer[0].t < cutoff:
+            self._buffer.popleft()
+
+    def contents(self) -> List[SensorTuple]:
+        """Current window contents, oldest first."""
+        return [entry.item for entry in self._buffer]
+
+    def __len__(self) -> int:
+        return len(self._buffer)

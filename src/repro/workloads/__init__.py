@@ -1,0 +1,24 @@
+"""Workload and scenario generators used by examples, tests and benchmarks."""
+
+from .queries import random_query_workload, overlapping_query_workload, fig2_queries
+from .scenarios import (
+    Scenario,
+    build_rain_temperature_world,
+    build_uniform_world,
+    build_hotspot_world,
+    default_engine_config,
+)
+from .generators import synthetic_inhomogeneous_batch, synthetic_homogeneous_batch
+
+__all__ = [
+    "random_query_workload",
+    "overlapping_query_workload",
+    "fig2_queries",
+    "Scenario",
+    "build_rain_temperature_world",
+    "build_uniform_world",
+    "build_hotspot_world",
+    "default_engine_config",
+    "synthetic_inhomogeneous_batch",
+    "synthetic_homogeneous_batch",
+]

@@ -1,0 +1,149 @@
+"""Query-workload generators.
+
+Benchmarks need controlled populations of acquisitional queries: random
+workloads of configurable size, overlapping workloads with a tunable sharing
+factor, and the exact three-query layout of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.query import AcquisitionalQuery
+from ..errors import WorkloadError
+from ..geometry import Grid, Rectangle, RectRegion
+
+
+def random_query_workload(
+    grid: Grid,
+    count: int,
+    *,
+    attributes: Sequence[str] = ("rain", "temp"),
+    rate_range: Tuple[float, float] = (5.0, 50.0),
+    max_cells_per_side: int = 2,
+    seed: Optional[int] = None,
+) -> List[AcquisitionalQuery]:
+    """Random queries whose regions are blocks of whole grid cells.
+
+    Each query covers an axis-aligned block of ``1..max_cells_per_side``
+    cells per side (so every query satisfies the minimum-area rule) and asks
+    for a rate drawn uniformly from ``rate_range``.
+    """
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    if not attributes:
+        raise WorkloadError("at least one attribute is required")
+    if rate_range[0] <= 0 or rate_range[1] < rate_range[0]:
+        raise WorkloadError("rate_range must be positive and increasing")
+    if max_cells_per_side <= 0 or max_cells_per_side > grid.side:
+        raise WorkloadError("max_cells_per_side must be in [1, grid.side]")
+    rng = np.random.default_rng(seed)
+    region = grid.region
+    cell_w = region.width / grid.side
+    cell_h = region.height / grid.side
+    queries: List[AcquisitionalQuery] = []
+    for i in range(count):
+        span_q = int(rng.integers(1, max_cells_per_side + 1))
+        span_r = int(rng.integers(1, max_cells_per_side + 1))
+        q0 = int(rng.integers(0, grid.side - span_q + 1))
+        r0 = int(rng.integers(0, grid.side - span_r + 1))
+        rect = Rectangle(
+            region.x_min + q0 * cell_w,
+            region.y_min + r0 * cell_h,
+            region.x_min + (q0 + span_q) * cell_w,
+            region.y_min + (r0 + span_r) * cell_h,
+        )
+        rate = float(rng.uniform(rate_range[0], rate_range[1]))
+        attribute = str(attributes[int(rng.integers(0, len(attributes)))])
+        queries.append(
+            AcquisitionalQuery(attribute, RectRegion(rect), rate, name=f"W{i}")
+        )
+    return queries
+
+
+def overlapping_query_workload(
+    grid: Grid,
+    count: int,
+    *,
+    attribute: str = "rain",
+    base_rate: float = 20.0,
+    overlap_cells: int = 2,
+    seed: Optional[int] = None,
+) -> List[AcquisitionalQuery]:
+    """Queries that all cover the same block of cells (maximum sharing).
+
+    All ``count`` queries acquire the same attribute from the same
+    ``overlap_cells x overlap_cells`` block with rates spread around
+    ``base_rate``, so a shared topology re-uses one acquisition stream for
+    every query — the best case for multi-query optimisation.
+    """
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    if overlap_cells <= 0 or overlap_cells > grid.side:
+        raise WorkloadError("overlap_cells must be in [1, grid.side]")
+    if base_rate <= 0:
+        raise WorkloadError("base_rate must be positive")
+    rng = np.random.default_rng(seed)
+    region = grid.region
+    cell_w = region.width / grid.side
+    cell_h = region.height / grid.side
+    rect = Rectangle(
+        region.x_min,
+        region.y_min,
+        region.x_min + overlap_cells * cell_w,
+        region.y_min + overlap_cells * cell_h,
+    )
+    queries = []
+    for i in range(count):
+        rate = float(base_rate * rng.uniform(0.5, 1.5))
+        queries.append(
+            AcquisitionalQuery(attribute, RectRegion(rect), rate, name=f"O{i}")
+        )
+    return queries
+
+
+def fig2_queries(grid: Grid) -> List[AcquisitionalQuery]:
+    """The three queries of the paper's Fig. 2 on a 3x3 (or larger) grid.
+
+    * ``Q1`` acquires ``rain`` from a 2x2 block of cells at the highest rate.
+    * ``Q2`` acquires ``temp`` from a single cell at a middle rate.
+    * ``Q3`` acquires ``temp`` from a region that only partially overlaps its
+      cells (so P-operators are required), at the lowest rate.
+
+    The rates satisfy ``lambda1 > lambda2 > lambda3`` as in the paper.
+    """
+    if grid.side < 3:
+        raise WorkloadError("the Fig. 2 layout needs a grid with side >= 3")
+    region = grid.region
+    cell_w = region.width / grid.side
+    cell_h = region.height / grid.side
+
+    # Q1: rain over the 2x2 block of cells (1,1)-(2,2) (0-indexed), full cells.
+    q1_rect = Rectangle(
+        region.x_min + 1 * cell_w,
+        region.y_min + 1 * cell_h,
+        region.x_min + 3 * cell_w,
+        region.y_min + 3 * cell_h,
+    )
+    # Q2: temp over the single cell (0, 1), a full cell.
+    q2_rect = Rectangle(
+        region.x_min + 0 * cell_w,
+        region.y_min + 1 * cell_h,
+        region.x_min + 1 * cell_w,
+        region.y_min + 2 * cell_h,
+    )
+    # Q3: temp over a region straddling cells (0,0) and (1,0) but covering
+    # only part of each, so the planner must add P-operators.  Its area still
+    # exceeds one cell's area, as the paper requires.
+    q3_rect = Rectangle(
+        region.x_min + 0.25 * cell_w,
+        region.y_min + 0.1 * cell_h,
+        region.x_min + 1.75 * cell_w,
+        region.y_min + 0.9 * cell_h,
+    )
+    q1 = AcquisitionalQuery("rain", RectRegion(q1_rect), 30.0, name="Q1")
+    q2 = AcquisitionalQuery("temp", RectRegion(q2_rect), 20.0, name="Q2")
+    q3 = AcquisitionalQuery("temp", RectRegion(q3_rect), 10.0, name="Q3")
+    return [q1, q2, q3]

@@ -1,0 +1,201 @@
+"""Pre-packaged simulation scenarios.
+
+A :class:`Scenario` bundles a sensing world, an engine configuration and a
+textual description, so examples and benchmarks can say "the rain +
+temperature city" or "the hotspot-skewed city" in one line and get an
+identical, reproducible setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import BudgetConfig, EngineConfig
+from ..geometry import Rectangle
+from ..sensing import (
+    BernoulliParticipation,
+    HotspotMobility,
+    RainField,
+    RandomWaypointMobility,
+    SensingWorld,
+    TemperatureField,
+    WorldConfig,
+)
+
+#: The default deployment region: a 4 km x 4 km city, one unit = 1 km.
+DEFAULT_REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully configured simulation setup."""
+
+    name: str
+    description: str
+    world: SensingWorld
+    config: EngineConfig
+
+
+def default_engine_config(
+    *,
+    grid_cells: int = 16,
+    seed: Optional[int] = 7,
+    initial_budget: int = 60,
+    budget_limit: int = 600,
+    budget_delta: int = 5,
+    budget_floor: int = 20,
+    violation_threshold: float = 5.0,
+) -> EngineConfig:
+    """The engine configuration shared by the stock scenarios.
+
+    The budget floor is kept well above one request so that the +/- delta
+    feedback loop of Section V oscillates around the sufficient budget
+    instead of periodically starving a cell.
+    """
+    return EngineConfig(
+        grid_cells=grid_cells,
+        batch_duration=1.0,
+        budget=BudgetConfig(
+            initial=initial_budget,
+            delta=budget_delta,
+            limit=budget_limit,
+            floor=min(budget_floor, initial_budget),
+            violation_threshold=violation_threshold,
+        ),
+        seed=seed,
+    )
+
+
+def build_rain_temperature_world(
+    *,
+    sensor_count: int = 300,
+    seed: Optional[int] = 11,
+    region: Rectangle = DEFAULT_REGION,
+    response_probability: float = 0.6,
+) -> SensingWorld:
+    """The paper's running example: rain (human-sensed) and temp (sensor-sensed).
+
+    Sensors follow random-waypoint mobility; humans answer rain questions with
+    the given probability and some latency, while the temperature attribute
+    is read from an ambient field with heat islands.
+    """
+    world = SensingWorld(
+        WorldConfig(region=region, sensor_count=sensor_count, seed=seed),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.25, pause=0.5),
+        participation_factory=lambda sensor_id: BernoulliParticipation(
+            response_probability, mean_latency=0.1
+        ),
+    )
+    world.register_field(RainField(region, band_width=region.width * 0.3, period=60.0))
+    world.register_field(
+        TemperatureField(
+            region,
+            base=18.0,
+            diurnal_amplitude=6.0,
+            period=1440.0,
+            heat_islands=(
+                (region.width * 0.3, region.height * 0.3, 4.0, region.width * 0.15),
+                (region.width * 0.75, region.height * 0.6, 2.5, region.width * 0.1),
+            ),
+        )
+    )
+    return world
+
+
+def build_uniform_world(
+    *,
+    sensor_count: int = 300,
+    seed: Optional[int] = 13,
+    region: Rectangle = DEFAULT_REGION,
+    response_probability: float = 0.8,
+) -> SensingWorld:
+    """A world with mild, roughly uniform sensor coverage (low skew baseline)."""
+    world = SensingWorld(
+        WorldConfig(region=region, sensor_count=sensor_count, seed=seed),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.3, pause=0.2),
+        participation_factory=lambda sensor_id: BernoulliParticipation(
+            response_probability, mean_latency=0.05
+        ),
+    )
+    world.register_field(RainField(region, band_width=region.width * 0.4, period=80.0))
+    world.register_field(TemperatureField(region))
+    return world
+
+
+def build_hotspot_world(
+    *,
+    sensor_count: int = 300,
+    seed: Optional[int] = 17,
+    region: Rectangle = DEFAULT_REGION,
+    response_probability: float = 0.6,
+    roamer_fraction: float = 0.25,
+    jitter: float = 0.3,
+) -> SensingWorld:
+    """A world with strongly skewed sensor density (two popular hotspots).
+
+    This is the stress case the paper motivates: most of the crowd clusters
+    around a couple of hotspots (a dense "downtown"), while a minority of
+    roaming sensors keeps thin coverage in the rest of the city — so raw
+    arrivals are far from homogeneous but fixed-rate acquisition remains
+    physically possible everywhere.
+    """
+    hotspots = (
+        (region.width * 0.25, region.height * 0.3, 3.0),
+        (region.width * 0.75, region.height * 0.7, 1.0),
+    )
+
+    def mobility_factory(r: Rectangle):
+        return HotspotMobility(
+            r, hotspots, speed=0.35, jitter=jitter, switch_probability=0.05
+        )
+
+    # A fixed share of sensors roam the whole city so no cell is ever empty;
+    # the factory receives only the region, so the split is done by counting
+    # how many models have been created so far.
+    created = {"count": 0}
+
+    def mixed_mobility_factory(r: Rectangle):
+        created["count"] += 1
+        if created["count"] % max(int(round(1.0 / max(roamer_fraction, 1e-9))), 1) == 0:
+            return RandomWaypointMobility(r, speed=0.3, pause=0.2)
+        return mobility_factory(r)
+
+    factory = mixed_mobility_factory if roamer_fraction > 0 else mobility_factory
+    world = SensingWorld(
+        WorldConfig(region=region, sensor_count=sensor_count, seed=seed),
+        mobility_factory=factory,
+        participation_factory=lambda sensor_id: BernoulliParticipation(
+            response_probability, mean_latency=0.1
+        ),
+    )
+    world.register_field(RainField(region, band_width=region.width * 0.3, period=60.0))
+    world.register_field(TemperatureField(region))
+    return world
+
+
+def rain_temperature_scenario(**kwargs) -> Scenario:
+    """The stock rain + temperature scenario."""
+    return Scenario(
+        name="rain-temperature-city",
+        description=(
+            "A 4x4 km city with 300 random-waypoint sensors, a moving rain "
+            "front (human-sensed) and a temperature field with heat islands "
+            "(sensor-sensed)."
+        ),
+        world=build_rain_temperature_world(**kwargs),
+        config=default_engine_config(),
+    )
+
+
+def hotspot_scenario(**kwargs) -> Scenario:
+    """The stock skew-stress scenario."""
+    return Scenario(
+        name="hotspot-city",
+        description=(
+            "A 4x4 km city where sensors cluster around two hotspots, so raw "
+            "crowdsensed arrivals are strongly skewed in space."
+        ),
+        world=build_hotspot_world(**kwargs),
+        config=default_engine_config(),
+    )

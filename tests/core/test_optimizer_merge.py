@@ -1,0 +1,179 @@
+"""Unit tests for the query-cost optimizer and the tree-merge topology (Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AcquisitionalQuery,
+    GridGranularityAdvisor,
+    TopologyCostModel,
+    TreeMergeBuilder,
+    estimate_query_cost,
+    merge_depth,
+    operator_count,
+)
+from repro.errors import PlanningError
+from repro.geometry import Grid, Rectangle, RectRegion
+from repro.streams import CollectingSink, Stream, SensorTuple
+
+REGION = Rectangle(0, 0, 4, 4)
+GRID = Grid(REGION, side=4)
+
+
+class TestCostModel:
+    def test_rejects_negative_prices(self):
+        with pytest.raises(PlanningError):
+            TopologyCostModel(cost_per_request=-1.0)
+
+    def test_cell_aligned_query_has_no_over_acquisition(self):
+        query = AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), 10.0)
+        estimate = estimate_query_cost(query, GRID)
+        assert estimate.cells == 4
+        assert estimate.over_acquisition == pytest.approx(0.0)
+        assert estimate.total > 0
+        assert estimate.requests_per_batch > 0
+
+    def test_partial_overlap_causes_over_acquisition(self):
+        query = AcquisitionalQuery("rain", Rectangle(0.5, 0.5, 1.5, 1.5), 10.0)
+        estimate = estimate_query_cost(query, GRID)
+        assert estimate.cells == 4
+        assert estimate.over_acquisition > 0.5
+
+    def test_cost_scales_with_rate(self):
+        slow = AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), 5.0)
+        fast = AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), 20.0)
+        assert estimate_query_cost(fast, GRID).total > estimate_query_cost(slow, GRID).total
+
+    def test_cost_scales_with_response_probability(self):
+        query = AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), 10.0)
+        cheap = estimate_query_cost(query, GRID, response_probability=0.9)
+        pricey = estimate_query_cost(query, GRID, response_probability=0.3)
+        assert pricey.requests_per_batch > cheap.requests_per_batch
+
+    def test_validation(self):
+        query = AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), 10.0)
+        with pytest.raises(PlanningError):
+            estimate_query_cost(query, GRID, response_probability=0.0)
+        with pytest.raises(PlanningError):
+            estimate_query_cost(query, GRID, batch_duration=0.0)
+        with pytest.raises(PlanningError):
+            estimate_query_cost(query, GRID, chain_depth=0)
+
+
+class TestGranularityAdvisor:
+    def make_queries(self, aligned_to=4):
+        cell = REGION.width / aligned_to
+        return [
+            AcquisitionalQuery("rain", Rectangle(0, 0, 2 * cell, 2 * cell), 10.0),
+            AcquisitionalQuery("temp", Rectangle(cell, cell, 3 * cell, 3 * cell), 6.0),
+        ]
+
+    def test_evaluate_returns_cost_and_over_acquisition(self):
+        advisor = GridGranularityAdvisor(REGION)
+        cost, over = advisor.evaluate(self.make_queries(), side=4)
+        assert cost > 0
+        assert 0.0 <= over <= 1.0
+
+    def test_recommendation_prefers_coarse_grid_for_aligned_queries(self):
+        # Queries aligned to the 2x2 grid: the coarse grid is cheapest and
+        # already has zero over-acquisition.
+        queries = [
+            AcquisitionalQuery("rain", Rectangle(0, 0, 2, 2), 10.0),
+            AcquisitionalQuery("temp", Rectangle(2, 2, 4, 4), 6.0),
+        ]
+        advisor = GridGranularityAdvisor(REGION)
+        recommendation = advisor.recommend(queries, candidate_sides=(2, 4, 8))
+        assert recommendation.side == 2
+        assert recommendation.mean_over_acquisition == pytest.approx(0.0)
+
+    def test_recommendation_refines_grid_for_small_queries(self):
+        # Small, non-aligned queries force a finer grid to avoid acquiring
+        # far more than the query region needs.
+        queries = [
+            AcquisitionalQuery("rain", Rectangle(0.25, 0.25, 1.25, 1.25), 10.0),
+            AcquisitionalQuery("rain", Rectangle(2.5, 2.5, 3.5, 3.5), 10.0),
+        ]
+        advisor = GridGranularityAdvisor(REGION)
+        recommendation = advisor.recommend(
+            queries, candidate_sides=(2, 4, 8), max_over_acquisition=0.3
+        )
+        assert recommendation.side >= 4
+        assert recommendation.per_side_over_acquisition[2] > 0.3
+
+    def test_recommendation_validation(self):
+        advisor = GridGranularityAdvisor(REGION)
+        with pytest.raises(PlanningError):
+            advisor.recommend([], candidate_sides=(2,))
+        with pytest.raises(PlanningError):
+            advisor.recommend(self.make_queries(), candidate_sides=())
+        with pytest.raises(PlanningError):
+            advisor.evaluate(self.make_queries(), side=0)
+
+
+def make_tuple(i, t=0.0):
+    return SensorTuple(tuple_id=i, attribute="rain", t=t, x=0.5, y=0.5)
+
+
+class TestMergeMath:
+    def test_merge_depth(self):
+        assert merge_depth(1, 2) == 1
+        assert merge_depth(2, 2) == 1
+        assert merge_depth(8, 2) == 3
+        assert merge_depth(9, 3) == 2
+
+    def test_operator_count(self):
+        assert operator_count(1, 2) == 1
+        assert operator_count(2, 2) == 1
+        assert operator_count(8, 2) == 7
+        assert operator_count(9, 3) == 4
+
+    def test_validation(self):
+        with pytest.raises(PlanningError):
+            merge_depth(0, 2)
+        with pytest.raises(PlanningError):
+            merge_depth(4, 1)
+        with pytest.raises(PlanningError):
+            operator_count(0, 2)
+
+
+class TestTreeMergeBuilder:
+    def make_inputs(self, count):
+        return [Stream(f"leaf{i}") for i in range(count)]
+
+    def test_fan_in_validation(self):
+        with pytest.raises(PlanningError):
+            TreeMergeBuilder(fan_in=1)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(PlanningError):
+            TreeMergeBuilder().build([])
+
+    def test_tree_structure_matches_math(self):
+        inputs = self.make_inputs(8)
+        tree = TreeMergeBuilder(fan_in=2, rng=np.random.default_rng(0)).build(inputs)
+        assert tree.leaves == 8
+        assert tree.operator_count == operator_count(8, 2)
+        assert tree.depth == merge_depth(8, 2)
+
+    def test_all_tuples_reach_the_root(self):
+        inputs = self.make_inputs(5)
+        tree = TreeMergeBuilder(fan_in=2, rng=np.random.default_rng(1)).build(inputs)
+        sink = CollectingSink().attach(tree.output)
+        for index, stream in enumerate(inputs):
+            for j in range(3):
+                stream.push(make_tuple(index * 10 + j, t=float(j)))
+        assert len(sink) == 15
+
+    def test_single_input_still_produces_root(self):
+        inputs = self.make_inputs(1)
+        tree = TreeMergeBuilder(fan_in=4).build(inputs)
+        sink = CollectingSink().attach(tree.output)
+        inputs[0].push(make_tuple(1))
+        assert len(sink) == 1
+        assert tree.operator_count == 1
+
+    def test_wide_fan_in_produces_flat_merge(self):
+        inputs = self.make_inputs(6)
+        tree = TreeMergeBuilder(fan_in=8).build(inputs)
+        assert tree.operator_count == 1
+        assert tree.depth == 1

@@ -1,0 +1,150 @@
+"""Unit tests for intensity parameter estimation (MLE, least squares, SGD)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.geometry import Rectangle
+from repro.pointprocess import (
+    EventBatch,
+    HomogeneousMDPP,
+    InhomogeneousMDPP,
+    LinearIntensity,
+    OnlineIntensityEstimator,
+    fit_linear_intensity_least_squares,
+    fit_linear_intensity_mle,
+)
+
+REGION = Rectangle(0.0, 0.0, 1.0, 1.0)
+DURATION = 4.0
+
+
+def simulate(theta, seed=0, duration=DURATION):
+    intensity = LinearIntensity.from_theta(theta).validated_on(REGION, 0.0, duration)
+    process = InhomogeneousMDPP(intensity, REGION)
+    return process.sample(duration, rng=np.random.default_rng(seed)), intensity
+
+
+class TestLeastSquares:
+    def test_recovers_constant_rate(self):
+        batch = HomogeneousMDPP(80.0, REGION).sample(
+            DURATION, rng=np.random.default_rng(1)
+        )
+        result = fit_linear_intensity_least_squares(batch, REGION, 0.0, DURATION)
+        mean_rate = result.intensity.mean_rate(REGION, 0.0, DURATION)
+        assert mean_rate == pytest.approx(80.0, rel=0.25)
+
+    def test_detects_spatial_gradient_direction(self):
+        batch, _ = simulate((10.0, 0.0, 60.0, 0.0), seed=2)
+        result = fit_linear_intensity_least_squares(batch, REGION, 0.0, DURATION)
+        assert result.theta[2] > 10.0      # strong positive x slope
+        assert abs(result.theta[3]) < 30.0  # and a much weaker y slope
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(EstimationError):
+            fit_linear_intensity_least_squares(EventBatch.empty(), REGION, 0.0, 1.0)
+
+    def test_invalid_window_raises(self):
+        batch = EventBatch.from_rows([(0.1, 0.1, 0.1)])
+        with pytest.raises(EstimationError):
+            fit_linear_intensity_least_squares(batch, REGION, 1.0, 1.0)
+
+    def test_converged_flag_set(self):
+        batch, _ = simulate((30.0, 0.0, 10.0, 10.0), seed=3)
+        assert fit_linear_intensity_least_squares(batch, REGION, 0.0, DURATION).converged
+
+
+class TestMLE:
+    def test_recovers_constant_rate(self):
+        batch = HomogeneousMDPP(60.0, REGION).sample(
+            DURATION, rng=np.random.default_rng(4)
+        )
+        result = fit_linear_intensity_mle(batch, REGION, 0.0, DURATION)
+        mean_rate = result.intensity.mean_rate(REGION, 0.0, DURATION)
+        assert mean_rate == pytest.approx(60.0, rel=0.2)
+
+    def test_recovers_gradient_parameters(self):
+        true_theta = (20.0, 0.0, 40.0, -10.0)
+        batch, _ = simulate(true_theta, seed=5)
+        result = fit_linear_intensity_mle(batch, REGION, 0.0, DURATION)
+        # The x slope should clearly dominate the y slope and point upward.
+        assert result.theta[2] > 15.0
+        assert result.theta[2] > result.theta[3]
+
+    def test_log_likelihood_improves_over_initial_guess(self):
+        batch, intensity = simulate((15.0, 0.0, 30.0, 20.0), seed=6)
+        flat_start = (len(batch) / (REGION.area * DURATION), 0.0, 0.0, 0.0)
+        fitted = fit_linear_intensity_mle(
+            batch, REGION, 0.0, DURATION, initial_theta=flat_start
+        )
+        from repro.pointprocess.estimation import _log_likelihood
+
+        assert fitted.log_likelihood >= _log_likelihood(
+            flat_start, batch, __import__("repro").geometry.RectRegion(REGION), 0.0, DURATION
+        ) - 1e-6
+
+    def test_expected_count_preserved(self):
+        # MLE of a Poisson intensity matches the observed count in expectation;
+        # check the fitted integral is close to the actual number of events.
+        batch, _ = simulate((25.0, 0.0, 20.0, 10.0), seed=7)
+        result = fit_linear_intensity_mle(batch, REGION, 0.0, DURATION)
+        fitted_count = result.intensity.integral(REGION, 0.0, DURATION)
+        assert fitted_count == pytest.approx(len(batch), rel=0.15)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(EstimationError):
+            fit_linear_intensity_mle(EventBatch.empty(), REGION, 0.0, 1.0)
+
+    def test_bad_initial_theta_raises(self):
+        batch, _ = simulate((25.0, 0.0, 20.0, 10.0), seed=8)
+        with pytest.raises(EstimationError):
+            fit_linear_intensity_mle(batch, REGION, 0.0, DURATION, initial_theta=(1.0, 2.0))
+
+    def test_invalid_window_raises(self):
+        batch = EventBatch.from_rows([(0.1, 0.1, 0.1)] * 5)
+        with pytest.raises(EstimationError):
+            fit_linear_intensity_mle(batch, REGION, 2.0, 1.0)
+
+
+class TestOnlineEstimator:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(EstimationError):
+            OnlineIntensityEstimator(REGION, 0.0)
+        with pytest.raises(EstimationError):
+            OnlineIntensityEstimator(REGION, 1.0, learning_rate=0.0)
+        with pytest.raises(EstimationError):
+            OnlineIntensityEstimator(REGION, 1.0, initial_theta=(1.0, 2.0))
+
+    def test_updates_counter(self):
+        estimator = OnlineIntensityEstimator(REGION, 1.0)
+        batch = HomogeneousMDPP(30.0, REGION).sample(1.0, rng=np.random.default_rng(9))
+        estimator.observe_batch(batch)
+        assert estimator.updates == len(batch)
+
+    def test_empty_batch_is_noop(self):
+        estimator = OnlineIntensityEstimator(REGION, 1.0)
+        estimator.observe_batch(EventBatch.empty())
+        assert estimator.updates == 0
+
+    def test_tracks_gradient_direction(self):
+        # Feed several batches from a process with a strong x gradient; the
+        # online estimate should end up with a clearly positive x slope.
+        intensity = LinearIntensity(5.0, 0.0, 50.0, 0.0)
+        process = InhomogeneousMDPP(intensity, REGION)
+        estimator = OnlineIntensityEstimator(
+            REGION, 1.0, learning_rate=0.5, expected_events_per_window=30.0
+        )
+        rng = np.random.default_rng(10)
+        for _ in range(20):
+            estimator.observe_batch(process.sample(1.0, rng=rng))
+        assert estimator.theta[2] > estimator.theta[3]
+        assert estimator.theta[2] > 0.0
+
+    def test_result_snapshot(self):
+        estimator = OnlineIntensityEstimator(REGION, 1.0)
+        batch = HomogeneousMDPP(20.0, REGION).sample(1.0, rng=np.random.default_rng(11))
+        estimator.observe_batch(batch)
+        result = estimator.result()
+        assert result.converged
+        assert result.iterations == estimator.updates
+        assert isinstance(result.intensity, LinearIntensity)

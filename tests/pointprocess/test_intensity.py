@@ -1,0 +1,184 @@
+"""Unit tests for conditional intensity models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PointProcessError
+from repro.geometry import Rectangle, RectRegion
+from repro.pointprocess import (
+    ConstantIntensity,
+    GaussianHotspotIntensity,
+    LinearIntensity,
+    LogLinearIntensity,
+    PiecewiseConstantIntensity,
+    SeparableIntensity,
+)
+
+REGION = Rectangle(0.0, 0.0, 1.0, 1.0)
+
+
+class TestConstantIntensity:
+    def test_rate_is_constant(self):
+        model = ConstantIntensity(5.0)
+        values = model.rate(np.array([0.0, 1.0]), np.array([0.0, 0.5]), np.array([0.0, 0.5]))
+        assert values.tolist() == [5.0, 5.0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(PointProcessError):
+            ConstantIntensity(0.0)
+
+    def test_integral_closed_form(self):
+        model = ConstantIntensity(3.0)
+        assert model.integral(REGION, 0.0, 2.0) == pytest.approx(6.0)
+
+    def test_mean_rate(self):
+        assert ConstantIntensity(3.0).mean_rate(REGION, 0.0, 2.0) == pytest.approx(3.0)
+
+    def test_max_rate(self):
+        assert ConstantIntensity(7.0).max_rate(REGION, 0.0, 1.0) == 7.0
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(PointProcessError):
+            ConstantIntensity(1.0).integral(REGION, 1.0, 1.0)
+
+
+class TestLinearIntensity:
+    def test_matches_eq1(self):
+        model = LinearIntensity(1.0, 2.0, 3.0, 4.0)
+        assert model.rate_at(1.0, 1.0, 1.0) == pytest.approx(10.0)
+
+    def test_theta_property(self):
+        assert LinearIntensity(1, 2, 3, 4).theta == (1, 2, 3, 4)
+
+    def test_from_theta_roundtrip(self):
+        model = LinearIntensity.from_theta([5.0, 0.1, 0.2, 0.3])
+        assert model.theta == (5.0, 0.1, 0.2, 0.3)
+
+    def test_from_theta_wrong_length(self):
+        with pytest.raises(PointProcessError):
+            LinearIntensity.from_theta([1.0, 2.0])
+
+    def test_clamps_at_floor(self):
+        model = LinearIntensity(-10.0, 0.0, 0.0, 0.0)
+        assert model.rate_at(0.0, 0.0, 0.0) == pytest.approx(model.min_rate)
+
+    def test_max_rate_over_corners(self):
+        model = LinearIntensity(1.0, 1.0, 1.0, 1.0)
+        assert model.max_rate(REGION, 0.0, 2.0) == pytest.approx(1.0 + 2.0 + 1.0 + 1.0)
+
+    def test_min_rate_on_window(self):
+        model = LinearIntensity(1.0, 1.0, 1.0, 1.0)
+        assert model.min_rate_on(REGION, 0.0, 2.0) == pytest.approx(1.0)
+
+    def test_validated_on_accepts_positive(self):
+        model = LinearIntensity(1.0, 0.0, 0.5, 0.5)
+        assert model.validated_on(REGION, 0.0, 1.0) is model
+
+    def test_validated_on_rejects_non_positive(self):
+        model = LinearIntensity(0.1, -1.0, 0.0, 0.0)
+        with pytest.raises(PointProcessError):
+            model.validated_on(REGION, 0.0, 1.0)
+
+    def test_integral_closed_form(self):
+        model = LinearIntensity(2.0, 0.5, 1.0, 1.5)
+        closed = model.integral(REGION, 0.0, 1.0)
+        # The affine integral equals the midpoint value times the volume:
+        # theta0 + theta1*0.5 + theta2*0.5 + theta3*0.5 over a unit volume.
+        expected = 2.0 + 0.25 + 0.5 + 0.75
+        assert closed == pytest.approx(expected)
+
+    def test_vectorised_rate(self):
+        model = LinearIntensity(1.0, 1.0, 0.0, 0.0)
+        values = model.rate(np.array([0.0, 1.0, 2.0]), np.zeros(3), np.zeros(3))
+        assert values.tolist() == [1.0, 2.0, 3.0]
+
+
+class TestLogLinearIntensity:
+    def test_always_positive(self):
+        model = LogLinearIntensity(-5.0, -1.0, -1.0, -1.0)
+        assert model.rate_at(10.0, 10.0, 10.0) > 0.0
+
+    def test_value(self):
+        model = LogLinearIntensity(0.0, 0.0, 0.0, 0.0)
+        assert model.rate_at(1.0, 2.0, 3.0) == pytest.approx(1.0)
+
+    def test_max_rate_at_corner(self):
+        model = LogLinearIntensity(0.0, 1.0, 1.0, 1.0)
+        assert model.max_rate(REGION, 0.0, 1.0) == pytest.approx(np.exp(3.0))
+
+
+class TestSeparableIntensity:
+    def test_product_form(self):
+        model = SeparableIntensity(
+            base=2.0,
+            temporal=lambda t: np.ones_like(t) * 0.5,
+            spatial=lambda x, y: np.ones_like(x) * 3.0,
+            temporal_max=0.5,
+            spatial_max=3.0,
+        )
+        assert model.rate_at(0.0, 0.0, 0.0) == pytest.approx(3.0)
+        assert model.max_rate(REGION, 0.0, 1.0) == pytest.approx(3.0)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(PointProcessError):
+            SeparableIntensity(base=0.0, temporal=lambda t: t, spatial=lambda x, y: x)
+
+    def test_negative_product_clamped_to_zero(self):
+        model = SeparableIntensity(
+            base=1.0,
+            temporal=lambda t: -np.ones_like(t),
+            spatial=lambda x, y: np.ones_like(x),
+        )
+        assert model.rate_at(0.0, 0.0, 0.0) == 0.0
+
+
+class TestPiecewiseConstantIntensity:
+    def test_cell_lookup(self):
+        model = PiecewiseConstantIntensity(REGION, ((1.0, 2.0), (3.0, 4.0)))
+        # values[r][q]: bottom-left is 1, bottom-right 2, top-left 3, top-right 4
+        assert model.rate_at(0.0, 0.25, 0.25) == 1.0
+        assert model.rate_at(0.0, 0.75, 0.25) == 2.0
+        assert model.rate_at(0.0, 0.25, 0.75) == 3.0
+        assert model.rate_at(0.0, 0.75, 0.75) == 4.0
+
+    def test_max_rate(self):
+        model = PiecewiseConstantIntensity(REGION, ((1.0, 2.0), (3.0, 4.0)))
+        assert model.max_rate(REGION, 0.0, 1.0) == 4.0
+
+    def test_shape(self):
+        model = PiecewiseConstantIntensity(REGION, ((1.0, 2.0, 3.0),))
+        assert model.shape == (1, 3)
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(PointProcessError):
+            PiecewiseConstantIntensity(REGION, ((1.0, 2.0), (3.0,)))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(PointProcessError):
+            PiecewiseConstantIntensity(REGION, ((-1.0,),))
+
+
+class TestGaussianHotspotIntensity:
+    def test_peak_at_hotspot(self):
+        model = GaussianHotspotIntensity(1.0, ((0.5, 0.5, 10.0, 0.1),))
+        assert model.rate_at(0.0, 0.5, 0.5) == pytest.approx(11.0)
+        assert model.rate_at(0.0, 0.0, 0.0) < 2.0
+
+    def test_max_rate_upper_bound(self):
+        model = GaussianHotspotIntensity(1.0, ((0.5, 0.5, 10.0, 0.1), (0.2, 0.2, 5.0, 0.2)))
+        bound = model.max_rate(REGION, 0.0, 1.0)
+        xs = np.linspace(0, 1, 21)
+        tt, xx, yy = np.meshgrid(np.zeros(1), xs, xs, indexing="ij")
+        assert bound >= model.rate(tt.ravel(), xx.ravel(), yy.ravel()).max()
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(PointProcessError):
+            GaussianHotspotIntensity(0.0, ())
+
+    def test_rejects_bad_hotspot(self):
+        with pytest.raises(PointProcessError):
+            GaussianHotspotIntensity(1.0, ((0.5, 0.5, 1.0, 0.0),))
+
+    def test_integral_positive(self):
+        model = GaussianHotspotIntensity(1.0, ((0.5, 0.5, 10.0, 0.1),))
+        assert model.integral(REGION, 0.0, 1.0, resolution=15) > 1.0

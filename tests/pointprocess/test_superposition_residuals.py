@@ -1,0 +1,97 @@
+"""Unit tests for superposition and residual analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PointProcessError
+from repro.geometry import Rectangle
+from repro.pointprocess import (
+    ConstantIntensity,
+    EventBatch,
+    HomogeneousMDPP,
+    LinearIntensity,
+    InhomogeneousMDPP,
+    rescaled_time_residuals,
+    residual_ks_statistic,
+    superpose,
+)
+from repro.pointprocess.superposition import superpose_processes
+
+REGION = Rectangle(0.0, 0.0, 1.0, 1.0)
+
+
+class TestSuperposeBatches:
+    def test_merges_and_orders_by_time(self):
+        a = EventBatch.from_rows([(3.0, 0.1, 0.1), (1.0, 0.2, 0.2)])
+        b = EventBatch.from_rows([(2.0, 0.3, 0.3)])
+        merged = superpose([a, b])
+        assert merged.t.tolist() == [1.0, 2.0, 3.0]
+
+    def test_preserves_total_count(self, rng):
+        a = HomogeneousMDPP(50.0, REGION).sample(1.0, rng=rng)
+        b = HomogeneousMDPP(70.0, REGION).sample(1.0, rng=rng)
+        assert len(superpose([a, b])) == len(a) + len(b)
+
+    def test_empty_inputs(self):
+        assert superpose([EventBatch.empty(), EventBatch.empty()]).is_empty
+
+    def test_summed_rate(self):
+        rng = np.random.default_rng(0)
+        a = HomogeneousMDPP(100.0, REGION).sample(2.0, rng=rng)
+        b = HomogeneousMDPP(150.0, REGION).sample(2.0, rng=rng)
+        merged = superpose([a, b])
+        rate = len(merged) / (REGION.area * 2.0)
+        assert rate == pytest.approx(250.0, rel=0.15)
+
+
+class TestSuperposeProcesses:
+    def test_union_of_adjacent_equal_rate(self):
+        a = HomogeneousMDPP(5.0, Rectangle(0, 0, 1, 1))
+        b = HomogeneousMDPP(5.0, Rectangle(1, 0, 2, 1))
+        combined = superpose_processes([a, b])
+        assert combined.rate == 5.0
+        assert combined.region.area == pytest.approx(2.0)
+
+    def test_rejects_mismatched_rates(self):
+        a = HomogeneousMDPP(5.0, Rectangle(0, 0, 1, 1))
+        b = HomogeneousMDPP(6.0, Rectangle(1, 0, 2, 1))
+        with pytest.raises(PointProcessError):
+            superpose_processes([a, b])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(PointProcessError):
+            superpose_processes([])
+
+
+class TestResiduals:
+    def test_constant_intensity_residuals_are_exponential(self):
+        rng = np.random.default_rng(1)
+        process = HomogeneousMDPP(200.0, REGION)
+        batch = process.sample(5.0, rng=rng)
+        residuals = rescaled_time_residuals(batch, ConstantIntensity(200.0), REGION)
+        statistic, p_value = residual_ks_statistic(residuals)
+        assert p_value > 0.001
+        assert residuals.mean() == pytest.approx(1.0, rel=0.2)
+
+    def test_wrong_model_gives_worse_fit(self):
+        rng = np.random.default_rng(2)
+        intensity = LinearIntensity(10.0, 900.0, 0.0, 0.0)  # strongly increasing in time
+        process = InhomogeneousMDPP(intensity, REGION)
+        batch = process.sample(1.0, rng=rng)
+        good = rescaled_time_residuals(batch, intensity, REGION)
+        bad = rescaled_time_residuals(
+            batch, ConstantIntensity(max(len(batch), 1)), REGION
+        )
+        good_stat, _ = residual_ks_statistic(good)
+        bad_stat, _ = residual_ks_statistic(bad)
+        assert good_stat < bad_stat
+
+    def test_empty_batch(self):
+        residuals = rescaled_time_residuals(EventBatch.empty(), ConstantIntensity(1.0), REGION)
+        assert residuals.size == 0
+        assert residual_ks_statistic(residuals) == (0.0, 1.0)
+
+    def test_invalid_steps(self):
+        batch = EventBatch.from_rows([(0.5, 0.5, 0.5)])
+        with pytest.raises(PointProcessError):
+            rescaled_time_residuals(batch, ConstantIntensity(1.0), REGION, steps=1)

@@ -1,0 +1,108 @@
+"""Unit tests for the declarative query language (lexer, parser, AST)."""
+
+import pytest
+
+from repro.core import AcquisitionalQuery
+from repro.errors import QueryParseError
+from repro.query import TokenType, parse_queries, parse_query, tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("acquire RAIN from rect")
+        assert tokens[0].is_keyword("ACQUIRE")
+        assert tokens[1].type is TokenType.IDENTIFIER  # RAIN is not a keyword
+        assert tokens[2].is_keyword("FROM")
+        assert tokens[3].is_keyword("RECT")
+
+    def test_numbers(self):
+        tokens = tokenize("10 3.5 -2 1e3")
+        values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert values == ["10", "3.5", "-2", "1e3"]
+
+    def test_punctuation(self):
+        kinds = [t.type for t in tokenize("( , ) ;")][:-1]
+        assert kinds == [TokenType.LPAREN, TokenType.COMMA, TokenType.RPAREN, TokenType.SEMICOLON]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(QueryParseError):
+            tokenize("ACQUIRE rain @ RECT")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ACQUIRE rain")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+
+class TestParser:
+    def test_paper_example_q1(self):
+        parsed = parse_query(
+            "ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 10 PER KM2 PER MIN"
+        )
+        assert parsed.attribute == "rain"
+        assert parsed.rate_value == 10.0
+        assert parsed.area_unit == "km2"
+        assert parsed.time_unit == "min"
+        query = parsed.to_query()
+        assert isinstance(query, AcquisitionalQuery)
+        assert query.rate == pytest.approx(10.0)
+        assert query.region.area == pytest.approx(4.0)
+
+    def test_at_keyword_is_optional(self):
+        parsed = parse_query("ACQUIRE temp FROM RECT(0, 0, 1, 1) RATE 5")
+        assert parsed.rate_value == 5.0
+        assert parsed.area_unit == "unit2"
+
+    def test_named_query(self):
+        parsed = parse_query("ACQUIRE temp FROM RECT(0,0,1,1) RATE 5 AS Downtown")
+        assert parsed.name == "Downtown"
+        assert parsed.to_query().label == "Downtown"
+
+    def test_rate_unit_conversion(self):
+        parsed = parse_query("ACQUIRE temp FROM RECT(0,0,1,1) RATE 120 PER KM2 PER HOUR")
+        assert parsed.to_query().rate == pytest.approx(2.0)
+
+    def test_multiple_statements(self):
+        queries = parse_queries(
+            "ACQUIRE rain FROM RECT(0,0,2,2) RATE 10;"
+            "ACQUIRE temp FROM RECT(1,1,3,3) RATE 5"
+        )
+        assert len(queries) == 2
+        assert queries[0].attribute == "rain"
+        assert queries[1].attribute == "temp"
+
+    def test_trailing_semicolon_allowed(self):
+        assert len(parse_queries("ACQUIRE rain FROM RECT(0,0,1,1) RATE 1;")) == 1
+
+    def test_parse_query_rejects_multiple(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "ACQUIRE rain FROM RECT(0,0,1,1) RATE 1; ACQUIRE temp FROM RECT(0,0,1,1) RATE 1"
+            )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "ACQUIRE FROM RECT(0,0,1,1) RATE 1",           # missing attribute
+            "ACQUIRE rain RECT(0,0,1,1) RATE 1",            # missing FROM
+            "ACQUIRE rain FROM RECT(0,0,1) RATE 1",         # too few coordinates
+            "ACQUIRE rain FROM RECT(0,0,1,1)",              # missing rate
+            "ACQUIRE rain FROM RECT(0,0,1,1) RATE fast",    # non-numeric rate
+            "ACQUIRE rain FROM RECT(0,0,1,1) RATE 1 PER FURLONG2",
+            "ACQUIRE rain FROM RECT(0,0,1,1) RATE 1 PER KM2 PER FORTNIGHT",
+            "ACQUIRE rain FROM RECT(1,1,0,0) RATE 1",       # degenerate rectangle
+        ],
+    )
+    def test_malformed_queries_raise(self, text):
+        with pytest.raises(QueryParseError):
+            parse_queries(text)
+
+    def test_rate_must_be_positive_via_query_model(self):
+        parsed = parse_queries("ACQUIRE rain FROM RECT(0,0,1,1) RATE 0")[0]
+        with pytest.raises(Exception):
+            parsed.to_query()

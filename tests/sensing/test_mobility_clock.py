@@ -1,0 +1,134 @@
+"""Unit tests for the simulation clock and mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CraqrError
+from repro.geometry import Rectangle
+from repro.sensing import (
+    GaussMarkovMobility,
+    HotspotMobility,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    SimulationClock,
+    StationaryMobility,
+)
+
+REGION = Rectangle(0.0, 0.0, 2.0, 2.0)
+
+
+class TestSimulationClock:
+    def test_starts_at_given_time(self):
+        clock = SimulationClock(5.0)
+        assert clock.now == 5.0
+        assert clock.start == 5.0
+        assert clock.elapsed == 0.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+        assert clock.ticks == 2
+
+    def test_advance_rejects_non_positive(self):
+        clock = SimulationClock()
+        with pytest.raises(CraqrError):
+            clock.advance(0.0)
+        with pytest.raises(CraqrError):
+            clock.advance(-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock(1.0)
+        clock.advance(3.0)
+        clock.reset()
+        assert clock.now == 1.0
+        assert clock.ticks == 0
+
+
+def run_model(model, steps=200, dt=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    state = model.initial_state(rng)
+    positions = []
+    for _ in range(steps):
+        model.step(state, dt, rng)
+        positions.append((state.x, state.y))
+    return np.array(positions)
+
+
+class TestMobilityModels:
+    def test_initial_state_inside_region(self):
+        rng = np.random.default_rng(1)
+        for model_cls in (StationaryMobility, RandomWalkMobility, RandomWaypointMobility):
+            model = model_cls(REGION)
+            state = model.initial_state(rng)
+            assert REGION.contains(state.x, state.y, closed=True)
+
+    def test_stationary_never_moves(self):
+        model = StationaryMobility(REGION)
+        rng = np.random.default_rng(2)
+        state = model.initial_state(rng)
+        start = (state.x, state.y)
+        positions = run_model(model, seed=2)
+        assert np.allclose(positions, start)
+
+    def test_random_walk_stays_in_region(self):
+        positions = run_model(RandomWalkMobility(REGION, step_std=0.3), seed=3)
+        assert positions[:, 0].min() >= 0.0 and positions[:, 0].max() <= 2.0
+        assert positions[:, 1].min() >= 0.0 and positions[:, 1].max() <= 2.0
+
+    def test_random_walk_moves(self):
+        positions = run_model(RandomWalkMobility(REGION), seed=4)
+        assert np.std(positions[:, 0]) > 0.0
+
+    def test_random_walk_rejects_bad_std(self):
+        with pytest.raises(CraqrError):
+            RandomWalkMobility(REGION, step_std=0.0)
+
+    def test_random_waypoint_reaches_targets(self):
+        model = RandomWaypointMobility(REGION, speed=1.0, pause=0.0)
+        positions = run_model(model, steps=500, seed=5)
+        # The trajectory should cover a substantial part of the region.
+        assert positions[:, 0].max() - positions[:, 0].min() > 0.5
+        assert positions[:, 1].max() - positions[:, 1].min() > 0.5
+
+    def test_random_waypoint_rejects_bad_params(self):
+        with pytest.raises(CraqrError):
+            RandomWaypointMobility(REGION, speed=0.0)
+        with pytest.raises(CraqrError):
+            RandomWaypointMobility(REGION, pause=-1.0)
+
+    def test_random_waypoint_pauses(self):
+        model = RandomWaypointMobility(REGION, speed=10.0, pause=5.0)
+        rng = np.random.default_rng(6)
+        state = model.initial_state(rng)
+        # A huge speed reaches the target in one step, then pauses.
+        model.step(state, 1.0, rng)
+        position_after_arrival = (state.x, state.y)
+        model.step(state, 1.0, rng)
+        assert (state.x, state.y) == position_after_arrival
+
+    def test_gauss_markov_stays_in_region(self):
+        positions = run_model(GaussMarkovMobility(REGION), steps=400, seed=7)
+        assert positions[:, 0].min() >= 0.0 and positions[:, 0].max() <= 2.0
+
+    def test_gauss_markov_rejects_bad_alpha(self):
+        with pytest.raises(CraqrError):
+            GaussMarkovMobility(REGION, alpha=1.5)
+
+    def test_hotspot_mobility_concentrates_near_hotspots(self):
+        hotspots = [(0.5, 0.5, 1.0)]
+        model = HotspotMobility(REGION, hotspots, speed=0.5, jitter=0.02)
+        positions = run_model(model, steps=400, seed=8)
+        # After a while, most positions should be near the single hotspot.
+        tail = positions[200:]
+        distance = np.hypot(tail[:, 0] - 0.5, tail[:, 1] - 0.5)
+        assert np.median(distance) < 0.4
+
+    def test_hotspot_mobility_validation(self):
+        with pytest.raises(CraqrError):
+            HotspotMobility(REGION, [])
+        with pytest.raises(CraqrError):
+            HotspotMobility(REGION, [(0.5, 0.5, 0.0)])
+        with pytest.raises(CraqrError):
+            HotspotMobility(REGION, [(0.5, 0.5, 1.0)], switch_probability=2.0)

@@ -1,0 +1,198 @@
+"""Unit tests for phenomena fields, participation models and incentives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CraqrError
+from repro.geometry import Rectangle
+from repro.sensing import (
+    AlwaysRespond,
+    BernoulliParticipation,
+    ConstantField,
+    DistanceDecayParticipation,
+    FatigueParticipation,
+    FlatIncentive,
+    LinearIncentiveResponse,
+    RainField,
+    TemperatureField,
+    incentive_boost,
+)
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+class TestRainField:
+    def test_probability_high_inside_band(self):
+        field = RainField(REGION, band_width=1.0, period=40.0)
+        center = field.band_center(0.0)
+        assert field.rain_probability(0.0, center, 1.0) > 0.9
+
+    def test_probability_low_far_from_band(self):
+        field = RainField(REGION, band_width=0.5, period=40.0)
+        center = field.band_center(0.0)
+        far = (center + 2.0) % REGION.width
+        assert field.rain_probability(0.0, far, 1.0) < 0.1
+
+    def test_band_moves_over_time(self):
+        field = RainField(REGION, band_width=0.5, period=40.0)
+        assert field.band_center(0.0) != field.band_center(10.0)
+
+    def test_value_is_boolean(self):
+        field = RainField(REGION)
+        assert isinstance(field.value(0.0, 1.0, 1.0, rng=np.random.default_rng(0)), bool)
+
+    def test_validation(self):
+        with pytest.raises(CraqrError):
+            RainField(REGION, band_width=0.0)
+        with pytest.raises(CraqrError):
+            RainField(REGION, p_rain_inside=0.1, p_rain_outside=0.9)
+
+
+class TestTemperatureField:
+    def test_diurnal_cycle(self):
+        field = TemperatureField(REGION, base=20.0, diurnal_amplitude=5.0, period=100.0, noise_std=0.0)
+        assert field.mean_value(25.0, 1.0, 1.0) == pytest.approx(25.0)
+        assert field.mean_value(75.0, 1.0, 1.0) == pytest.approx(15.0)
+
+    def test_heat_island_raises_temperature(self):
+        field = TemperatureField(
+            REGION, base=20.0, diurnal_amplitude=0.0, heat_islands=((2.0, 2.0, 3.0, 0.5),), noise_std=0.0
+        )
+        assert field.mean_value(0.0, 2.0, 2.0) == pytest.approx(23.0)
+        assert field.mean_value(0.0, 0.1, 0.1) < 20.5
+
+    def test_noise_applied(self):
+        field = TemperatureField(REGION, noise_std=1.0)
+        rng = np.random.default_rng(1)
+        values = {field.value(0.0, 1.0, 1.0, rng=rng) for _ in range(5)}
+        assert len(values) > 1
+
+    def test_validation(self):
+        with pytest.raises(CraqrError):
+            TemperatureField(REGION, period=0.0)
+        with pytest.raises(CraqrError):
+            TemperatureField(REGION, noise_std=-1.0)
+        with pytest.raises(CraqrError):
+            TemperatureField(REGION, heat_islands=((0.0, 0.0, 1.0, 0.0),))
+
+    def test_constant_field(self):
+        assert ConstantField(constant=7).value(0.0, 0.0, 0.0) == 7
+
+
+class TestParticipationModels:
+    def test_always_respond(self):
+        decision = AlwaysRespond().decide(0, 0.0)
+        assert decision.responds and decision.latency == 0.0
+
+    def test_bernoulli_probability_zero_latency(self):
+        model = BernoulliParticipation(1.0, mean_latency=0.0, max_probability=1.0)
+        decision = model.decide(0, 0.0, rng=np.random.default_rng(0))
+        assert decision.responds
+        assert decision.latency == 0.0
+
+    def test_bernoulli_respects_probability(self):
+        model = BernoulliParticipation(0.3)
+        rng = np.random.default_rng(1)
+        responses = sum(model.decide(0, 0.0, rng=rng).responds for _ in range(2000))
+        assert responses / 2000 == pytest.approx(0.3, abs=0.05)
+
+    def test_bernoulli_incentive_boost(self):
+        model = BernoulliParticipation(0.3, max_probability=0.9)
+        rng = np.random.default_rng(2)
+        boosted = sum(
+            model.decide(0, 0.0, incentive_multiplier=2.0, rng=rng).responds
+            for _ in range(2000)
+        )
+        assert boosted / 2000 == pytest.approx(0.6, abs=0.05)
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(CraqrError):
+            BernoulliParticipation(0.0)
+        with pytest.raises(CraqrError):
+            BernoulliParticipation(0.5, mean_latency=-1.0)
+        with pytest.raises(CraqrError):
+            BernoulliParticipation(0.5, max_probability=0.2)
+
+    def test_distance_decay(self):
+        model = DistanceDecayParticipation(0.9, decay_scale=0.5)
+        rng = np.random.default_rng(3)
+        model.set_distance(1, 0.0)
+        model.set_distance(2, 5.0)
+        near = sum(model.decide(1, 0.0, rng=rng).responds for _ in range(500))
+        far = sum(model.decide(2, 0.0, rng=rng).responds for _ in range(500))
+        assert near > far * 3
+
+    def test_distance_decay_validation(self):
+        model = DistanceDecayParticipation()
+        with pytest.raises(CraqrError):
+            model.set_distance(1, -1.0)
+
+    def test_fatigue_reduces_probability(self):
+        model = FatigueParticipation(0.8, fatigue_per_request=0.1, recovery_per_time=0.0)
+        rng = np.random.default_rng(4)
+        initial = model.current_probability(1, 0.0)
+        for _ in range(5):
+            model.decide(1, 0.0, rng=rng)
+        assert model.current_probability(1, 0.0) < initial
+
+    def test_fatigue_recovers_over_time(self):
+        model = FatigueParticipation(
+            0.8, fatigue_per_request=0.2, recovery_per_time=0.1, min_probability=0.1
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            model.decide(1, 0.0, rng=rng)
+        tired = model.current_probability(1, 0.0)
+        rested = model.current_probability(1, 100.0)
+        assert rested > tired
+
+    def test_fatigue_floor(self):
+        model = FatigueParticipation(
+            0.5, fatigue_per_request=1.0, recovery_per_time=0.0, min_probability=0.2
+        )
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            model.decide(1, 0.0, rng=rng)
+        assert model.current_probability(1, 0.0) == pytest.approx(0.2)
+
+
+class TestIncentives:
+    def test_boost_is_one_without_payment(self):
+        assert incentive_boost(0.0) == pytest.approx(1.0)
+
+    def test_boost_saturates(self):
+        assert incentive_boost(100.0, saturation=3.0) == pytest.approx(3.0, abs=1e-3)
+
+    def test_boost_monotone(self):
+        assert incentive_boost(1.0) > incentive_boost(0.5) > incentive_boost(0.1)
+
+    def test_boost_validation(self):
+        with pytest.raises(CraqrError):
+            incentive_boost(-1.0)
+        with pytest.raises(CraqrError):
+            incentive_boost(1.0, saturation=0.5)
+
+    def test_flat_incentive_tracks_spending(self):
+        scheme = FlatIncentive(0.5)
+        scheme.payment_for_request()
+        scheme.payment_for_request()
+        assert scheme.total_spent == pytest.approx(1.0)
+        assert scheme.payments == 2
+
+    def test_flat_incentive_multiplier(self):
+        assert FlatIncentive(0.0).multiplier() == pytest.approx(1.0)
+        assert FlatIncentive(1.0).multiplier() > 1.0
+
+    def test_adaptive_controller_raises_payment_on_violation(self):
+        controller = LinearIncentiveResponse(FlatIncentive(0.0), step=0.2, max_payment=1.0)
+        new_payment = controller.adjust(violation_percent=50.0, threshold=5.0)
+        assert new_payment == pytest.approx(0.2)
+
+    def test_adaptive_controller_lowers_payment_when_ok(self):
+        controller = LinearIncentiveResponse(FlatIncentive(0.4), step=0.2, max_payment=1.0)
+        assert controller.adjust(violation_percent=0.0, threshold=5.0) == pytest.approx(0.2)
+
+    def test_adaptive_controller_saturates(self):
+        controller = LinearIncentiveResponse(FlatIncentive(0.9), step=0.2, max_payment=1.0)
+        controller.adjust(violation_percent=50.0, threshold=5.0)
+        assert controller.saturated

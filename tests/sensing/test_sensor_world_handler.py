@@ -1,0 +1,240 @@
+"""Unit tests for mobile sensors, the sensing world and the request/response handler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AcquisitionError, BudgetError, CraqrError
+from repro.geometry import Grid, Rectangle, RectRegion
+from repro.sensing import (
+    AlwaysRespond,
+    BernoulliParticipation,
+    ConstantField,
+    MobileSensor,
+    RainField,
+    RandomWaypointMobility,
+    RequestResponseHandler,
+    SensingWorld,
+    StationaryMobility,
+    TemperatureField,
+    WorldConfig,
+)
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+def make_world(sensor_count=80, response_probability=1.0, seed=3):
+    if response_probability >= 1.0:
+        participation = lambda sensor_id: AlwaysRespond()
+    else:
+        participation = lambda sensor_id: BernoulliParticipation(response_probability)
+    world = SensingWorld(
+        WorldConfig(region=REGION, sensor_count=sensor_count, seed=seed),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.3),
+        participation_factory=participation,
+    )
+    world.register_field(RainField(REGION))
+    world.register_field(TemperatureField(REGION))
+    return world
+
+
+class TestMobileSensor:
+    def make_sensor(self, sensor_id=1):
+        return MobileSensor(
+            sensor_id,
+            StationaryMobility(REGION),
+            participation=AlwaysRespond(),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_memory_capacity_enforced(self):
+        sensor = MobileSensor(
+            1, StationaryMobility(REGION), rng=np.random.default_rng(0), memory_capacity=3
+        )
+        field = ConstantField(constant=1.0)
+        for t in range(6):
+            sensor.sense(field, float(t))
+        assert len(sensor.memory) == 3
+
+    def test_invalid_memory_capacity(self):
+        with pytest.raises(AcquisitionError):
+            MobileSensor(1, StationaryMobility(REGION), memory_capacity=0)
+
+    def test_handle_request_returns_row(self):
+        sensor = self.make_sensor()
+        row = sensor.handle_request(ConstantField(constant=5.0), 2.0)
+        assert row is not None
+        t, x, y, value = row
+        assert t >= 2.0
+        assert value == 5.0
+        assert sensor.requests_received == 1
+        assert sensor.responses_sent == 1
+
+    def test_non_responding_sensor(self):
+        sensor = MobileSensor(
+            1,
+            StationaryMobility(REGION),
+            participation=BernoulliParticipation(0.4),
+            rng=np.random.default_rng(1),
+        )
+        rows = [sensor.handle_request(ConstantField(), float(t)) for t in range(200)]
+        answered = sum(1 for row in rows if row is not None)
+        assert sensor.requests_received == 200
+        assert answered == sensor.responses_sent
+        assert 0 < answered < 200
+
+    def test_move_changes_position_for_mobile_models(self):
+        sensor = MobileSensor(
+            1,
+            RandomWaypointMobility(REGION, speed=1.0, pause=0.0),
+            rng=np.random.default_rng(2),
+        )
+        start = sensor.position
+        for _ in range(20):
+            sensor.move(0.5)
+        assert sensor.position.distance_to(start) > 0.0
+
+    def test_state_snapshot(self):
+        sensor = self.make_sensor()
+        state = sensor.state_at(4.0)
+        assert state.t == 4.0
+        assert state.sensor_id == sensor.sensor_id
+        assert REGION.contains_point(state.location, closed=True)
+
+
+class TestSensingWorld:
+    def test_configuration_validation(self):
+        with pytest.raises(CraqrError):
+            WorldConfig(region=REGION, sensor_count=0)
+        with pytest.raises(CraqrError):
+            WorldConfig(region=REGION, movement_step=0.0)
+
+    def test_sensor_creation(self):
+        world = make_world(sensor_count=25)
+        assert len(world.sensors) == 25
+        for sensor in world.sensors:
+            assert REGION.contains_point(sensor.position, closed=True)
+
+    def test_field_registration_and_lookup(self):
+        world = make_world()
+        assert world.has_attribute("rain")
+        assert world.has_attribute("temp")
+        assert set(world.attributes) == {"rain", "temp"}
+        with pytest.raises(AcquisitionError):
+            world.field_for("humidity")
+
+    def test_advance_moves_clock_and_sensors(self):
+        world = make_world(seed=5)
+        before = world.sensor_positions().copy()
+        world.advance(2.0)
+        assert world.now == pytest.approx(2.0)
+        after = world.sensor_positions()
+        assert not np.allclose(before, after)
+
+    def test_advance_rejects_non_positive(self):
+        with pytest.raises(CraqrError):
+            make_world().advance(0.0)
+
+    def test_sensors_in_region(self):
+        world = make_world(sensor_count=200, seed=6)
+        sub_region = RectRegion(Rectangle(0, 0, 2, 2))
+        inside = world.sensors_in(sub_region)
+        assert 0 < len(inside) < 200
+        for sensor in inside:
+            assert sub_region.contains(sensor.position.x, sensor.position.y, closed=True)
+
+    def test_density_snapshot_sums_to_sensor_count(self):
+        world = make_world(sensor_count=150, seed=7)
+        counts = world.density_snapshot(4, 4)
+        assert counts.sum() == 150
+
+    def test_density_snapshot_validation(self):
+        with pytest.raises(CraqrError):
+            make_world().density_snapshot(0, 4)
+
+
+class TestRequestResponseHandler:
+    def make_handler(self, world=None, default_budget=30):
+        world = world or make_world()
+        grid = Grid(REGION, side=4)
+        return RequestResponseHandler(world, grid, default_budget=default_budget), world, grid
+
+    def test_budget_defaults_and_overrides(self):
+        handler, _, grid = self.make_handler(default_budget=25)
+        cell = grid.cell(0, 0)
+        assert handler.budget_for("rain", cell.key) == 25
+        handler.set_budget("rain", cell.key, 60)
+        assert handler.budget_for("rain", cell.key) == 60
+        assert ("rain", cell.key) in handler.budgets()
+
+    def test_budget_validation(self):
+        handler, _, grid = self.make_handler()
+        with pytest.raises(BudgetError):
+            handler.set_budget("rain", grid.cell(0, 0).key, 0)
+        with pytest.raises(BudgetError):
+            RequestResponseHandler(make_world(), grid, default_budget=0)
+
+    def test_acquire_cell_respects_budget(self):
+        handler, world, grid = self.make_handler(default_budget=10)
+        cell = grid.cell(1, 1)
+        items = handler.acquire_cell("temp", cell, duration=1.0)
+        # With AlwaysRespond participation every request yields one tuple.
+        assert len(items) == 10
+        assert handler.total_requests == 10
+        assert handler.total_responses == 10
+
+    def test_acquire_cell_tuples_carry_attribute_and_cell(self):
+        handler, _, grid = self.make_handler(default_budget=5)
+        cell = grid.cell(2, 2)
+        items = handler.acquire_cell("rain", cell, duration=1.0)
+        for item in items:
+            assert item.attribute == "rain"
+            assert item.metadata["cell"] == cell.key
+            assert item.sensor_id is not None
+
+    def test_acquire_cell_empty_cell_returns_nothing(self):
+        # A world with a single stationary sensor leaves most cells empty.
+        world = SensingWorld(
+            WorldConfig(region=REGION, sensor_count=1, seed=1),
+            mobility_factory=lambda r: StationaryMobility(r),
+        )
+        world.register_field(RainField(REGION))
+        grid = Grid(REGION, side=4)
+        handler = RequestResponseHandler(world, grid, default_budget=5)
+        empty_cells = [
+            cell for cell in grid.cells() if not world.sensors_in_rectangle(cell.rect)
+        ]
+        assert empty_cells, "expected at least one empty cell"
+        assert handler.acquire_cell("rain", empty_cells[0], duration=1.0) == []
+
+    def test_acquire_cell_duration_validation(self):
+        handler, _, grid = self.make_handler()
+        with pytest.raises(AcquisitionError):
+            handler.acquire_cell("rain", grid.cell(0, 0), duration=0.0)
+
+    def test_acquire_unknown_attribute_raises(self):
+        handler, _, grid = self.make_handler()
+        with pytest.raises(AcquisitionError):
+            handler.acquire_cell("humidity", grid.cell(0, 0), duration=1.0)
+
+    def test_acquire_round_reports(self):
+        handler, _, grid = self.make_handler(default_budget=8)
+        cells = [grid.cell(0, 0), grid.cell(1, 0)]
+        tuples_by_cell, report = handler.acquire({"rain": cells, "temp": cells}, duration=1.0)
+        assert report.requests_sent == 8 * 4
+        assert report.responses_received == sum(len(v) for v in tuples_by_cell.values())
+        assert 0.0 <= report.response_rate <= 1.0
+        assert handler.rounds == 1
+
+    def test_acquire_with_lossy_participation(self):
+        world = make_world(response_probability=0.5, seed=9)
+        grid = Grid(REGION, side=4)
+        handler = RequestResponseHandler(world, grid, default_budget=40)
+        _, report = handler.acquire({"rain": [grid.cell(1, 1)]}, duration=1.0)
+        assert report.responses_received < report.requests_sent
+
+    def test_tuples_sorted_by_time_within_cell(self):
+        handler, _, grid = self.make_handler(default_budget=20)
+        tuples_by_cell, _ = handler.acquire({"temp": [grid.cell(1, 1)]}, duration=1.0)
+        for items in tuples_by_cell.values():
+            times = [item.t for item in items]
+            assert times == sorted(times)

@@ -1,0 +1,203 @@
+"""Unit tests for the storage substrate (stores, buffers, index)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.geometry import Rectangle
+from repro.storage import (
+    DiscardedStore,
+    QueryResultBuffer,
+    SpatioTemporalIndex,
+    TupleStore,
+)
+from repro.streams import SensorTuple
+
+REGION = Rectangle(0, 0, 4, 4)
+
+
+def make_tuple(tuple_id=0, attribute="rain", t=0.0, x=0.5, y=0.5, value=None):
+    return SensorTuple(tuple_id=tuple_id, attribute=attribute, t=t, x=x, y=y, value=value)
+
+
+class TestSpatioTemporalIndex:
+    def test_insert_and_query(self):
+        index = SpatioTemporalIndex(REGION, nx=4, ny=4)
+        index.insert(make_tuple(x=0.5, y=0.5))
+        index.insert(make_tuple(x=3.5, y=3.5))
+        hits = index.query(Rectangle(0, 0, 1, 1))
+        assert len(hits) == 1
+        assert index.count == 2
+
+    def test_query_filters_by_time_and_attribute(self):
+        index = SpatioTemporalIndex(REGION)
+        index.insert(make_tuple(t=1.0, attribute="rain"))
+        index.insert(make_tuple(t=5.0, attribute="temp"))
+        assert len(index.query(Rectangle(0, 0, 4, 4), t_start=0.0, t_end=2.0)) == 1
+        assert len(index.query(Rectangle(0, 0, 4, 4), attribute="temp")) == 1
+
+    def test_results_sorted_by_time(self):
+        index = SpatioTemporalIndex(REGION)
+        index.insert(make_tuple(t=3.0))
+        index.insert(make_tuple(t=1.0))
+        times = [item.t for item in index.query(Rectangle(0, 0, 4, 4))]
+        assert times == [1.0, 3.0]
+
+    def test_invalid_grid(self):
+        with pytest.raises(StorageError):
+            SpatioTemporalIndex(REGION, nx=0)
+
+    def test_clear(self):
+        index = SpatioTemporalIndex(REGION)
+        index.insert_many([make_tuple(tuple_id=i) for i in range(3)])
+        index.clear()
+        assert index.count == 0
+        assert index.query(Rectangle(0, 0, 4, 4)) == []
+
+
+class TestTupleStore:
+    def test_insert_and_len(self):
+        store = TupleStore()
+        store.insert_many([make_tuple(tuple_id=i) for i in range(5)])
+        assert len(store) == 5
+        assert store.stats().inserted_total == 5
+
+    def test_capacity_evicts_fifo(self):
+        store = TupleStore(capacity=3)
+        for i in range(5):
+            store.insert(make_tuple(tuple_id=i, t=float(i)))
+        assert len(store) == 3
+        assert [item.tuple_id for item in store.all()] == [2, 3, 4]
+        assert store.stats().evicted_total == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            TupleStore(capacity=0)
+
+    def test_attribute_and_time_filters(self):
+        store = TupleStore()
+        store.insert(make_tuple(attribute="rain", t=1.0))
+        store.insert(make_tuple(attribute="temp", t=2.0))
+        assert len(store.for_attribute("rain")) == 1
+        assert len(store.in_time_window(1.5, 3.0)) == 1
+        with pytest.raises(StorageError):
+            store.in_time_window(3.0, 1.0)
+
+    def test_in_rectangle_without_index(self):
+        store = TupleStore()
+        store.insert(make_tuple(x=0.5, y=0.5))
+        store.insert(make_tuple(x=3.5, y=3.5))
+        assert len(store.in_rectangle(Rectangle(0, 0, 1, 1))) == 1
+
+    def test_in_rectangle_with_index(self):
+        store = TupleStore(region=REGION)
+        store.insert(make_tuple(x=0.5, y=0.5, attribute="rain"))
+        store.insert(make_tuple(x=3.5, y=3.5, attribute="temp"))
+        hits = store.in_rectangle(Rectangle(0, 0, 1, 1))
+        assert len(hits) == 1
+        assert hits[0].attribute == "rain"
+
+    def test_clear_keeps_statistics(self):
+        store = TupleStore()
+        store.insert(make_tuple())
+        store.clear()
+        assert len(store) == 0
+        assert store.stats().inserted_total == 1
+
+    def test_stats_attributes(self):
+        store = TupleStore()
+        store.insert(make_tuple(attribute="rain"))
+        store.insert(make_tuple(attribute="temp"))
+        assert store.stats().attributes == ("rain", "temp")
+
+
+class TestQueryResultBuffer:
+    def make_buffer(self, rate=10.0, area=4.0, capacity=None):
+        return QueryResultBuffer(1, requested_rate=rate, region_area=area, capacity=capacity)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            QueryResultBuffer(1, requested_rate=0.0, region_area=1.0)
+        with pytest.raises(StorageError):
+            QueryResultBuffer(1, requested_rate=1.0, region_area=0.0)
+        with pytest.raises(StorageError):
+            QueryResultBuffer(1, requested_rate=1.0, region_area=1.0, capacity=0)
+
+    def test_append_and_batches(self):
+        buffer = self.make_buffer()
+        for i in range(5):
+            buffer.append(make_tuple(tuple_id=i))
+        assert buffer.end_batch() == 5
+        buffer.append(make_tuple(tuple_id=6))
+        assert buffer.end_batch() == 1
+        assert buffer.per_batch_counts == [5, 1]
+        assert buffer.total_tuples == 6
+
+    def test_capacity_truncates_retained_items(self):
+        buffer = self.make_buffer(capacity=3)
+        for i in range(10):
+            buffer.append(make_tuple(tuple_id=i))
+        assert len(buffer) == 3
+        assert buffer.total_tuples == 10
+
+    def test_rate_over(self):
+        buffer = self.make_buffer(rate=10.0, area=2.0)
+        for i in range(40):
+            buffer.append(make_tuple(tuple_id=i))
+        estimate = buffer.rate_over(2.0)
+        assert estimate.achieved_rate == pytest.approx(10.0)
+        assert estimate.relative_error == pytest.approx(0.0)
+
+    def test_rate_over_batches(self):
+        buffer = self.make_buffer(rate=5.0, area=1.0)
+        for batch in range(4):
+            for i in range(5):
+                buffer.append(make_tuple(tuple_id=batch * 10 + i))
+            buffer.end_batch()
+        estimate = buffer.rate_over_batches(1.0)
+        assert estimate.achieved_rate == pytest.approx(5.0)
+        last_two = buffer.rate_over_batches(1.0, last=2)
+        assert last_two.tuples == 10
+
+    def test_rate_over_batches_requires_history(self):
+        with pytest.raises(StorageError):
+            self.make_buffer().rate_over_batches(1.0)
+
+    def test_values_and_event_batch(self):
+        buffer = self.make_buffer()
+        buffer.append(make_tuple(value=1.5, t=1.0))
+        buffer.append(make_tuple(value=2.5, t=2.0))
+        assert buffer.values() == [1.5, 2.5]
+        assert len(buffer.to_event_batch()) == 2
+
+
+class TestDiscardedStore:
+    def test_record_and_counts(self):
+        store = DiscardedStore()
+        store.record("F:rain", make_tuple())
+        store.record("F:rain", make_tuple(tuple_id=2))
+        store.record("T:temp", make_tuple(tuple_id=3))
+        assert store.total_discarded == 3
+        assert store.counts() == {"F:rain": 2, "T:temp": 1}
+        assert set(store.operators) == {"F:rain", "T:temp"}
+
+    def test_subscriber_callback(self):
+        store = DiscardedStore()
+        callback = store.subscriber_for("F:rain")
+        callback(make_tuple())
+        assert store.counts()["F:rain"] == 1
+
+    def test_capacity_per_operator(self):
+        store = DiscardedStore(capacity_per_operator=2)
+        for i in range(5):
+            store.record("op", make_tuple(tuple_id=i))
+        assert len(store.for_operator("op")) == 2
+        assert store.total_discarded == 5
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            DiscardedStore(capacity_per_operator=0)
+        with pytest.raises(StorageError):
+            DiscardedStore().record("", make_tuple())
+
+    def test_unknown_operator_returns_empty(self):
+        assert DiscardedStore().for_operator("missing") == []

@@ -1,0 +1,263 @@
+"""Unit tests for stream operators, topologies and the routing engine."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.geometry import Rectangle
+from repro.pointprocess import EventBatch, HomogeneousMDPP
+import numpy as np
+
+from repro.streams import (
+    BatchSource,
+    CallbackSink,
+    CollectingSink,
+    CountingSink,
+    FilterOperator,
+    IterableSource,
+    MapOperator,
+    PassThroughOperator,
+    SensorTuple,
+    StreamEngine,
+    StreamTopology,
+)
+
+
+def make_tuple(tuple_id=0, attribute="rain", t=1.0, x=0.5, y=0.5, value=None):
+    return SensorTuple(tuple_id=tuple_id, attribute=attribute, t=t, x=x, y=y, value=value)
+
+
+class TestBasicOperators:
+    def test_pass_through_forwards(self):
+        op = PassThroughOperator()
+        sink = CollectingSink().attach(op.output)
+        op.accept(make_tuple())
+        assert len(sink) == 1
+        assert op.tuples_in == 1 and op.tuples_out == 1
+
+    def test_filter_keeps_matching(self):
+        op = FilterOperator(lambda item: item.attribute == "rain")
+        sink = CollectingSink().attach(op.output)
+        op.accept(make_tuple(attribute="rain"))
+        op.accept(make_tuple(attribute="temp"))
+        assert len(sink) == 1
+        assert sink.items[0].attribute == "rain"
+
+    def test_map_transforms(self):
+        op = MapOperator(lambda item: item.with_value(42))
+        sink = CollectingSink().attach(op.output)
+        op.accept(make_tuple(value=None))
+        assert sink.items[0].value == 42
+
+    def test_operator_names_are_unique(self):
+        a = PassThroughOperator()
+        b = PassThroughOperator()
+        assert a.name != b.name
+        assert a.operator_id != b.operator_id
+
+    def test_emit_to_missing_output_raises(self):
+        op = PassThroughOperator()
+        with pytest.raises(StreamError):
+            op.emit(make_tuple(), output_index=3)
+
+    def test_describe_contains_symbol(self):
+        assert "I" in PassThroughOperator().describe()
+
+
+class TestSinks:
+    def test_collecting_sink(self):
+        sink = CollectingSink()
+        sink(make_tuple(t=1.0))
+        sink(make_tuple(t=2.0))
+        assert len(sink) == 2
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_collecting_sink_to_event_batch(self):
+        sink = CollectingSink()
+        sink(make_tuple(t=1.0, x=0.1, y=0.2))
+        batch = sink.to_event_batch()
+        assert len(batch) == 1
+        assert batch.t[0] == 1.0
+
+    def test_counting_sink(self):
+        sink = CountingSink()
+        sink(make_tuple(t=5.0))
+        assert sink.count == 1
+        assert sink.last_timestamp == 5.0
+
+    def test_callback_sink(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink(make_tuple())
+        assert sink.count == 1
+        assert len(seen) == 1
+
+
+class TestSources:
+    def test_iterable_source(self):
+        items = [make_tuple(tuple_id=i) for i in range(4)]
+        source = IterableSource(items)
+        sink = CollectingSink().attach(source.output)
+        assert source.run() == 4
+        assert len(sink) == 4
+
+    def test_iterable_source_rejects_non_tuples(self):
+        source = IterableSource(["not a tuple"])
+        with pytest.raises(StreamError):
+            source.run()
+
+    def test_batch_source_converts_events(self):
+        batch = HomogeneousMDPP(50.0, Rectangle(0, 0, 1, 1)).sample(
+            1.0, rng=np.random.default_rng(0)
+        )
+        source = BatchSource("temp", value_fn=lambda t, x, y: 20.0)
+        sink = CollectingSink().attach(source.output)
+        pushed = source.push_batch(batch)
+        assert pushed == len(batch)
+        assert all(item.attribute == "temp" for item in sink.items)
+        assert all(item.value == 20.0 for item in sink.items)
+        # Tuples arrive in time order.
+        times = [item.t for item in sink.items]
+        assert times == sorted(times)
+
+    def test_batch_source_requires_attribute(self):
+        with pytest.raises(StreamError):
+            BatchSource("")
+
+    def test_batch_source_empty_batch(self):
+        source = BatchSource("rain")
+        assert source.push_batch(EventBatch.empty()) == 0
+
+
+class TestStreamTopology:
+    def test_chain_construction_and_injection(self):
+        topology = StreamTopology("cell")
+        first = topology.add_operator(PassThroughOperator("a"))
+        second = topology.add_operator(PassThroughOperator("b"), upstream=first.output)
+        sink = CollectingSink().attach(second.output)
+        topology.inject(make_tuple())
+        assert len(sink) == 1
+        assert len(topology) == 2
+
+    def test_duplicate_operator_rejected(self):
+        topology = StreamTopology("cell")
+        op = PassThroughOperator("dup")
+        topology.add_operator(op)
+        with pytest.raises(StreamError):
+            topology.add_operator(op)
+
+    def test_foreign_upstream_rejected(self):
+        topology = StreamTopology("cell")
+        other = StreamTopology("other")
+        foreign = other.add_operator(PassThroughOperator("x"))
+        with pytest.raises(StreamError):
+            topology.add_operator(PassThroughOperator("y"), upstream=foreign.output)
+
+    def test_branching_points_detected(self):
+        topology = StreamTopology("cell")
+        root = topology.add_operator(PassThroughOperator("root"))
+        topology.add_operator(PassThroughOperator("left"), upstream=root.output)
+        topology.add_operator(PassThroughOperator("right"), upstream=root.output)
+        points = topology.branching_points()
+        assert len(points) == 1
+        assert points[0].fan_out == 2
+
+    def test_chain_from_entry_stops_at_branch(self):
+        topology = StreamTopology("cell")
+        a = topology.add_operator(PassThroughOperator("a"))
+        b = topology.add_operator(PassThroughOperator("b"), upstream=a.output)
+        topology.add_operator(PassThroughOperator("c"), upstream=b.output)
+        topology.add_operator(PassThroughOperator("d"), upstream=b.output)
+        chain = [op.name for op in topology.chain_from_entry()]
+        assert chain == ["a", "b"]
+
+    def test_remove_leaf_operator(self):
+        topology = StreamTopology("cell")
+        a = topology.add_operator(PassThroughOperator("a"))
+        topology.add_operator(PassThroughOperator("b"), upstream=a.output)
+        topology.remove_operator("b")
+        assert not topology.has_operator("b")
+
+    def test_remove_operator_with_consumers_rejected(self):
+        topology = StreamTopology("cell")
+        a = topology.add_operator(PassThroughOperator("a"))
+        topology.add_operator(PassThroughOperator("b"), upstream=a.output)
+        with pytest.raises(StreamError):
+            topology.remove_operator("a")
+
+    def test_rewire(self):
+        topology = StreamTopology("cell")
+        a = topology.add_operator(PassThroughOperator("a"))
+        b = topology.add_operator(PassThroughOperator("b"))
+        c = topology.add_operator(PassThroughOperator("c"), upstream=a.output)
+        topology.rewire("c", b.output)
+        sink = CollectingSink().attach(c.output)
+        # Tuples now reach c through b, not a.
+        b.accept(make_tuple())
+        assert len(sink) == 1
+
+    def test_describe_mentions_operators(self):
+        topology = StreamTopology("cell")
+        topology.add_operator(PassThroughOperator("visible"))
+        assert "visible" in topology.describe()
+
+    def test_unknown_operator_lookup_raises(self):
+        with pytest.raises(StreamError):
+            StreamTopology("cell").operator("missing")
+
+
+class TestStreamEngine:
+    def make_topology(self, name):
+        topology = StreamTopology(name)
+        op = topology.add_operator(PassThroughOperator(f"{name}-op"))
+        sink = CollectingSink().attach(op.output)
+        return topology, sink
+
+    def test_routing_by_key(self):
+        engine = StreamEngine(lambda item: item.attribute)
+        rain_topo, rain_sink = self.make_topology("rain")
+        engine.register("rain", rain_topo)
+        assert engine.route(make_tuple(attribute="rain"))
+        assert not engine.route(make_tuple(attribute="temp"))
+        assert len(rain_sink) == 1
+        assert engine.routed == 1
+        assert engine.unrouted == 1
+
+    def test_route_many(self):
+        engine = StreamEngine(lambda item: item.attribute)
+        topo, _ = self.make_topology("rain")
+        engine.register("rain", topo)
+        routed, unrouted = engine.route_many(
+            [make_tuple(attribute="rain"), make_tuple(attribute="temp")]
+        )
+        assert (routed, unrouted) == (1, 1)
+
+    def test_get_or_create(self):
+        engine = StreamEngine(lambda item: item.attribute)
+        topo, _ = self.make_topology("rain")
+        created = engine.get_or_create("rain", lambda: topo)
+        assert created is topo
+        again = engine.get_or_create("rain", lambda: StreamTopology("other"))
+        assert again is topo
+
+    def test_duplicate_register_rejected(self):
+        engine = StreamEngine(lambda item: item.attribute)
+        topo, _ = self.make_topology("rain")
+        engine.register("rain", topo)
+        with pytest.raises(StreamError):
+            engine.register("rain", topo)
+
+    def test_unregister(self):
+        engine = StreamEngine(lambda item: item.attribute)
+        topo, _ = self.make_topology("rain")
+        engine.register("rain", topo)
+        assert engine.unregister("rain") is topo
+        with pytest.raises(StreamError):
+            engine.unregister("rain")
+
+    def test_contains_and_len(self):
+        engine = StreamEngine(lambda item: item.attribute)
+        topo, _ = self.make_topology("rain")
+        engine.register("rain", topo)
+        assert "rain" in engine
+        assert len(engine) == 1

@@ -1,0 +1,94 @@
+"""Unit tests for batch, tumbling and sliding windows."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import BatchWindow, SensorTuple, SlidingWindow, TumblingWindow
+
+
+def make_tuple(t, tuple_id=0):
+    return SensorTuple(tuple_id=tuple_id, attribute="rain", t=t, x=0.0, y=0.0)
+
+
+class TestBatchWindow:
+    def test_rejects_bad_size(self):
+        with pytest.raises(StreamError):
+            BatchWindow(0)
+
+    def test_emits_when_full(self):
+        window = BatchWindow(3)
+        assert window.add(make_tuple(1.0)) is None
+        assert window.add(make_tuple(2.0)) is None
+        batch = window.add(make_tuple(3.0))
+        assert batch is not None and len(batch) == 3
+        assert window.pending == 0
+
+    def test_flush_partial(self):
+        window = BatchWindow(5)
+        window.add(make_tuple(1.0))
+        window.add(make_tuple(2.0))
+        assert len(window.flush()) == 2
+        assert window.pending == 0
+
+    def test_flush_empty(self):
+        assert BatchWindow(2).flush() == []
+
+
+class TestTumblingWindow:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(StreamError):
+            TumblingWindow(0.0)
+
+    def test_emits_on_window_boundary(self):
+        window = TumblingWindow(1.0)
+        assert window.add(make_tuple(0.2)) is None
+        assert window.add(make_tuple(0.8)) is None
+        emitted = window.add(make_tuple(1.1))
+        assert emitted is not None and len(emitted) == 2
+        assert window.pending == 1
+
+    def test_long_gap_advances_multiple_windows(self):
+        window = TumblingWindow(1.0)
+        window.add(make_tuple(0.5))
+        window.add(make_tuple(5.5))
+        assert window.window_start == pytest.approx(5.0)
+
+    def test_flush_advances_window(self):
+        window = TumblingWindow(2.0)
+        window.add(make_tuple(0.5))
+        batch = window.flush()
+        assert len(batch) == 1
+        assert window.window_start == pytest.approx(2.0)
+
+    def test_late_tuple_joins_open_window(self):
+        window = TumblingWindow(1.0)
+        window.add(make_tuple(0.9))
+        window.add(make_tuple(0.1))
+        assert window.pending == 2
+
+
+class TestSlidingWindow:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(StreamError):
+            SlidingWindow(0.0)
+
+    def test_keeps_recent_tuples(self):
+        window = SlidingWindow(1.0)
+        window.add(make_tuple(0.0))
+        window.add(make_tuple(0.5))
+        window.add(make_tuple(1.2))
+        times = [item.t for item in window.contents()]
+        assert times == [0.5, 1.2]
+        assert len(window) == 2
+
+    def test_all_within_duration_are_kept(self):
+        window = SlidingWindow(10.0)
+        for i in range(5):
+            window.add(make_tuple(float(i)))
+        assert len(window) == 5
+
+    def test_contents_in_arrival_order(self):
+        window = SlidingWindow(10.0)
+        for t in (1.0, 2.0, 3.0):
+            window.add(make_tuple(t))
+        assert [item.t for item in window.contents()] == [1.0, 2.0, 3.0]

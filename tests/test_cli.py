@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+
+
+class _Capture:
+    def __init__(self):
+        self.lines = []
+
+    def __call__(self, text):
+        self.lines.append(str(text))
+
+    @property
+    def text(self):
+        return "\n".join(self.lines)
+
+
+class TestParser:
+    def test_run_requires_query(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--query", "ACQUIRE rain FROM RECT(0,0,2,2) RATE 10"])
+        assert args.scenario == "rain-temperature"
+        assert args.batches == 20
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "mars", "--query", "x"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_scenarios_lists_all(self):
+        capture = _Capture()
+        assert main(["scenarios"], out=capture) == 0
+        for name in SCENARIOS:
+            assert name in capture.text
+
+    def test_attributes_lists_catalog(self):
+        capture = _Capture()
+        assert main(["attributes"], out=capture) == 0
+        assert "rain" in capture.text
+        assert "temp" in capture.text
+        assert "human" in capture.text
+
+    def test_run_end_to_end(self):
+        capture = _Capture()
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "uniform",
+                "--sensors",
+                "120",
+                "--batches",
+                "4",
+                "--seed",
+                "3",
+                "--show-samples",
+                "2",
+                "--query",
+                "ACQUIRE rain FROM RECT(0,0,2,2) AT RATE 8 PER KM2 PER MIN AS Storm",
+                "--query",
+                "ACQUIRE temp FROM RECT(1,1,3,3) AT RATE 5 PER KM2 PER MIN AS Heat",
+            ],
+            out=capture,
+        )
+        assert code == 0
+        assert "Storm" in capture.text
+        assert "Heat" in capture.text
+        assert "achieved rate" in capture.text
+        assert "first tuples of Storm" in capture.text
+
+    def test_run_rejects_unknown_attribute(self):
+        capture = _Capture()
+        code = main(
+            [
+                "run",
+                "--batches",
+                "2",
+                "--query",
+                "ACQUIRE humidity FROM RECT(0,0,2,2) RATE 5",
+            ],
+            out=capture,
+        )
+        assert code == 1
+        assert "error" in capture.text
+
+    def test_run_rejects_bad_query_text(self):
+        capture = _Capture()
+        code = main(["run", "--batches", "2", "--query", "SELECT * FROM rain"], out=capture)
+        assert code == 1
+        assert "error" in capture.text
+
+    def test_run_rejects_non_positive_batches(self):
+        capture = _Capture()
+        code = main(
+            ["run", "--batches", "0", "--query", "ACQUIRE rain FROM RECT(0,0,2,2) RATE 5"],
+            out=capture,
+        )
+        assert code == 1
