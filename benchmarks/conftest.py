@@ -4,15 +4,24 @@ Every benchmark regenerates one of the paper's figures or quantitative
 claims (see DESIGN.md section 3 and EXPERIMENTS.md).  The reproduced tables
 are printed to stdout and also written to ``benchmarks/results/`` so the
 numbers quoted in EXPERIMENTS.md can be re-derived.
+
+Scalar performance metrics recorded through the ``record_metric`` fixture
+are additionally aggregated into ``BENCH_columnar.json`` at the repository
+root at the end of the session, so the perf trajectory (e.g. the columnar
+fast path's speedup) is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+from typing import Dict
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_columnar.json"
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +41,48 @@ def record_table(results_dir):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return _record
+
+
+#: Session-wide accumulator behind the ``record_metric`` fixture.
+_METRIC_STORE: Dict[str, dict] = {}
+
+
+@pytest.fixture
+def record_metric():
+    """Return a callable recording one scalar benchmark metric.
+
+    Metrics land in ``BENCH_columnar.json`` when the session ends (see
+    :func:`pytest_sessionfinish` below).
+    """
+
+    def _record(name: str, value: float, *, unit: str = "", detail: dict = None) -> None:
+        _METRIC_STORE[name] = {
+            "value": float(value),
+            "unit": unit,
+            "detail": detail or {},
+        }
+
+    return _record
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    store = _METRIC_STORE
+    if not store or exitstatus != 0:
+        # Never let a failed or interrupted run overwrite the tracked
+        # cross-PR perf trajectory with partial numbers.
+        return
+    existing = {}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):  # pragma: no cover - corrupt file
+            existing = {}
+    metrics = existing.get("metrics", {})
+    metrics.update(store)
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "metrics": metrics,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -110,6 +110,16 @@ class EngineConfig:
     online_estimation:
         When true, Flatten operators refresh their intensity estimate with
         online SGD over sliding windows instead of batch MLE.
+    columnar:
+        When true (the default) each batch window flows through the engine
+        as vectorised :class:`~repro.streams.TupleBatch` columns — the
+        handler samples whole cell rounds at once, the fabricator buckets
+        tuples with one grid lookup per batch, PMAT operators compose numpy
+        keep-masks, and result buffers ingest batches.  ``False`` selects
+        the per-tuple object path; for a given seed both paths deliver
+        identical tuples, so the flag is a pure performance switch (keep
+        the object path for debugging individual tuple flows or for custom
+        operators without a batch implementation).
     """
 
     grid_cells: int = DEFAULT_GRID_CELLS
@@ -118,6 +128,7 @@ class EngineConfig:
     seed: Optional[int] = None
     store_discarded: bool = False
     online_estimation: bool = False
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.grid_cells <= 0:

@@ -25,7 +25,7 @@ budgets from the rate-violation feedback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from ..errors import PlanningError, QueryError
 from ..geometry import Grid
 from ..sensing import HandlerReport, IncentiveScheme, RequestResponseHandler, SensingWorld
 from ..storage import DiscardedStore, QueryResultBuffer, RateEstimate
-from ..streams import SensorTuple
+from ..streams import SensorTuple, TupleBatch
 from .budget import BudgetDecision, BudgetTuner
 from .fabricator import BatchResult, StreamFabricator
 from .planner import PlannerStats, QueryPlanner
@@ -61,6 +61,28 @@ class EngineReport:
     def tuples_delivered(self) -> int:
         """Tuples delivered to query result streams this batch."""
         return self.fabrication.tuples_delivered
+
+
+class _ReportsView(Sequence):
+    """A live, read-only view over the engine's report list.
+
+    Returned by :attr:`CraqrEngine.reports` so every property access costs
+    O(1) instead of copying a list that grows with the number of batches.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: List[EngineReport]) -> None:
+        self._items = items
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ReportsView({len(self._items)} reports)"
 
 
 class QueryHandle:
@@ -143,6 +165,7 @@ class CraqrEngine:
         self._buffers: Dict[int, QueryResultBuffer] = {}
         self._handles: Dict[int, QueryHandle] = {}
         self._reports: List[EngineReport] = []
+        self._reports_view = _ReportsView(self._reports)
         self._batch_index = 0
 
     # ------------------------------------------------------------------
@@ -189,9 +212,9 @@ class CraqrEngine:
         return self._discarded
 
     @property
-    def reports(self) -> List[EngineReport]:
-        """Reports of every batch run so far."""
-        return list(self._reports)
+    def reports(self) -> Sequence[EngineReport]:
+        """Reports of every batch run so far (a live, read-only view)."""
+        return self._reports_view
 
     @property
     def batches_run(self) -> int:
@@ -231,7 +254,16 @@ class CraqrEngine:
             target.append(item)
             self._fabricator.register_delivery(query_id)
 
-        touched = self._planner.insert_query(query, on_result=deliver)
+        def deliver_batch(query_id: int, batch: TupleBatch) -> None:
+            target = self._buffers.get(query_id)
+            if target is None:
+                return
+            target.extend_batch(batch)
+            self._fabricator.register_delivery_batch(query_id, len(batch))
+
+        touched = self._planner.insert_query(
+            query, on_result=deliver, on_result_batch=deliver_batch
+        )
         # Seed the handler's budget for every (attribute, cell) pair the
         # query activates so the first batch already respects the config.
         for key in touched:
@@ -252,15 +284,28 @@ class CraqrEngine:
     # Batch execution
     # ------------------------------------------------------------------
     def run_batch(self) -> EngineReport:
-        """Acquire and fabricate one batch window."""
+        """Acquire and fabricate one batch window.
+
+        With ``config.columnar`` (the default) acquisition and fabrication
+        move whole :class:`TupleBatch` columns; otherwise every tuple is an
+        individual object.  Both paths are seeded identically and deliver
+        the same tuples.
+        """
         duration = self._config.batch_duration
         attribute_cells = self._planner.attribute_cells()
-        tuples_by_cell, handler_report = self._handler.acquire(
-            attribute_cells, duration=duration
-        )
-        # Move the world forward to the end of the batch window.
-        self._world.advance(duration)
-        fabrication = self._fabricator.process_batch(tuples_by_cell)
+        if self._config.columnar:
+            batches, handler_report = self._handler.acquire_batches(
+                attribute_cells, duration=duration
+            )
+            self._world.advance(duration)
+            fabrication = self._fabricator.process_batch_columnar(batches)
+        else:
+            tuples_by_cell, handler_report = self._handler.acquire(
+                attribute_cells, duration=duration
+            )
+            # Move the world forward to the end of the batch window.
+            self._world.advance(duration)
+            fabrication = self._fabricator.process_batch(tuples_by_cell)
         decisions = self._tuner.tune(fabrication.violations)
         for buffer in self._buffers.values():
             buffer.end_batch()

@@ -22,9 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import PlanningError
 from ..geometry import Grid
-from ..streams import SensorTuple
+from ..streams import SensorTuple, TupleBatch
 from .planner import QueryPlanner
 
 CellKey = Tuple[int, int]
@@ -94,6 +96,15 @@ class StreamFabricator:
         self._delivered_per_query[query_id] = self._delivered_per_query.get(query_id, 0) + 1
         self._current_delivered[query_id] = self._current_delivered.get(query_id, 0) + 1
 
+    def register_delivery_batch(self, query_id: int, count: int) -> None:
+        """Account a whole delivered batch for a query in one call."""
+        self._delivered_per_query[query_id] = (
+            self._delivered_per_query.get(query_id, 0) + count
+        )
+        self._current_delivered[query_id] = (
+            self._current_delivered.get(query_id, 0) + count
+        )
+
     def map_tuples(
         self, tuples_by_cell: Dict[CellKey, List[SensorTuple]]
     ) -> Dict[CellKey, List[SensorTuple]]:
@@ -112,6 +123,58 @@ class StreamFabricator:
         for items in mapped.values():
             items.sort(key=lambda item: item.t)
         return mapped
+
+    def map_batches(
+        self, batch_per_attribute: Dict[str, TupleBatch]
+    ) -> Dict[CellKey, Dict[str, TupleBatch]]:
+        """The columnar map phase: bucket whole batches by grid cell.
+
+        For each attribute the batch's coordinates go through one vectorised
+        :meth:`Grid.cells_for_points` call; tuples are then grouped per cell
+        with a single lexsort (cell code major, time minor), so every
+        resulting per-cell slice is already time-ordered — no per-tuple
+        ``locate`` calls and no comparison sort of object lists.
+        """
+        side = self._grid.side
+        mapped: Dict[CellKey, Dict[str, TupleBatch]] = {}
+        for attribute, batch in batch_per_attribute.items():
+            if batch.is_empty:
+                continue
+            q, r = self._grid.cells_for_points(batch.x, batch.y)
+            codes = r * side + q
+            order = np.lexsort((batch.t, codes))
+            sorted_codes = codes[order]
+            boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [sorted_codes.shape[0]]))
+            for start, end in zip(starts, ends):
+                code = int(sorted_codes[start])
+                key = (code % side, code // side)
+                mapped.setdefault(key, {})[attribute] = batch.select(
+                    order[start:end]
+                )
+        return mapped
+
+    def process_batch_columnar(
+        self, batch_per_attribute: Dict[str, TupleBatch]
+    ) -> BatchResult:
+        """Columnar :meth:`process_batch`: map, process and merge whole batches.
+
+        Identical accounting to the object path — tuples in, tuples routed
+        to materialised cells, per-query deliveries and per-(attribute,
+        cell) violations — but every stage moves :class:`TupleBatch`
+        columns instead of per-tuple callbacks.
+        """
+        self._current_delivered = {}
+        result = BatchResult()
+        result.tuples_in = sum(len(b) for b in batch_per_attribute.values())
+        mapped = self.map_batches(batch_per_attribute)
+        result.tuples_routed = self._planner.process_columnar(mapped)
+        result.violations = self._planner.violations()
+        result.delivered_per_query = dict(self._current_delivered)
+        result.tuples_delivered = sum(self._current_delivered.values())
+        self._batches += 1
+        return result
 
     def process_batch(
         self, tuples_by_cell: Dict[CellKey, List[SensorTuple]]

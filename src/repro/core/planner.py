@@ -22,10 +22,10 @@ import numpy as np
 
 from ..errors import PlanningError, QueryError
 from ..geometry import Grid, GridCell, Region
-from ..streams import CallbackSink, SensorTuple
+from ..streams import CallbackSink, SensorTuple, TupleBatch
 from .pmat import UnionOperator
 from .query import AcquisitionalQuery
-from .topology import CellTopology, DeliverFn
+from .topology import CellTopology, DeliverBatchFn, DeliverFn
 
 CellKey = Tuple[int, int]
 
@@ -78,6 +78,7 @@ class QueryPlanner:
         self._cells: Dict[CellKey, CellTopology] = {}
         self._plans: Dict[int, _QueryPlan] = {}
         self._result_handlers: Dict[int, DeliverFn] = {}
+        self._batch_handlers: Dict[int, DeliverBatchFn] = {}
         self._insertions = 0
         self._deletions = 0
         self._last_touched = 0
@@ -127,6 +128,7 @@ class QueryPlanner:
         query: AcquisitionalQuery,
         *,
         on_result: Optional[DeliverFn] = None,
+        on_result_batch: Optional[DeliverBatchFn] = None,
     ) -> List[CellKey]:
         """Insert a query; returns the keys of the grid cells it touches.
 
@@ -137,6 +139,11 @@ class QueryPlanner:
         on_result:
             Callback ``(query_id, tuple)`` invoked for every tuple of the
             query's final, merged crowdsensed data stream.
+        on_result_batch:
+            Columnar counterpart: callback ``(query_id, batch)`` invoked
+            once per delivered :class:`TupleBatch` when batches are
+            processed columnar.  When omitted, columnar deliveries fall
+            back to materialising tuples through ``on_result``.
         """
         if query.query_id in self._plans:
             raise PlanningError(f"query {query.label} is already registered")
@@ -166,6 +173,8 @@ class QueryPlanner:
         plan = _QueryPlan(query=query, cells=[], union=union, union_sink=union_sink)
         self._plans[query.query_id] = plan
         self._result_handlers[query.query_id] = handler
+        if on_result_batch is not None:
+            self._batch_handlers[query.query_id] = on_result_batch
 
         touched: List[CellKey] = []
         for cell in overlapping:
@@ -216,6 +225,7 @@ class QueryPlanner:
         self._rebuild_cells([key for key in touched if key in self._cells])
         del self._plans[query_id]
         self._result_handlers.pop(query_id, None)
+        self._batch_handlers.pop(query_id, None)
         self._deletions += 1
         self._last_touched = len(touched)
         return touched
@@ -229,6 +239,25 @@ class QueryPlanner:
         if plan is None:
             return
         plan.union.accept(item)
+
+    def _deliver_batch(self, query_id: int, batch: TupleBatch) -> None:
+        """Route a per-cell partial batch into the query's merge stage.
+
+        The merge stage's Union operator accounts for the batch; delivery
+        to the engine happens through the query's batch handler in one call
+        per (query, cell, batch).  Queries registered without a batch
+        handler fall back to the object path's per-tuple union flow.
+        """
+        plan = self._plans.get(query_id)
+        if plan is None:
+            return
+        handler = self._batch_handlers.get(query_id)
+        if handler is None:
+            for item in batch.to_tuples():
+                plan.union.accept(item)
+            return
+        plan.union.process_batch(batch)
+        handler(query_id, batch)
 
     def _rebuild_cells(self, keys: List[CellKey]) -> None:
         for key in keys:
@@ -259,6 +288,23 @@ class QueryPlanner:
         if topology is None:
             return 0
         return topology.inject_many(items)
+
+    def process_columnar(
+        self, mapped: Dict[CellKey, Dict[str, TupleBatch]]
+    ) -> int:
+        """Columnar process phase: run every materialised cell for one window.
+
+        Cells without tuples this round still run (their Flatten operators
+        report a full shortfall, as the object path's flush does); batches
+        mapped to cells without a topology are dropped, mirroring
+        :meth:`route_cell_batch` returning 0.  Returns the number of tuples
+        routed to materialised cells.
+        """
+        routed = 0
+        deliver = self._deliver_batch
+        for key, topology in self._cells.items():
+            routed += topology.process_batches(mapped.get(key, {}), deliver)
+        return routed
 
     def flush_all(self) -> None:
         """Flush every materialised cell topology (end of batch)."""

@@ -28,7 +28,7 @@ import numpy as np
 
 from ...errors import StreamError
 from ...geometry import Rectangle
-from ...streams import SensorTuple
+from ...streams import NO_SENSOR_ID, SensorTuple, TupleBatch
 from .base import PMATOperator
 
 
@@ -63,6 +63,25 @@ class ClampOperator(PMATOperator):
                 metadata=item.metadata,
             )
         self.emit(item)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Vectorised clamp: clip whole coordinate columns into the region."""
+        n = len(batch)
+        if n == 0:
+            return batch
+        self._tuples_in += n
+        self._tuples_out += n
+        x = np.clip(batch.x, self._rect.x_min, self._rect.x_max)
+        y = np.clip(batch.y, self._rect.y_min, self._rect.y_max)
+        moved = (x != batch.x) | (y != batch.y)
+        clamped = int(np.count_nonzero(moved))
+        if clamped == 0:
+            return batch
+        self._clamped += clamped
+        return TupleBatch(
+            batch.attribute, batch.t, x, y, batch.value,
+            batch.sensor_id, batch.tuple_id, meta=batch.meta, extra=batch.extra,
+        )
 
 
 class OutlierFilterOperator(PMATOperator):
@@ -103,11 +122,15 @@ class OutlierFilterOperator(PMATOperator):
         """Number of readings dropped as outliers."""
         return self._dropped
 
-    def process(self, item: SensorTuple) -> None:
-        value = item.value
+    def _admit(self, value) -> bool:
+        """The per-reading decision both paths share: keep or drop.
+
+        Updates the sliding history for admitted numeric readings.
+        """
+        if isinstance(value, np.generic):
+            value = value.item()
         if not isinstance(value, (int, float)) or isinstance(value, bool):
-            self.emit(item)
-            return
+            return True
         value = float(value)
         if len(self._history) >= self._min_history:
             history = np.asarray(self._history, dtype=float)
@@ -117,9 +140,32 @@ class OutlierFilterOperator(PMATOperator):
                 robust_z = 0.6745 * abs(value - median) / mad
                 if robust_z > self._z_threshold:
                     self._dropped += 1
-                    return
+                    return False
         self._history.append(value)
-        self.emit(item)
+        return True
+
+    def process(self, item: SensorTuple) -> None:
+        if self._admit(item.value):
+            self.emit(item)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Columnar outlier filter: a keep-mask built over the value column.
+
+        The sliding-window statistics are inherently sequential, so the
+        decision loop remains per value — but it runs over the raw column
+        and composes one keep-mask, never materialising tuples.
+        """
+        n = len(batch)
+        if n == 0:
+            return batch
+        self._tuples_in += n
+        values = batch.value
+        keep = np.fromiter(
+            (self._admit(values[i]) for i in range(n)), dtype=bool, count=n
+        )
+        kept = batch.select(keep) if not keep.all() else batch
+        self._tuples_out += len(kept)
+        return kept
 
 
 class DeduplicateOperator(PMATOperator):
@@ -146,16 +192,43 @@ class DeduplicateOperator(PMATOperator):
         """Number of duplicate reports dropped."""
         return self._dropped
 
-    def process(self, item: SensorTuple) -> None:
-        if item.sensor_id is None:
-            self.emit(item)
-            return
-        last = self._last_seen.get(item.sensor_id)
-        if last is not None and abs(item.t - last) < self._min_gap:
+    def _admit(self, sensor_id, t: float) -> bool:
+        """The per-report decision both paths share: keep or drop."""
+        if sensor_id is None:
+            return True
+        last = self._last_seen.get(sensor_id)
+        if last is not None and abs(t - last) < self._min_gap:
             self._dropped += 1
-            return
-        self._last_seen[item.sensor_id] = item.t
-        self.emit(item)
+            return False
+        self._last_seen[sensor_id] = t
+        return True
+
+    def process(self, item: SensorTuple) -> None:
+        if self._admit(item.sensor_id, item.t):
+            self.emit(item)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Columnar dedup: a keep-mask built over the sensor/time columns."""
+        n = len(batch)
+        if n == 0:
+            return batch
+        self._tuples_in += n
+        sensor_ids = batch.sensor_id
+        times = batch.t
+        keep = np.fromiter(
+            (
+                self._admit(
+                    None if sensor_ids[i] == NO_SENSOR_ID else int(sensor_ids[i]),
+                    float(times[i]),
+                )
+                for i in range(n)
+            ),
+            dtype=bool,
+            count=n,
+        )
+        kept = batch.select(keep) if not keep.all() else batch
+        self._tuples_out += len(kept)
+        return kept
 
 
 class MajorityVoteOperator(PMATOperator):
@@ -182,15 +255,47 @@ class MajorityVoteOperator(PMATOperator):
         """Number of values that were changed by the vote."""
         return self._smoothed
 
-    def process(self, item: SensorTuple) -> None:
-        value = item.value
-        if not isinstance(value, bool):
-            self.emit(item)
-            return
+    def _vote(self, value):
+        """The per-value decision both paths share.
+
+        Returns the (possibly smoothed) replacement for a boolean value, or
+        ``None`` for non-boolean values that pass through untouched.
+        """
+        if isinstance(value, np.bool_):
+            value = bool(value)
+        elif not isinstance(value, bool):
+            return None
         self._recent.append(value)
         votes = sum(1 for v in self._recent if v)
         majority = votes * 2 > len(self._recent)
         if majority != value:
             self._smoothed += 1
-            item = item.with_value(majority)
+        return majority
+
+    def process(self, item: SensorTuple) -> None:
+        voted = self._vote(item.value)
+        if voted is not None and voted != item.value:
+            item = item.with_value(voted)
         self.emit(item)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Columnar majority vote: rewrite the value column in place order."""
+        n = len(batch)
+        if n == 0:
+            return batch
+        self._tuples_in += n
+        self._tuples_out += n
+        values = batch.value
+        out = values.copy()
+        changed = False
+        for i in range(n):
+            voted = self._vote(values[i])
+            if voted is not None and voted != bool(values[i]):
+                out[i] = voted
+                changed = True
+        if not changed:
+            return batch
+        return TupleBatch(
+            batch.attribute, batch.t, batch.x, batch.y, out,
+            batch.sensor_id, batch.tuple_id, meta=batch.meta, extra=batch.extra,
+        )

@@ -34,7 +34,7 @@ from ...pointprocess import (
     flatten_events,
 )
 from ...pointprocess.estimation import EstimationError
-from ...streams import SensorTuple
+from ...streams import SensorTuple, TupleBatch
 from .base import PMATOperator
 
 
@@ -239,3 +239,48 @@ class FlattenOperator(PMATOperator):
                 self.emit(item, output_index=0)
             elif self._emit_discarded:
                 self.emit(item, output_index=1)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Vectorised flatten: Eq. (3) keep-mask applied to the whole batch.
+
+        The columnar path hands the operator its batch directly instead of
+        buffering tuples one at a time; the per-batch report (including the
+        full-shortfall report for an empty batch) is identical to
+        :meth:`flush`, and the thinning kernel's ``keep_mask`` is applied to
+        the numpy columns without round-tripping through object lists.
+        """
+        if batch.is_empty:
+            self._reports.append(
+                FlattenBatchReport(
+                    batch_size=0,
+                    retained=0,
+                    violation_percent=0.0,
+                    shortfall_percent=100.0,
+                    target_rate=self._target_rate,
+                )
+            )
+            return batch
+        n = len(batch)
+        self._tuples_in += n
+        events = EventBatch(batch.t, batch.x, batch.y)
+        intensity = self._estimate_intensity(events)
+        target_expected = self._target_rate * self.region.area * self._batch_duration
+        result = flatten_events(events, intensity, target_expected, rng=self.rng)
+        self._reports.append(
+            FlattenBatchReport(
+                batch_size=n,
+                retained=result.retained_count,
+                violation_percent=result.violation_percent,
+                shortfall_percent=result.shortfall_percent,
+                target_rate=self._target_rate,
+            )
+        )
+        kept = batch.select(result.keep_mask)
+        self._tuples_out += len(kept)
+        if self._emit_discarded and result.discarded_count:
+            discarded = batch.select(~result.keep_mask)
+            self._tuples_out += len(discarded)
+            stream = self.outputs[1]
+            for item in discarded.to_tuples():
+                stream.push(item)
+        return kept

@@ -18,7 +18,7 @@ import numpy as np
 
 from ...errors import StreamError
 from ...geometry import Region
-from ...streams import SensorTuple, Stream
+from ...streams import SensorTuple, Stream, TupleBatch
 from .base import PMATOperator, coerce_region
 
 
@@ -109,3 +109,52 @@ class PartitionOperator(PMATOperator):
             self.emit(item, output_index=len(self._regions))
         else:
             self._dropped += 1
+
+    def process_batch_multi(self, batch: TupleBatch) -> List[TupleBatch]:
+        """Vectorised partition: one containment mask per sub-region.
+
+        Returns one batch per output stream (sub-regions in order, then the
+        rest output when ``keep_rest``).  The sub-regions are pairwise
+        disjoint, so composing first-match semantics reduces to independent
+        masks with unmatched points tracked separately.
+        """
+        n = len(batch)
+        outputs = len(self._regions) + (1 if self._keep_rest else 0)
+        if n == 0:
+            return [batch] * outputs
+        self._tuples_in += n
+        unmatched = np.ones(n, dtype=bool)
+        batches: List[TupleBatch] = []
+        for region in self._regions:
+            mask = region.contains_many(batch.x, batch.y) & unmatched
+            unmatched &= ~mask
+            part = batch.select(mask)
+            self._tuples_out += len(part)
+            batches.append(part)
+        rest = int(np.count_nonzero(unmatched))
+        if self._keep_rest:
+            rest_batch = batch.select(unmatched)
+            self._tuples_out += len(rest_batch)
+            batches.append(rest_batch)
+        else:
+            self._dropped += rest
+        return batches
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Vectorised partition returning the first sub-region's batch.
+
+        The planner's query taps carve one overlap region per Partition, so
+        the primary output is all the columnar chain needs; use
+        :meth:`process_batch_multi` when the caller consumes every split.
+        Non-primary splits are pushed to their output streams here (like
+        the other operators' side outputs), so subscribers of
+        ``output_for(1)`` / ``rest_output`` never lose tuples when the
+        operator is driven through the single-output contract.
+        """
+        batches = self.process_batch_multi(batch)
+        for index, side_batch in enumerate(batches[1:], start=1):
+            if len(side_batch):
+                stream = self.outputs[index]
+                for item in side_batch.to_tuples():
+                    stream.push(item)
+        return batches[0]

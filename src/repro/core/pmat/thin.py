@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ...errors import StreamError
-from ...streams import SensorTuple
+from ...streams import SensorTuple, TupleBatch
 from .base import PMATOperator
 
 
@@ -107,6 +107,30 @@ class ThinOperator(PMATOperator):
             self._dropped += 1
             if self._emit_discarded:
                 self.emit(item, output_index=1)
+
+    def process_batch(self, batch: TupleBatch) -> TupleBatch:
+        """Vectorised thinning: one Bernoulli keep-mask for the whole batch.
+
+        ``rng.random(n)`` consumes the generator exactly as ``n`` scalar
+        draws would, so a seeded run keeps the same tuples as the object
+        path.
+        """
+        n = len(batch)
+        if n == 0:
+            return batch
+        self._tuples_in += n
+        keep = self.rng.random(n) < self.retention_probability
+        kept = batch.select(keep)
+        dropped = n - len(kept)
+        self._dropped += dropped
+        self._tuples_out += len(kept)
+        if self._emit_discarded and dropped:
+            discarded = batch.select(~keep)
+            self._tuples_out += len(discarded)
+            stream = self.outputs[1]
+            for item in discarded.to_tuples():
+                stream.push(item)
+        return kept
 
     def describe(self) -> str:
         attribute = self.attribute or "*"

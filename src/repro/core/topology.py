@@ -32,12 +32,21 @@ import numpy as np
 
 from ..errors import PlanningError
 from ..geometry import GridCell, Region
-from ..streams import CallbackSink, FilterOperator, SensorTuple, StreamTopology
+from ..streams import (
+    CallbackSink,
+    FilterOperator,
+    SensorTuple,
+    StreamTopology,
+    TupleBatch,
+)
 from .pmat import FlattenOperator, PartitionOperator, ThinOperator
 from .query import AcquisitionalQuery
 
 #: Callback the engine supplies for delivering a tuple to a query's stream.
 DeliverFn = Callable[[int, SensorTuple], None]
+
+#: Columnar counterpart: delivers a whole batch of one query's tuples.
+DeliverBatchFn = Callable[[int, TupleBatch], None]
 
 #: Factor by which the Flatten output rate exceeds the highest query rate,
 #: satisfying the paper's "output rate of the F-operator is ... greater than
@@ -296,6 +305,53 @@ class AttributeChain:
         )
 
     # ------------------------------------------------------------------
+    # Columnar execution
+    # ------------------------------------------------------------------
+    def process_batch(
+        self,
+        batch: Optional[TupleBatch],
+        deliver_batch: DeliverBatchFn,
+        *,
+        router_tuples_in: Optional[int] = None,
+    ) -> None:
+        """Run one batch window through the chain columnar.
+
+        The chain's own operators do the work (so their counters, reports
+        and RNG streams stay exactly as on the object path), but tuples
+        move as :class:`TupleBatch` columns: Flatten and the Thin cascade
+        compose numpy keep-masks, query taps slice the level batch with one
+        Partition containment mask, and each tap's survivors are delivered
+        in a single ``deliver_batch`` call instead of one callback per
+        tuple.  ``None`` (or an empty batch) still runs Flatten so its
+        empty-batch shortfall report matches the object path's flush.
+
+        ``router_tuples_in`` is the total number of tuples the cell saw
+        this window (all attributes): on the object path every router is
+        subscribed to the shared entry stream and counts them all, so the
+        cell topology passes the cross-attribute total to keep the filter
+        counters identical.  Defaults to the chain's own batch size.
+        """
+        if self._flatten is None:
+            raise PlanningError("the chain has not been built yet")
+        if batch is None:
+            batch = TupleBatch.empty(self._attribute)
+        if self._router is not None:
+            n = len(batch)
+            self._router.account_batch(
+                n if router_tuples_in is None else router_tuples_in, n
+            )
+        out = self._flatten.process_batch(batch)
+        for level in self._levels:
+            out = level.thin.process_batch(out)
+            for tap in level.taps:
+                if tap.partition is None:
+                    tap_batch = out
+                else:
+                    tap_batch = tap.partition.process_batch(out)
+                if len(tap_batch):
+                    deliver_batch(tap.query_id, tap_batch)
+
+    # ------------------------------------------------------------------
     # Invariants (the paper's structural rules, checked by tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
@@ -452,6 +508,29 @@ class CellTopology:
     def flush(self) -> None:
         """End the batch: every Flatten operator processes its buffer."""
         self._topology.flush()
+
+    def process_batches(
+        self,
+        batches_by_attribute: Dict[str, TupleBatch],
+        deliver_batch: DeliverBatchFn,
+    ) -> int:
+        """Columnar execution of one batch window for this cell.
+
+        Every chain runs exactly once — with its attribute's batch when one
+        arrived, or with an empty batch otherwise (matching the object
+        path, where :meth:`flush` triggers every Flatten even in silent
+        cells).  Returns the number of tuples handed to the cell, counting
+        batches of attributes without a chain too (the object path injects
+        those into the entry stream as well; the router then drops them).
+        """
+        routed = sum(len(batch) for batch in batches_by_attribute.values())
+        for attribute, chain in self._chains.items():
+            chain.process_batch(
+                batches_by_attribute.get(attribute),
+                deliver_batch,
+                router_tuples_in=routed,
+            )
+        return routed
 
     def violations(self) -> Dict[str, float]:
         """Last-batch ``N_v`` per attribute."""

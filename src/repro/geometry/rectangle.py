@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import GeometryError
 from .point import SpacePoint
 
@@ -87,6 +89,20 @@ class Rectangle:
     def contains_point(self, point: SpacePoint, *, closed: bool = False) -> bool:
         """Whether a :class:`SpacePoint` lies inside the rectangle."""
         return self.contains(point.x, point.y, closed=closed)
+
+    def contains_many(self, xs, ys, *, closed: bool = False):
+        """Vectorised :meth:`contains`: a boolean mask over point arrays."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if closed:
+            return (
+                (self.x_min <= xs) & (xs <= self.x_max)
+                & (self.y_min <= ys) & (ys <= self.y_max)
+            )
+        return (
+            (self.x_min <= xs) & (xs < self.x_max)
+            & (self.y_min <= ys) & (ys < self.y_max)
+        )
 
     def contains_rectangle(self, other: "Rectangle") -> bool:
         """Whether ``other`` is entirely inside this rectangle."""

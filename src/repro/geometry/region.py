@@ -13,6 +13,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import GeometryError
 from .point import SpacePoint
 from .rectangle import COORD_TOLERANCE, Rectangle
@@ -43,6 +45,19 @@ class Region(ABC):
     def contains_point(self, point: SpacePoint, *, closed: bool = False) -> bool:
         """Whether a :class:`SpacePoint` lies inside the region."""
         return self.contains(point.x, point.y, closed=closed)
+
+    def contains_many(self, xs, ys, *, closed: bool = False) -> np.ndarray:
+        """Vectorised :meth:`contains`: a boolean mask over point arrays.
+
+        The columnar Partition path uses this to carve a query's overlap out
+        of a grid-cell batch with one mask instead of a per-tuple loop.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        mask = np.zeros(xs.shape, dtype=bool)
+        for rect in self.rectangles:
+            mask |= rect.contains_many(xs, ys, closed=closed)
+        return mask
 
     def intersects(self, other: "Region") -> bool:
         """Whether the two regions overlap with positive area."""

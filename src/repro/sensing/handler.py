@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import AcquisitionError, BudgetError
 from ..geometry import Grid, GridCell
-from ..streams import SensorTuple, make_tuple_id_allocator
+from ..streams import SensorTuple, TupleBatch, make_tuple_id_allocator
 from .incentives import FlatIncentive, IncentiveScheme
 from .world import SensingWorld
 
@@ -185,34 +185,24 @@ class RequestResponseHandler:
         with replacement otherwise, per the paper) spread uniformly over the
         batch window, and returns the tuples for the responses received.
         """
-        if duration <= 0:
-            raise AcquisitionError("duration must be positive")
-        field_model = self._world.field_for(attribute)
-        budget = self.budget_for(attribute, cell.key)
-        sensors = self._world.sensors_in_rectangle(cell.rect)
-        rng = self._world.rng
+        field_model, budget, sensors, key = self._start_round(
+            attribute, cell, duration=duration
+        )
         report = report if report is not None else HandlerReport()
-        key = (attribute, cell.key)
-        report.per_cell_requests.setdefault(key, 0)
-        report.per_cell_responses.setdefault(key, 0)
         if not sensors:
             return []
 
-        if len(sensors) >= budget:
-            chosen_indices = rng.choice(len(sensors), size=budget, replace=False)
-        else:
-            chosen_indices = rng.choice(len(sensors), size=budget, replace=True)
-
-        t_start = self._world.now
-        request_times = np.sort(rng.uniform(t_start, t_start + duration, size=budget))
+        # A round always dispatches exactly `budget` requests: count them
+        # once per round instead of once per request.
+        self._count_requests(report, key, budget)
+        chosen_indices, request_times = self._sample_requests(
+            len(sensors), budget, duration
+        )
         collected: List[SensorTuple] = []
         for index, request_time in zip(chosen_indices, request_times):
             sensor = sensors[int(index)]
             payment, multiplier = self._incentive_for_request()
             report.incentive_spent += payment
-            self._total_requests += 1
-            report.requests_sent += 1
-            report.per_cell_requests[key] += 1
             row = sensor.handle_request(
                 field_model, float(request_time), incentive_multiplier=multiplier
             )
@@ -230,10 +220,136 @@ class RequestResponseHandler:
                 metadata={"cell": cell.key, "incentive": payment},
             )
             collected.append(item)
-            self._total_responses += 1
-            report.responses_received += 1
-            report.per_cell_responses[key] += 1
+        self._count_responses(report, key, len(collected))
         return collected
+
+    def _start_round(self, attribute: str, cell: GridCell, *, duration: float):
+        """Validate and resolve everything one acquisition round needs."""
+        if duration <= 0:
+            raise AcquisitionError("duration must be positive")
+        field_model = self._world.field_for(attribute)
+        budget = self.budget_for(attribute, cell.key)
+        sensors = self._world.sensors_in_rectangle(cell.rect)
+        return field_model, budget, sensors, (attribute, cell.key)
+
+    def _sample_requests(self, sensor_count: int, budget: int, duration: float):
+        """Draw the round's sensor choices and request times from the world RNG.
+
+        Sampling without replacement when enough sensors are available, with
+        replacement otherwise (per the paper); times are spread uniformly
+        over the batch window.  Both acquisition paths share this method, so
+        their world-RNG draw order is identical by construction.
+        """
+        rng = self._world.rng
+        if sensor_count >= budget:
+            chosen_indices = rng.choice(sensor_count, size=budget, replace=False)
+        else:
+            chosen_indices = rng.choice(sensor_count, size=budget, replace=True)
+        t_start = self._world.now
+        request_times = np.sort(rng.uniform(t_start, t_start + duration, size=budget))
+        return chosen_indices, request_times
+
+    def _count_requests(self, report: HandlerReport, key, count: int) -> None:
+        self._total_requests += count
+        report.requests_sent += count
+        report.per_cell_requests[key] = report.per_cell_requests.get(key, 0) + count
+
+    def _count_responses(self, report: HandlerReport, key, count: int) -> None:
+        self._total_responses += count
+        report.responses_received += count
+        report.per_cell_responses[key] = report.per_cell_responses.get(key, 0) + count
+
+    def acquire_cell_batch(
+        self,
+        attribute: str,
+        cell: GridCell,
+        *,
+        duration: float,
+        report: Optional[HandlerReport] = None,
+    ) -> Optional[TupleBatch]:
+        """Columnar :meth:`acquire_cell`: one round, returned as a :class:`TupleBatch`.
+
+        Draws from the world RNG in exactly the same order as
+        :meth:`acquire_cell` (sensor choice, then request times) and
+        preserves each sensor's private RNG stream by answering a sensor's
+        requests in ascending-time order, so for a given seed both paths
+        produce identical observations and identical tuple ids.  The
+        difference is that no :class:`SensorTuple` objects are created:
+        responses land directly in numpy columns.
+        """
+        field_model, budget, sensors, key = self._start_round(
+            attribute, cell, duration=duration
+        )
+        report = report if report is not None else HandlerReport()
+        if not sensors:
+            return None
+
+        self._count_requests(report, key, budget)
+        chosen_indices, request_times = self._sample_requests(
+            len(sensors), budget, duration
+        )
+        if self._incentive is None:
+            payments = np.zeros(budget)
+            multipliers = np.ones(budget)
+        else:
+            payments, multipliers = self._incentive.payments_for_requests(budget)
+        report.incentive_spent += float(payments.sum())
+
+        chosen = np.asarray(chosen_indices)
+        positions: List[np.ndarray] = []
+        t_parts: List[np.ndarray] = []
+        x_parts: List[np.ndarray] = []
+        y_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        sensor_parts: List[np.ndarray] = []
+        for index in np.unique(chosen):
+            mask = chosen == index
+            sensor = sensors[int(index)]
+            answered, response_times, xs, ys, values = sensor.handle_requests(
+                field_model, request_times[mask], incentive_multiplier=multipliers[mask]
+            )
+            if response_times.shape[0] == 0:
+                continue
+            positions.append(np.nonzero(mask)[0][answered])
+            t_parts.append(response_times)
+            x_parts.append(xs)
+            y_parts.append(ys)
+            value_parts.append(np.asarray(values))
+            sensor_parts.append(
+                np.full(response_times.shape[0], sensor.sensor_id, dtype=np.int64)
+            )
+
+        if not positions:
+            self._count_responses(report, key, 0)
+            return None
+
+        all_positions = np.concatenate(positions)
+        # Reassemble the per-sensor responses into global request-time order
+        # so tuple ids are allocated exactly as the object path allocates
+        # them (one id per response, in request order).
+        order = np.argsort(all_positions, kind="stable")
+        count = all_positions.shape[0]
+        tuple_ids = np.fromiter(
+            (self._allocate_tuple_id() for _ in range(count)), dtype=np.int64, count=count
+        )
+        self._count_responses(report, key, count)
+        ordered_positions = all_positions[order]
+        cell_column = np.empty((count, 2), dtype=np.int64)
+        cell_column[:, 0] = cell.key[0]
+        cell_column[:, 1] = cell.key[1]
+        return TupleBatch(
+            attribute,
+            np.concatenate(t_parts)[order],
+            np.concatenate(x_parts)[order],
+            np.concatenate(y_parts)[order],
+            np.concatenate(value_parts)[order],
+            np.concatenate(sensor_parts)[order],
+            tuple_ids,
+            extra={
+                "cell": cell_column,
+                "incentive": payments[ordered_positions],
+            },
+        )
 
     def acquire(
         self,
@@ -270,3 +386,34 @@ class RequestResponseHandler:
             items.sort(key=lambda item: item.t)
         self._rounds += 1
         return tuples_by_cell, report
+
+    def acquire_batches(
+        self,
+        attribute_cells: Dict[str, List[GridCell]],
+        *,
+        duration: float,
+    ) -> Tuple[Dict[str, TupleBatch], HandlerReport]:
+        """Columnar :meth:`acquire`: one acquisition round as per-attribute batches.
+
+        Returns ``(batch_per_attribute, report)``.  Each batch carries the
+        target cell of every tuple in its ``cell`` extra column; the
+        fabricator's map stage re-buckets by the *reported* coordinates
+        anyway, so no per-cell grouping is done here.
+        """
+        report = HandlerReport()
+        per_attribute: Dict[str, List[TupleBatch]] = {}
+        for attribute, cells in attribute_cells.items():
+            for cell in cells:
+                batch = self.acquire_cell_batch(
+                    attribute, cell, duration=duration, report=report
+                )
+                if batch is not None and len(batch):
+                    per_attribute.setdefault(attribute, []).append(batch)
+        self._rounds += 1
+        return (
+            {
+                attribute: TupleBatch.concatenate(batches)
+                for attribute, batches in per_attribute.items()
+            },
+            report,
+        )

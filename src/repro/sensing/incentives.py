@@ -13,6 +13,9 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from ..errors import CraqrError
 
@@ -63,6 +66,20 @@ class IncentiveScheme(ABC):
     def multiplier(self) -> float:
         """Response-probability multiplier the current payment buys."""
 
+    def payments_for_requests(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Payments and multipliers for a whole round of ``count`` requests.
+
+        Used by the columnar acquisition path; the fallback loops
+        :meth:`payment_for_request` / :meth:`multiplier` so stateful schemes
+        keep their per-request accounting.
+        """
+        payments = np.empty(count, dtype=float)
+        multipliers = np.empty(count, dtype=float)
+        for i in range(count):
+            payments[i] = self.payment_for_request()
+            multipliers[i] = self.multiplier()
+        return payments, multipliers
+
 
 class FlatIncentive(IncentiveScheme):
     """A fixed payment per request (possibly zero)."""
@@ -93,6 +110,14 @@ class FlatIncentive(IncentiveScheme):
     def multiplier(self) -> float:
         return incentive_boost(
             self._payment, elasticity=self._elasticity, saturation=self._saturation
+        )
+
+    def payments_for_requests(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        self._total_spent += self._payment * count
+        self._payments += count
+        return (
+            np.full(count, self._payment, dtype=float),
+            np.full(count, self.multiplier(), dtype=float),
         )
 
 

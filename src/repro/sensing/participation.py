@@ -39,6 +39,15 @@ class ResponseDecision:
 class ParticipationModel(ABC):
     """Abstract decision model for responding to acquisition requests."""
 
+    #: Whether :meth:`decide` consumes no randomness (and no per-request
+    #: mutable state whose order matters), so the batched acquisition path
+    #: may decide all of a sensor's requests at once without perturbing the
+    #: sensor's RNG stream.  Models with interleaved draws (respond check,
+    #: latency, then the sensing draw) must leave this ``False`` — the
+    #: sensor then falls back to the per-request loop, which keeps the
+    #: columnar and object paths byte-identical.
+    batch_safe = False
+
     @abstractmethod
     def decide(
         self,
@@ -50,13 +59,45 @@ class ParticipationModel(ABC):
     ) -> ResponseDecision:
         """Decide whether sensor ``sensor_id`` responds to a request sent at ``t``."""
 
+    def decide_many(
+        self,
+        sensor_id: int,
+        times: np.ndarray,
+        *,
+        incentive_multiplier: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decide a whole run of requests; returns ``(responds, latencies)`` arrays.
+
+        The fallback loops :meth:`decide`; batch-safe models override it
+        with a vectorised implementation.
+        """
+        times = np.asarray(times, dtype=float)
+        responds = np.zeros(times.shape[0], dtype=bool)
+        latencies = np.zeros(times.shape[0], dtype=float)
+        for i in range(times.shape[0]):
+            decision = self.decide(
+                sensor_id, float(times[i]), incentive_multiplier=incentive_multiplier, rng=rng
+            )
+            responds[i] = decision.responds
+            latencies[i] = decision.latency
+        return responds, latencies
+
 
 class AlwaysRespond(ParticipationModel):
     """Every request is answered immediately (idealised sensor-sensed attribute)."""
 
+    batch_safe = True
+
     def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
         del sensor_id, t, incentive_multiplier, rng
         return ResponseDecision(responds=True, latency=0.0)
+
+    def decide_many(self, sensor_id, times, *, incentive_multiplier=1.0, rng=None):
+        del sensor_id, incentive_multiplier, rng
+        times = np.asarray(times, dtype=float)
+        n = times.shape[0]
+        return np.ones(n, dtype=bool), np.zeros(n, dtype=float)
 
 
 class BernoulliParticipation(ParticipationModel):

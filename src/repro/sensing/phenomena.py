@@ -30,6 +30,26 @@ class PhenomenonField(ABC):
     def value(self, t: float, x: float, y: float, rng: Optional[np.random.Generator] = None):
         """Ground-truth (possibly noisy) value at the given point."""
 
+    def values(
+        self,
+        t: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`value` over aligned coordinate arrays.
+
+        Subclasses override this with numpy implementations that consume the
+        generator's bit stream exactly as the equivalent sequence of scalar
+        :meth:`value` calls would, so the columnar acquisition path yields
+        byte-identical observations.  The fallback simply loops.
+        """
+        t = np.asarray(t, dtype=float)
+        out = np.empty(t.shape[0], dtype=object)
+        for i in range(t.shape[0]):
+            out[i] = self.value(float(t[i]), float(x[i]), float(y[i]), rng=rng)
+        return out
+
 
 @dataclass
 class ConstantField(PhenomenonField):
@@ -40,6 +60,14 @@ class ConstantField(PhenomenonField):
 
     def value(self, t, x, y, rng=None):
         return self.constant
+
+    def values(self, t, x, y, rng=None):
+        n = np.asarray(t).shape[0]
+        if isinstance(self.constant, (bool, int, float)):
+            return np.full(n, self.constant)
+        out = np.empty(n, dtype=object)
+        out[:] = [self.constant] * n
+        return out
 
 
 class RainField(PhenomenonField):
@@ -92,6 +120,24 @@ class RainField(PhenomenonField):
         rng = rng if rng is not None else np.random.default_rng()
         return bool(rng.random() < self.rain_probability(t, x, y))
 
+    def rain_probabilities(self, t: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rain_probability` over aligned arrays."""
+        del y
+        t = np.asarray(t, dtype=float)
+        x = np.asarray(x, dtype=float)
+        phase = np.mod(t, self._period) / self._period
+        center = self._region.x_min + phase * self._region.width
+        dx = np.abs(x - center)
+        dx = np.minimum(dx, self._region.width - dx)
+        return np.where(dx <= self._band_width / 2, self._p_inside, self._p_outside)
+
+    def values(self, t, x, y, rng=None) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng()
+        probabilities = self.rain_probabilities(t, x, y)
+        # rng.random(n) consumes the same draws as n scalar rng.random()
+        # calls, so this matches the scalar path bit for bit.
+        return rng.random(probabilities.shape[0]) < probabilities
+
 
 class TemperatureField(PhenomenonField):
     """Smooth temperature surface with a diurnal cycle and urban heat islands.
@@ -126,15 +172,38 @@ class TemperatureField(PhenomenonField):
         self._noise_std = noise_std
 
     def mean_value(self, t: float, x: float, y: float) -> float:
-        """Noise-free temperature at the given point."""
-        diurnal = self._diurnal_amplitude * math.sin(2 * math.pi * t / self._period)
+        """Noise-free temperature at the given point.
+
+        Uses numpy's scalar transcendentals (not :mod:`math`) so the result
+        is bit-identical to the vectorised :meth:`mean_values` — libm and
+        numpy's SIMD ``exp`` can differ in the last ulp.
+        """
+        diurnal = self._diurnal_amplitude * float(np.sin(2 * np.pi * t / self._period))
         value = self._base + diurnal
         for cx, cy, amplitude, sigma in self._heat_islands:
             d2 = (x - cx) ** 2 + (y - cy) ** 2
-            value += amplitude * math.exp(-d2 / (2 * sigma * sigma))
+            value += amplitude * float(np.exp(-d2 / (2 * sigma * sigma)))
         return value
 
     def value(self, t, x, y, rng=None) -> float:
         rng = rng if rng is not None else np.random.default_rng()
         noise = float(rng.normal(0.0, self._noise_std)) if self._noise_std > 0 else 0.0
         return self.mean_value(t, x, y) + noise
+
+    def mean_values(self, t: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`mean_value` over aligned arrays."""
+        t = np.asarray(t, dtype=float)
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        value = self._base + self._diurnal_amplitude * np.sin(2 * np.pi * t / self._period)
+        for cx, cy, amplitude, sigma in self._heat_islands:
+            d2 = (x - cx) ** 2 + (y - cy) ** 2
+            value = value + amplitude * np.exp(-d2 / (2 * sigma * sigma))
+        return value
+
+    def values(self, t, x, y, rng=None) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng()
+        mean = self.mean_values(t, x, y)
+        if self._noise_std > 0:
+            mean = mean + rng.normal(0.0, self._noise_std, mean.shape[0])
+        return mean

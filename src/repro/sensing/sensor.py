@@ -107,6 +107,99 @@ class MobileSensor:
         self._remember(t, field.attribute, value)
         return value
 
+    def handle_requests(
+        self,
+        field: PhenomenonField,
+        times: np.ndarray,
+        *,
+        incentive_multiplier=1.0,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Answer a run of acquisition requests addressed to this sensor.
+
+        The columnar acquisition path groups a cell round's requests by
+        sensor and calls this once per sensor with the sensor's request
+        times in ascending order.  ``incentive_multiplier`` is a scalar or
+        an array aligned with ``times`` (an incentive scheme may change its
+        payment mid-round).  Returns ``(answered, response_times, xs, ys,
+        values)`` where ``answered`` is a boolean mask over the input
+        ``times`` and the remaining arrays are aligned with the answered
+        requests only.
+
+        When the participation model is batch-safe (its decisions consume no
+        randomness) the decisions and the sensing draws are vectorised while
+        consuming the sensor's RNG stream exactly as the scalar
+        :meth:`handle_request` loop would; otherwise the scalar loop runs,
+        so both acquisition paths always produce identical observations.
+        """
+        times = np.asarray(times, dtype=float)
+        n = times.shape[0]
+        empty = np.empty(0)
+        if n == 0:
+            return np.empty(0, dtype=bool), empty, empty, empty, np.empty(0, dtype=object)
+        multipliers = np.broadcast_to(
+            np.asarray(incentive_multiplier, dtype=float), times.shape
+        )
+        if not self._participation.batch_safe:
+            rows = [
+                self.handle_request(field, float(t), incentive_multiplier=float(m))
+                for t, m in zip(times, multipliers)
+            ]
+            answered = np.array([row is not None for row in rows], dtype=bool)
+            kept = [row for row in rows if row is not None]
+            if not kept:
+                return answered, empty, empty, empty, np.empty(0, dtype=object)
+            response_times = np.array([row[0] for row in kept], dtype=float)
+            xs = np.array([row[1] for row in kept], dtype=float)
+            ys = np.array([row[2] for row in kept], dtype=float)
+            values = [row[3] for row in kept]
+            try:
+                value_column = np.asarray(values)
+                if value_column.ndim != 1:  # e.g. list/tuple values
+                    raise ValueError
+            except ValueError:
+                value_column = np.empty(len(values), dtype=object)
+                value_column[:] = values
+            return answered, response_times, xs, ys, value_column
+
+        self._requests_received += n
+        if np.all(multipliers == multipliers[0]):
+            responds, latencies = self._participation.decide_many(
+                self._sensor_id,
+                times,
+                incentive_multiplier=float(multipliers[0]),
+                rng=self._rng,
+            )
+        else:
+            # Batch-safe decisions consume no randomness, so per-request
+            # multipliers can be honoured with scalar decide() calls while
+            # the sensing draws below stay vectorised.
+            responds = np.empty(n, dtype=bool)
+            latencies = np.empty(n, dtype=float)
+            for i in range(n):
+                decision = self._participation.decide(
+                    self._sensor_id,
+                    float(times[i]),
+                    incentive_multiplier=float(multipliers[i]),
+                    rng=self._rng,
+                )
+                responds[i] = decision.responds
+                latencies[i] = decision.latency
+        respond_times = times[responds]
+        k = respond_times.shape[0]
+        if k == 0:
+            return responds, empty, empty, empty, np.empty(0, dtype=object)
+        xs = np.full(k, self._state.x, dtype=float)
+        ys = np.full(k, self._state.y, dtype=float)
+        values = field.values(respond_times, xs, ys, rng=self._rng)
+        self._memory.extend(
+            (float(t), field.attribute, value)
+            for t, value in zip(respond_times, np.asarray(values).tolist())
+        )
+        if len(self._memory) > self._memory_capacity:
+            del self._memory[: len(self._memory) - self._memory_capacity]
+        self._responses_sent += k
+        return responds, respond_times + latencies[responds], xs, ys, values
+
     def handle_request(
         self,
         field: PhenomenonField,

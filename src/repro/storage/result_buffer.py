@@ -4,16 +4,28 @@ Each registered acquisitional query gets a :class:`QueryResultBuffer` that
 accumulates its fabricated crowdsensed data stream, batch by batch, and can
 answer the questions the evaluation cares about: how many tuples arrived per
 batch, what the achieved rate is, and how far it is from the requested rate.
+
+The buffer ingests both per-tuple deliveries (:meth:`QueryResultBuffer.append`,
+the object path) and whole :class:`~repro.streams.TupleBatch` columns
+(:meth:`QueryResultBuffer.extend_batch`, the columnar fast path).  Batches
+are kept columnar internally; individual :class:`SensorTuple` objects are
+only materialised when an object-level accessor such as :meth:`items` asks
+for them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
+
+import numpy as np
 
 from ..errors import StorageError
 from ..pointprocess import EventBatch
-from ..streams import SensorTuple
+from ..streams import SensorTuple, TupleBatch
+
+#: Internal storage unit: a run of object tuples or one columnar batch.
+_Chunk = Union[List[SensorTuple], TupleBatch]
 
 
 @dataclass(frozen=True)
@@ -55,7 +67,8 @@ class QueryResultBuffer:
         self._requested_rate = requested_rate
         self._region_area = region_area
         self._capacity = capacity
-        self._items: List[SensorTuple] = []
+        self._chunks: List[_Chunk] = []
+        self._size = 0
         self._per_batch_counts: List[int] = []
         self._current_batch = 0
         self._total = 0
@@ -82,16 +95,54 @@ class QueryResultBuffer:
         return list(self._per_batch_counts)
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size
 
     # ------------------------------------------------------------------
     def append(self, item: SensorTuple) -> None:
         """Deliver one tuple of the query's stream."""
-        self._items.append(item)
+        if self._chunks and isinstance(self._chunks[-1], list):
+            self._chunks[-1].append(item)
+        else:
+            self._chunks.append([item])
+        self._size += 1
         self._total += 1
         self._current_batch += 1
-        if self._capacity is not None and len(self._items) > self._capacity:
-            del self._items[0: len(self._items) - self._capacity]
+        self._trim()
+
+    def extend_batch(self, batch: TupleBatch) -> None:
+        """Deliver a whole columnar batch of the query's stream.
+
+        The batch is retained columnar — no tuple objects are created until
+        an object-level accessor needs them.
+        """
+        count = len(batch)
+        if count == 0:
+            return
+        self._chunks.append(batch)
+        self._size += count
+        self._total += count
+        self._current_batch += count
+        self._trim()
+
+    def _trim(self) -> None:
+        if self._capacity is None:
+            return
+        excess = self._size - self._capacity
+        while excess > 0:
+            head = self._chunks[0]
+            head_len = len(head)
+            if head_len <= excess:
+                del self._chunks[0]
+                self._size -= head_len
+                excess -= head_len
+            elif isinstance(head, list):
+                del head[:excess]
+                self._size -= excess
+                excess = 0
+            else:
+                self._chunks[0] = head.select(np.arange(excess, head_len))
+                self._size -= excess
+                excess = 0
 
     def end_batch(self) -> int:
         """Close the current batch; returns the number of tuples it delivered."""
@@ -102,16 +153,49 @@ class QueryResultBuffer:
 
     # ------------------------------------------------------------------
     def items(self) -> List[SensorTuple]:
-        """The retained tuples, oldest first."""
-        return list(self._items)
+        """The retained tuples, oldest first (materialised lazily).
+
+        A columnar chunk is materialised once and the list kept in its
+        place, so repeated calls (e.g. a monitoring loop polling
+        ``QueryHandle.results()``) pay object construction only for chunks
+        delivered since the previous call.
+        """
+        items: List[SensorTuple] = []
+        for index, chunk in enumerate(self._chunks):
+            if not isinstance(chunk, list):
+                chunk = chunk.to_tuples()
+                self._chunks[index] = chunk
+            items.extend(chunk)
+        return items
 
     def values(self) -> List:
         """The sensed values of the retained tuples."""
-        return [item.value for item in self._items]
+        values: List = []
+        for chunk in self._chunks:
+            if isinstance(chunk, list):
+                values.extend(item.value for item in chunk)
+            else:
+                values.extend(np.asarray(chunk.value).tolist())
+        return values
 
     def to_event_batch(self) -> EventBatch:
-        """The retained tuples' coordinates as an :class:`EventBatch`."""
-        return EventBatch.from_rows([(it.t, it.x, it.y) for it in self._items])
+        """The retained tuples' coordinates as an :class:`EventBatch`.
+
+        Columnar chunks contribute their coordinate columns directly.
+        """
+        if not self._chunks:
+            return EventBatch.empty()
+        parts: List[EventBatch] = []
+        for chunk in self._chunks:
+            if isinstance(chunk, list):
+                parts.append(
+                    EventBatch.from_rows([(it.t, it.x, it.y) for it in chunk])
+                )
+            else:
+                parts.append(EventBatch(chunk.t, chunk.x, chunk.y))
+        if len(parts) == 1:
+            return parts[0]
+        return EventBatch.concatenate(parts)
 
     def rate_over(self, duration: float) -> RateEstimate:
         """Achieved rate over the given total duration of observation."""

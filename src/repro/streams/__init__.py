@@ -8,6 +8,7 @@ topology runner — on which the PMAT operators of :mod:`repro.core` are built.
 """
 
 from .tuples import SensorTuple, make_tuple_id_allocator
+from .batch import NO_SENSOR_ID, TupleBatch
 from .stream import Stream, StreamStats
 from .windows import BatchWindow, SlidingWindow, TumblingWindow
 from .operator import StreamOperator, PassThroughOperator, FilterOperator, MapOperator
@@ -19,6 +20,8 @@ from .sinks import CollectingSink, CountingSink, CallbackSink
 __all__ = [
     "SensorTuple",
     "make_tuple_id_allocator",
+    "TupleBatch",
+    "NO_SENSOR_ID",
     "Stream",
     "StreamStats",
     "BatchWindow",

@@ -1,5 +1,6 @@
 """Unit tests for the logical grid (Section IV)."""
 
+import numpy as np
 import pytest
 
 from repro.errors import GeometryError
@@ -109,3 +110,56 @@ class TestOverlap:
         region = RectRegion(Rectangle(1.0, 0.0, 2.0, 1.0))
         cell = grid.cell(0, 0)
         assert grid.overlap_fraction(region, cell) == pytest.approx(0.0)
+
+
+class TestBoundaryBucketing:
+    """Boundary points must always map to a valid cell (no tuple is lost)."""
+
+    def test_interior_cell_edges_map_to_upper_cell(self, grid):
+        # A point exactly on an interior edge belongs to the cell whose
+        # half-open rectangle starts there.
+        assert grid.locate(1.0, 0.5).key == (1, 0)
+        assert grid.locate(0.5, 2.0).key == (0, 2)
+        assert grid.locate(3.0, 3.0).key == (3, 3)
+
+    def test_region_max_edges_clamp_into_last_cell(self, grid):
+        assert grid.locate(4.0, 0.5).key == (3, 0)
+        assert grid.locate(0.5, 4.0).key == (0, 3)
+        assert grid.locate(4.0, 4.0).key == (3, 3)
+
+    def test_region_min_corner(self, grid):
+        assert grid.locate(0.0, 0.0).key == (0, 0)
+
+    def test_cells_for_points_on_boundaries(self, grid):
+        xs = np.array([1.0, 0.5, 3.0, 4.0, 0.5, 4.0, 0.0])
+        ys = np.array([0.5, 2.0, 3.0, 0.5, 4.0, 4.0, 0.0])
+        q, r = grid.cells_for_points(xs, ys)
+        assert list(zip(q.tolist(), r.tolist())) == [
+            (1, 0), (0, 2), (3, 3), (3, 0), (0, 3), (3, 3), (0, 0)
+        ]
+
+    def test_cells_for_points_rejects_outside_points(self, grid):
+        with pytest.raises(GeometryError):
+            grid.cells_for_points(np.array([0.5, 5.0]), np.array([0.5, 0.5]))
+        with pytest.raises(GeometryError):
+            grid.cells_for_points(np.array([0.5]), np.array([-0.1]))
+
+    def test_cells_for_points_agrees_with_scalar_lookup(self, grid):
+        rng = np.random.default_rng(2024)
+        xs = rng.uniform(0.0, 4.0, 1000)
+        ys = rng.uniform(0.0, 4.0, 1000)
+        # Sprinkle exact edge coordinates into the random sample.
+        xs[:8] = [0.0, 1.0, 2.0, 3.0, 4.0, 4.0, 0.0, 2.0]
+        ys[:8] = [0.0, 1.0, 2.0, 3.0, 4.0, 0.0, 4.0, 2.0]
+        q, r = grid.cells_for_points(xs, ys)
+        for x, y, qi, ri in zip(xs, ys, q, r):
+            assert grid.locate(float(x), float(y)).key == (int(qi), int(ri))
+
+    def test_cells_for_points_on_non_square_region(self):
+        grid = Grid(Rectangle(-1.0, 2.0, 5.0, 5.0), side=3)
+        rng = np.random.default_rng(7)
+        xs = rng.uniform(-1.0, 5.0, 500)
+        ys = rng.uniform(2.0, 5.0, 500)
+        q, r = grid.cells_for_points(xs, ys)
+        for x, y, qi, ri in zip(xs, ys, q, r):
+            assert grid.locate(float(x), float(y)).key == (int(qi), int(ri))

@@ -238,3 +238,78 @@ class TestRequestResponseHandler:
         for items in tuples_by_cell.values():
             times = [item.t for item in items]
             assert times == sorted(times)
+
+
+class TestColumnarAcquisition:
+    """The batched acquisition path must mirror the object path exactly."""
+
+    def make_pair(self, default_budget=20, response_probability=1.0, seed=3):
+        object_world = make_world(seed=seed, response_probability=response_probability)
+        columnar_world = make_world(seed=seed, response_probability=response_probability)
+        grid = Grid(REGION, side=4)
+        return (
+            RequestResponseHandler(object_world, grid, default_budget=default_budget),
+            RequestResponseHandler(columnar_world, grid, default_budget=default_budget),
+            grid,
+        )
+
+    def test_acquire_cell_batch_matches_object_path(self):
+        object_handler, columnar_handler, grid = self.make_pair()
+        cell = grid.cell(1, 1)
+        items = object_handler.acquire_cell("rain", cell, duration=1.0)
+        batch = columnar_handler.acquire_cell_batch("rain", cell, duration=1.0)
+        assert batch is not None
+        assert batch.to_tuples() == items
+        # Metadata (cell key, incentive) is reconstructed faithfully too.
+        assert [it.metadata for it in batch.to_tuples()] == [it.metadata for it in items]
+
+    def test_acquire_cell_batch_with_lossy_participation(self):
+        object_handler, columnar_handler, grid = self.make_pair(
+            response_probability=0.5, seed=9
+        )
+        cell = grid.cell(1, 1)
+        items = object_handler.acquire_cell("temp", cell, duration=1.0)
+        batch = columnar_handler.acquire_cell_batch("temp", cell, duration=1.0)
+        assert (batch.to_tuples() if batch is not None else []) == items
+
+    def test_acquire_batches_round_report_matches(self):
+        object_handler, columnar_handler, grid = self.make_pair(default_budget=8)
+        cells = [grid.cell(0, 0), grid.cell(1, 0)]
+        request = {"rain": cells, "temp": cells}
+        _, object_report = object_handler.acquire(request, duration=1.0)
+        batches, columnar_report = columnar_handler.acquire_batches(request, duration=1.0)
+        assert columnar_report.requests_sent == object_report.requests_sent
+        assert columnar_report.responses_received == object_report.responses_received
+        assert columnar_report.per_cell_requests == object_report.per_cell_requests
+        assert columnar_report.per_cell_responses == object_report.per_cell_responses
+        assert columnar_handler.rounds == 1
+        assert set(batches) <= {"rain", "temp"}
+        total = sum(len(batch) for batch in batches.values())
+        assert total == columnar_report.responses_received
+
+    def test_empty_cell_skips_bookkeeping(self):
+        # Satellite: no redundant per-cell entries when the cell holds no
+        # sensors — the round sends nothing, so nothing is recorded.
+        world = SensingWorld(
+            WorldConfig(region=REGION, sensor_count=1, seed=1),
+            mobility_factory=lambda r: StationaryMobility(r),
+        )
+        world.register_field(RainField(REGION))
+        grid = Grid(REGION, side=4)
+        handler = RequestResponseHandler(world, grid, default_budget=5)
+        empty_cell = next(
+            cell for cell in grid.cells() if not world.sensors_in_rectangle(cell.rect)
+        )
+        _, report = handler.acquire({"rain": [empty_cell]}, duration=1.0)
+        assert report.per_cell_requests == {}
+        assert report.per_cell_responses == {}
+        assert report.requests_sent == 0
+
+    def test_requests_counted_once_per_round(self):
+        handler, _, grid = (
+            TestRequestResponseHandler().make_handler(default_budget=12)
+        )
+        cell = grid.cell(1, 1)
+        items = handler.acquire_cell("rain", cell, duration=1.0)
+        assert handler.total_requests == 12
+        assert len(items) == 12
