@@ -8,7 +8,8 @@ numbers quoted in EXPERIMENTS.md can be re-derived.
 Scalar performance metrics recorded through the ``record_metric`` fixture
 are additionally aggregated into ``BENCH_columnar.json`` at the repository
 root at the end of the session, so the perf trajectory (e.g. the columnar
-fast path's speedup) is tracked across PRs.
+fast path's speedup) is tracked across PRs; metrics from the sensing-world
+benchmarks go through ``record_world_metric`` into ``BENCH_world.json``.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_columnar.json"
+BENCH_WORLD_JSON = pathlib.Path(__file__).parent.parent / "BENCH_world.json"
 
 
 @pytest.fixture(scope="session")
@@ -43,8 +45,20 @@ def record_table(results_dir):
     return _record
 
 
-#: Session-wide accumulator behind the ``record_metric`` fixture.
+#: Session-wide accumulators behind the ``record_metric`` fixtures.
 _METRIC_STORE: Dict[str, dict] = {}
+_WORLD_METRIC_STORE: Dict[str, dict] = {}
+
+
+def _make_recorder(store: Dict[str, dict]):
+    def _record(name: str, value: float, *, unit: str = "", detail: dict = None) -> None:
+        store[name] = {
+            "value": float(value),
+            "unit": unit,
+            "detail": detail or {},
+        }
+
+    return _record
 
 
 @pytest.fixture
@@ -54,28 +68,25 @@ def record_metric():
     Metrics land in ``BENCH_columnar.json`` when the session ends (see
     :func:`pytest_sessionfinish` below).
     """
-
-    def _record(name: str, value: float, *, unit: str = "", detail: dict = None) -> None:
-        _METRIC_STORE[name] = {
-            "value": float(value),
-            "unit": unit,
-            "detail": detail or {},
-        }
-
-    return _record
+    return _make_recorder(_METRIC_STORE)
 
 
-@pytest.hookimpl(trylast=True)
-def pytest_sessionfinish(session, exitstatus):
-    store = _METRIC_STORE
-    if not store or exitstatus != 0:
-        # Never let a failed or interrupted run overwrite the tracked
-        # cross-PR perf trajectory with partial numbers.
-        return
+@pytest.fixture
+def record_world_metric():
+    """Like ``record_metric`` but routed to ``BENCH_world.json``.
+
+    Used by the sensing-world benchmarks (``bench_world_advance.py``) so
+    the simulation perf trajectory is tracked separately from the query
+    pipeline's.
+    """
+    return _make_recorder(_WORLD_METRIC_STORE)
+
+
+def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
-    if BENCH_JSON.exists():
+    if path.exists():
         try:
-            existing = json.loads(BENCH_JSON.read_text())
+            existing = json.loads(path.read_text())
         except (ValueError, OSError):  # pragma: no cover - corrupt file
             existing = {}
     metrics = existing.get("metrics", {})
@@ -85,4 +96,16 @@ def pytest_sessionfinish(session, exitstatus):
         "machine": platform.machine(),
         "metrics": metrics,
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    if exitstatus != 0:
+        # Never let a failed or interrupted run overwrite the tracked
+        # cross-PR perf trajectory with partial numbers.
+        return
+    if _METRIC_STORE:
+        _persist(BENCH_JSON, _METRIC_STORE)
+    if _WORLD_METRIC_STORE:
+        _persist(BENCH_WORLD_JSON, _WORLD_METRIC_STORE)

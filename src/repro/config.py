@@ -120,6 +120,15 @@ class EngineConfig:
         identical tuples, so the flag is a pure performance switch (keep
         the object path for debugging individual tuple flows or for custom
         operators without a batch implementation).
+
+        The symmetric switch on the *simulation* side is
+        :attr:`repro.sensing.WorldConfig.vectorized_rng` ("fast-sim"): it
+        moves sensors through batch mobility kernels and lets the handler
+        sample whole cell populations from one shared random stream.
+        ``columnar`` preserves seeded byte-equality; ``vectorized_rng``
+        trades per-sensor stream reproducibility for statistically
+        equivalent output at simulation scale.  Flip both on for maximum
+        end-to-end throughput (see ``benchmarks/bench_world_advance.py``).
     """
 
     grid_cells: int = DEFAULT_GRID_CELLS

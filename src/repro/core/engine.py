@@ -182,6 +182,17 @@ class CraqrEngine:
         return self._world
 
     @property
+    def fast_sim(self) -> bool:
+        """Whether the world runs in shared-stream fast-sim mode.
+
+        Set via :attr:`repro.sensing.WorldConfig.vectorized_rng`; with it on
+        (and ``config.columnar``) both the simulation and the query pipeline
+        are vectorised end-to-end, at the cost of per-sensor-stream
+        reproducibility.
+        """
+        return self._world.vectorized
+
+    @property
     def grid(self) -> Grid:
         """The logical grid over the deployment region."""
         return self._grid
@@ -289,7 +300,10 @@ class CraqrEngine:
         With ``config.columnar`` (the default) acquisition and fabrication
         move whole :class:`TupleBatch` columns; otherwise every tuple is an
         individual object.  Both paths are seeded identically and deliver
-        the same tuples.
+        the same tuples.  When the world additionally runs in fast-sim mode
+        (:attr:`~repro.sensing.WorldConfig.vectorized_rng`), sensor movement
+        and acquisition sampling vectorise across the whole crowd — faster
+        still, but statistically rather than bit-for-bit reproducible.
         """
         duration = self._config.batch_duration
         attribute_cells = self._planner.attribute_cells()

@@ -18,6 +18,7 @@ delayed) responses.
 """
 
 from .clock import SimulationClock
+from .state import ArrayBackedMobilityState, SensorStateArrays
 from .sensor import MobileSensor, SensorState
 from .mobility import (
     MobilityModel,
@@ -47,6 +48,8 @@ from .errors import GpsNoiseModel, ValueErrorModel, ErrorInjector
 
 __all__ = [
     "SimulationClock",
+    "ArrayBackedMobilityState",
+    "SensorStateArrays",
     "MobileSensor",
     "SensorState",
     "MobilityModel",

@@ -185,12 +185,13 @@ class RequestResponseHandler:
         with replacement otherwise, per the paper) spread uniformly over the
         batch window, and returns the tuples for the responses received.
         """
-        field_model, budget, sensors, key = self._start_round(
+        field_model, budget, indices, key = self._start_round(
             attribute, cell, duration=duration
         )
         report = report if report is not None else HandlerReport()
-        if not sensors:
+        if indices.size == 0:
             return []
+        sensors = self._world.sensors_at(indices)
 
         # A round always dispatches exactly `budget` requests: count them
         # once per round instead of once per request.
@@ -224,13 +225,38 @@ class RequestResponseHandler:
         return collected
 
     def _start_round(self, attribute: str, cell: GridCell, *, duration: float):
-        """Validate and resolve everything one acquisition round needs."""
+        """Validate and resolve everything one acquisition round needs.
+
+        The cell population is returned as SoA row indices (one boolean
+        mask over the position columns); callers that need the sensor view
+        objects expand them with :meth:`SensingWorld.sensors_at`.
+        """
         if duration <= 0:
             raise AcquisitionError("duration must be positive")
         field_model = self._world.field_for(attribute)
         budget = self.budget_for(attribute, cell.key)
-        sensors = self._world.sensors_in_rectangle(cell.rect)
-        return field_model, budget, sensors, (attribute, cell.key)
+        indices = self._world.sensor_indices_in_rectangle(cell.rect)
+        return field_model, budget, indices, (attribute, cell.key)
+
+    def _round_payments(self, budget: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-request payments and probability multipliers for one round."""
+        if self._incentive is None:
+            return np.zeros(budget), np.ones(budget)
+        return self._incentive.payments_for_requests(budget)
+
+    def _allocate_tuple_ids(self, count: int) -> np.ndarray:
+        """Allocate ``count`` consecutive tuple ids as an int64 column."""
+        return np.fromiter(
+            (self._allocate_tuple_id() for _ in range(count)), dtype=np.int64, count=count
+        )
+
+    @staticmethod
+    def _cell_column(cell: GridCell, count: int) -> np.ndarray:
+        """An ``(count, 2)`` column repeating the cell key for batch extras."""
+        column = np.empty((count, 2), dtype=np.int64)
+        column[:, 0] = cell.key[0]
+        column[:, 1] = cell.key[1]
+        return column
 
     def _sample_requests(self, sensor_count: int, budget: int, duration: float):
         """Draw the round's sensor choices and request times from the world RNG.
@@ -276,23 +302,36 @@ class RequestResponseHandler:
         produce identical observations and identical tuple ids.  The
         difference is that no :class:`SensorTuple` objects are created:
         responses land directly in numpy columns.
+
+        In fast-sim mode (``WorldConfig.vectorized_rng``) the round instead
+        samples the whole cell population at once from the world's shared
+        stream: participation decisions, latencies and phenomenon values are
+        single vectorised draws over the SoA columns (see
+        :meth:`_acquire_cell_batch_fast`).  Cells containing a sensor whose
+        participation model cannot be vectorised fall back to the exact
+        per-sensor round.
         """
-        field_model, budget, sensors, key = self._start_round(
+        field_model, budget, indices, key = self._start_round(
             attribute, cell, duration=duration
         )
         report = report if report is not None else HandlerReport()
-        if not sensors:
+        if indices.size == 0:
             return None
+        world = self._world
+        if world.vectorized and bool(
+            np.all(world.state_arrays.vector_participation[indices])
+        ):
+            return self._acquire_cell_batch_fast(
+                attribute, field_model, budget, indices, key, cell,
+                duration=duration, report=report,
+            )
+        sensors = world.sensors_at(indices)
 
         self._count_requests(report, key, budget)
         chosen_indices, request_times = self._sample_requests(
             len(sensors), budget, duration
         )
-        if self._incentive is None:
-            payments = np.zeros(budget)
-            multipliers = np.ones(budget)
-        else:
-            payments, multipliers = self._incentive.payments_for_requests(budget)
+        payments, multipliers = self._round_payments(budget)
         report.incentive_spent += float(payments.sum())
 
         chosen = np.asarray(chosen_indices)
@@ -329,14 +368,7 @@ class RequestResponseHandler:
         # them (one id per response, in request order).
         order = np.argsort(all_positions, kind="stable")
         count = all_positions.shape[0]
-        tuple_ids = np.fromiter(
-            (self._allocate_tuple_id() for _ in range(count)), dtype=np.int64, count=count
-        )
         self._count_responses(report, key, count)
-        ordered_positions = all_positions[order]
-        cell_column = np.empty((count, 2), dtype=np.int64)
-        cell_column[:, 0] = cell.key[0]
-        cell_column[:, 1] = cell.key[1]
         return TupleBatch(
             attribute,
             np.concatenate(t_parts)[order],
@@ -344,10 +376,95 @@ class RequestResponseHandler:
             np.concatenate(y_parts)[order],
             np.concatenate(value_parts)[order],
             np.concatenate(sensor_parts)[order],
-            tuple_ids,
+            self._allocate_tuple_ids(count),
             extra={
-                "cell": cell_column,
-                "incentive": payments[ordered_positions],
+                "cell": self._cell_column(cell, count),
+                "incentive": payments[all_positions[order]],
+            },
+        )
+
+    def _acquire_cell_batch_fast(
+        self,
+        attribute: str,
+        field_model,
+        budget: int,
+        indices: np.ndarray,
+        key,
+        cell: GridCell,
+        *,
+        duration: float,
+        report: HandlerReport,
+    ):
+        """One fast-sim acquisition round, vectorised across the cell population.
+
+        Instead of answering each chosen sensor from its private stream, the
+        whole round draws from the world's shared generator: one uniform
+        draw decides every participation outcome against the SoA probability
+        columns, one exponential draw produces every latency, and one
+        ``field.values`` call senses every response at the responders'
+        current SoA positions.  :meth:`acquire_cell_batch` dispatches here
+        only when every sensor in the cell exposes vectorisable
+        participation parameters (``indices`` is the non-empty cell
+        population it already resolved).
+
+        Note: unlike the per-sensor paths, fast-sim does not journal
+        observations into each sensor's local memory — at fast-sim scale the
+        per-sensor journals are dead weight; request/response counters are
+        still maintained (vectorially) in the SoA.
+        """
+        world = self._world
+        soa = world.state_arrays
+        self._count_requests(report, key, budget)
+        chosen_indices, request_times = self._sample_requests(
+            indices.size, budget, duration
+        )
+        payments, multipliers = self._round_payments(budget)
+        report.incentive_spent += float(payments.sum())
+
+        rows = indices[np.asarray(chosen_indices)]
+        probabilities = np.where(
+            soa.incentive_sensitive[rows],
+            np.minimum(soa.p_base[rows] * multipliers, soa.p_max[rows]),
+            soa.p_base[rows],
+        )
+        rng = world.rng
+        responds = rng.random(budget) < probabilities
+        # Rows repeat only when the cell held fewer sensors than the budget
+        # (sampling with replacement); repeats need the unbuffered
+        # scatter-add, unique rows take the cheaper fancy-index increment.
+        unique_rows = indices.size >= budget
+        if unique_rows:
+            soa.requests_received[rows] += 1
+        else:
+            np.add.at(soa.requests_received, rows, 1)
+        count = int(responds.sum())
+        self._count_responses(report, key, count)
+        if count == 0:
+            return None
+        respond_rows = rows[responds]
+        if unique_rows:
+            soa.responses_sent[respond_rows] += 1
+        else:
+            np.add.at(soa.responses_sent, respond_rows, 1)
+        latency_means = soa.latency_mean[respond_rows]
+        # Exp(scale m) == m * Exp(1): one draw serves every per-sensor mean
+        # (zero means yield zero latency).
+        latencies = rng.exponential(1.0, count) * latency_means
+        respond_times = request_times[responds]
+        xs = soa.x[respond_rows]
+        ys = soa.y[respond_rows]
+        values = field_model.values(respond_times, xs, ys, rng=rng)
+        return TupleBatch(
+            attribute,
+            respond_times + latencies,
+            xs,
+            ys,
+            np.asarray(values),
+            soa.sensor_ids[respond_rows],
+            self._allocate_tuple_ids(count),
+            extra={
+                "cell": self._cell_column(cell, count),
+                "incentive": payments[responds],
             },
         )
 

@@ -12,9 +12,24 @@ sensors".  These models generate that mobility:
 * :class:`HotspotMobility` — sensors are attracted to a set of hotspots,
   producing the strong spatial skew used in the skew-mitigation experiment.
 
-All models implement ``step(state, dt, rng) -> (x, y)``: given the sensor's
-current state and a time step, return the next position (clamped to the
-world region by the caller).
+All models implement two entry points:
+
+* ``step(state, dt, rng)`` — advance one sensor's state in place, drawing
+  from that sensor's private generator.  This is the strict-mode path: the
+  world loops it once per sensor, so a seeded run is byte-identical whatever
+  the storage backing ``state`` (dataclass or SoA view).
+* ``step_batch(arrays, indices, dt, rng)`` — advance a whole group of
+  sensors at once as masked array operations over a
+  :class:`~repro.sensing.state.SensorStateArrays`, drawing from one shared
+  generator.  This is the fast-sim kernel: draw *order* across sensors
+  differs from the scalar loop (statistically equivalent, not bit-equal),
+  which is exactly the trade the world's ``vectorized_rng`` mode makes.
+
+``batch_key()`` returns a hashable grouping key for models that support the
+batch kernel: sensors whose models share a key are stepped by one
+``step_batch`` call.  The base implementation returns ``None`` (no grouping)
+and falls back to looping ``step`` over SoA views, so custom subclasses stay
+correct in either mode.
 """
 
 from __future__ import annotations
@@ -22,17 +37,27 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import CraqrError
 from ..geometry import Rectangle
+from .state import SensorStateArrays
+
+#: Distances below this are treated as "already at the target".
+_TINY = 1e-12
 
 
 @dataclass
 class MobilityState:
-    """Mutable per-sensor mobility state."""
+    """Mutable per-sensor mobility state (standalone dataclass form).
+
+    World-owned sensors use the SoA-backed view
+    (:class:`~repro.sensing.state.ArrayBackedMobilityState`) instead; both
+    expose the same attributes and the scalar ``step`` implementations work
+    identically on either.
+    """
 
     x: float
     y: float
@@ -65,10 +90,58 @@ class MobilityModel(ABC):
     def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
         """Advance the state in place by ``dt`` time units."""
 
+    def batch_key(self) -> Optional[Hashable]:
+        """Grouping key for the vectorised kernel, or ``None`` when unsupported.
+
+        Two model instances with equal keys must behave identically, so the
+        world may route all their sensors through one :meth:`step_batch`
+        call on a representative instance.
+        """
+        return None
+
+    def _kernel_key(self, *params: Hashable) -> Optional[Hashable]:
+        """Build a ``batch_key`` tuple of ``(class, region, *params)``.
+
+        A class is only grouped when it defines its *own* ``step_batch``:
+        a subclass that customises the scalar dynamics in any way —
+        overriding ``step`` or just a helper hook like ``_pick_target`` —
+        without shipping a matching kernel would otherwise be silently
+        stepped by the inherited kernel in fast-sim mode, discarding its
+        dynamics.  Such models fall back to per-object stepping instead
+        (and the class in the key keeps distinct subclasses from ever
+        sharing a group).
+        """
+        cls = type(self)
+        if "step_batch" not in vars(cls):
+            return None
+        return (cls, self._region) + params
+
+    def step_batch(
+        self,
+        arrays: SensorStateArrays,
+        indices: np.ndarray,
+        dt: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Advance the rows ``indices`` of ``arrays`` by ``dt`` at once.
+
+        The fallback loops the scalar :meth:`step` over SoA views with the
+        shared generator; vectorised models override it with masked array
+        kernels.
+        """
+        for i in np.asarray(indices, dtype=np.int64):
+            self.step(arrays.state_view(int(i)), dt, rng)
+
     def _clamp(self, state: MobilityState) -> None:
         """Keep the position inside the region (reflecting at the walls)."""
         state.x = min(max(state.x, self._region.x_min), self._region.x_max)
         state.y = min(max(state.y, self._region.y_min), self._region.y_max)
+
+    def _clamp_batch(self, arrays: SensorStateArrays, idx: np.ndarray) -> None:
+        """Vectorised :meth:`_clamp` over the rows ``idx``."""
+        region = self._region
+        arrays.x[idx] = np.clip(arrays.x[idx], region.x_min, region.x_max)
+        arrays.y[idx] = np.clip(arrays.y[idx], region.y_min, region.y_max)
 
 
 class StationaryMobility(MobilityModel):
@@ -76,6 +149,12 @@ class StationaryMobility(MobilityModel):
 
     def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
         del dt, rng  # stationary sensors ignore both
+
+    def batch_key(self) -> Optional[Hashable]:
+        return self._kernel_key()
+
+    def step_batch(self, arrays, indices, dt, rng) -> None:
+        del arrays, indices, dt, rng  # nothing moves
 
 
 class RandomWalkMobility(MobilityModel):
@@ -92,6 +171,17 @@ class RandomWalkMobility(MobilityModel):
         state.x += float(rng.normal(0.0, scale))
         state.y += float(rng.normal(0.0, scale))
         self._clamp(state)
+
+    def batch_key(self) -> Optional[Hashable]:
+        return self._kernel_key(self._step_std)
+
+    def step_batch(self, arrays, indices, dt, rng) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        scale = self._step_std * math.sqrt(dt)
+        steps = rng.normal(0.0, scale, (2, idx.size))
+        arrays.x[idx] += steps[0]
+        arrays.y[idx] += steps[1]
+        self._clamp_batch(arrays, idx)
 
 
 class RandomWaypointMobility(MobilityModel):
@@ -135,9 +225,53 @@ class RandomWaypointMobility(MobilityModel):
             state.y += travel * dy / distance
         self._clamp(state)
 
+    def batch_key(self) -> Optional[Hashable]:
+        return self._kernel_key(self._speed, self._pause)
+
+    def step_batch(self, arrays, indices, dt, rng) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        pause = arrays.pause_remaining[idx]
+        paused = pause > 0.0
+        if paused.any():
+            # Pausing sensors only run their timer down this step; like the
+            # scalar path they start walking again on the *next* step.
+            arrays.pause_remaining[idx[paused]] = np.maximum(0.0, pause[paused] - dt)
+        active = idx[~paused]
+        if active.size == 0:
+            return
+        tx = arrays.target_x[active]
+        ty = arrays.target_y[active]
+        need = np.isnan(tx)
+        if need.any():
+            region = self._region
+            count = int(need.sum())
+            tx[need] = rng.uniform(region.x_min, region.x_max, count)
+            ty[need] = rng.uniform(region.y_min, region.y_max, count)
+        x = arrays.x[active]
+        y = arrays.y[active]
+        dx = tx - x
+        dy = ty - y
+        distance = np.hypot(dx, dy)
+        travel = self._speed * dt
+        arrive = travel >= distance
+        safe = np.maximum(distance, _TINY)
+        arrays.x[active] = np.where(arrive, tx, x + travel * dx / safe)
+        arrays.y[active] = np.where(arrive, ty, y + travel * dy / safe)
+        arrays.target_x[active] = np.where(arrive, np.nan, tx)
+        arrays.target_y[active] = np.where(arrive, np.nan, ty)
+        arrays.pause_remaining[active] = np.where(arrive, self._pause, 0.0)
+        self._clamp_batch(arrays, active)
+
 
 class GaussMarkovMobility(MobilityModel):
-    """Velocity process with temporal correlation (Gauss-Markov model)."""
+    """Velocity process with temporal correlation (Gauss-Markov model).
+
+    ``v_{t+1} = alpha * v_t + (1 - alpha) * mean_speed * u_t + noise`` where
+    ``u_t`` is the unit vector of the current heading: the speed reverts
+    toward ``mean_speed`` along the direction the sensor is already moving,
+    while the noise term (scaled by ``sqrt(1 - alpha^2)``) perturbs both
+    components.  Velocity reflects off the region walls.
+    """
 
     def __init__(
         self,
@@ -166,10 +300,16 @@ class GaussMarkovMobility(MobilityModel):
     def step(self, state: MobilityState, dt: float, rng: np.random.Generator) -> None:
         a = self._alpha
         noise_scale = self._speed_std * math.sqrt(1 - a * a)
-        state.vx = a * state.vx + (1 - a) * self._mean_speed * 0.0 + float(
+        speed = math.hypot(state.vx, state.vy)
+        if speed > _TINY:
+            mean_vx = self._mean_speed * state.vx / speed
+            mean_vy = self._mean_speed * state.vy / speed
+        else:
+            mean_vx = mean_vy = 0.0
+        state.vx = a * state.vx + (1 - a) * mean_vx + float(
             rng.normal(0.0, noise_scale)
         )
-        state.vy = a * state.vy + (1 - a) * self._mean_speed * 0.0 + float(
+        state.vy = a * state.vy + (1 - a) * mean_vy + float(
             rng.normal(0.0, noise_scale)
         )
         state.x += state.vx * dt
@@ -180,6 +320,31 @@ class GaussMarkovMobility(MobilityModel):
         if state.y <= self._region.y_min or state.y >= self._region.y_max:
             state.vy = -state.vy
         self._clamp(state)
+
+    def batch_key(self) -> Optional[Hashable]:
+        return self._kernel_key(self._mean_speed, self._alpha, self._speed_std)
+
+    def step_batch(self, arrays, indices, dt, rng) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        a = self._alpha
+        noise_scale = self._speed_std * math.sqrt(1 - a * a)
+        vx = arrays.vx[idx]
+        vy = arrays.vy[idx]
+        speed = np.hypot(vx, vy)
+        safe = np.maximum(speed, _TINY)
+        moving = speed > _TINY
+        mean_vx = np.where(moving, self._mean_speed * vx / safe, 0.0)
+        mean_vy = np.where(moving, self._mean_speed * vy / safe, 0.0)
+        noise = rng.normal(0.0, noise_scale, (2, idx.size))
+        vx = a * vx + (1 - a) * mean_vx + noise[0]
+        vy = a * vy + (1 - a) * mean_vy + noise[1]
+        region = self._region
+        x = arrays.x[idx] + vx * dt
+        y = arrays.y[idx] + vy * dt
+        arrays.vx[idx] = np.where((x <= region.x_min) | (x >= region.x_max), -vx, vx)
+        arrays.vy[idx] = np.where((y <= region.y_min) | (y >= region.y_max), -vy, vy)
+        arrays.x[idx] = np.clip(x, region.x_min, region.x_max)
+        arrays.y[idx] = np.clip(y, region.y_min, region.y_max)
 
 
 class HotspotMobility(MobilityModel):
@@ -212,6 +377,8 @@ class HotspotMobility(MobilityModel):
         self._hotspots = [(float(x), float(y), float(w)) for x, y, w in hotspots]
         weights = np.array([w for _, _, w in self._hotspots])
         self._weights = weights / weights.sum()
+        self._hotspot_xs = np.array([x for x, _, _ in self._hotspots])
+        self._hotspot_ys = np.array([y for _, y, _ in self._hotspots])
         self._speed = speed
         self._jitter = jitter
         self._switch_probability = switch_probability
@@ -233,9 +400,41 @@ class HotspotMobility(MobilityModel):
         dy = state.target_y - state.y
         distance = math.hypot(dx, dy)
         travel = min(self._speed * dt, distance)
-        if distance > 1e-12:
+        if distance > _TINY:
             state.x += travel * dx / distance
             state.y += travel * dy / distance
         state.x += float(rng.normal(0.0, self._jitter * math.sqrt(dt)))
         state.y += float(rng.normal(0.0, self._jitter * math.sqrt(dt)))
         self._clamp(state)
+
+    def batch_key(self) -> Optional[Hashable]:
+        return self._kernel_key(
+            tuple(self._hotspots), self._speed, self._jitter,
+            self._switch_probability,
+        )
+
+    def step_batch(self, arrays, indices, dt, rng) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        n = idx.size
+        tx = arrays.target_x[idx]
+        ty = arrays.target_y[idx]
+        switch = np.isnan(tx) | (rng.random(n) < self._switch_probability)
+        if switch.any():
+            choice = rng.choice(
+                len(self._hotspots), size=int(switch.sum()), p=self._weights
+            )
+            tx[switch] = self._hotspot_xs[choice]
+            ty[switch] = self._hotspot_ys[choice]
+            arrays.target_x[idx] = tx
+            arrays.target_y[idx] = ty
+        x = arrays.x[idx]
+        y = arrays.y[idx]
+        dx = tx - x
+        dy = ty - y
+        distance = np.hypot(dx, dy)
+        travel = np.minimum(self._speed * dt, distance)
+        scale = np.where(distance > _TINY, travel / np.maximum(distance, _TINY), 0.0)
+        jitter = rng.normal(0.0, self._jitter * math.sqrt(dt), (2, n))
+        arrays.x[idx] = x + scale * dx + jitter[0]
+        arrays.y[idx] = y + scale * dy + jitter[1]
+        self._clamp_batch(arrays, idx)

@@ -59,6 +59,22 @@ class ParticipationModel(ABC):
     ) -> ResponseDecision:
         """Decide whether sensor ``sensor_id`` responds to a request sent at ``t``."""
 
+    def vector_params(self) -> Optional[Tuple[float, float, float, bool]]:
+        """Stationary decision parameters for the fast-sim acquisition path.
+
+        Returns ``(p_base, p_max, latency_mean, incentive_sensitive)`` —
+        base response probability, the cap applied after incentive boosting,
+        the mean of the exponential response latency, and whether incentives
+        scale the probability at all — or ``None`` when the model's
+        decisions depend on mutable per-request state (fatigue, externally
+        updated distances), in which case the fast-sim handler falls back to
+        the exact per-sensor loop.  These parameters are copied into the
+        world's :class:`~repro.sensing.state.SensorStateArrays` columns at
+        sensor construction so a whole cell population's responses can be
+        sampled with one draw from the shared stream.
+        """
+        return None
+
     def decide_many(
         self,
         sensor_id: int,
@@ -98,6 +114,10 @@ class AlwaysRespond(ParticipationModel):
         times = np.asarray(times, dtype=float)
         n = times.shape[0]
         return np.ones(n, dtype=bool), np.zeros(n, dtype=float)
+
+    def vector_params(self):
+        # Always responds, never delayed, deaf to incentives.
+        return (1.0, 1.0, 0.0, False)
 
 
 class BernoulliParticipation(ParticipationModel):
@@ -144,6 +164,9 @@ class BernoulliParticipation(ParticipationModel):
             return ResponseDecision.no_response()
         latency = float(rng.exponential(self._mean_latency)) if self._mean_latency > 0 else 0.0
         return ResponseDecision(responds=True, latency=latency)
+
+    def vector_params(self):
+        return (self._probability, self._max_probability, self._mean_latency, True)
 
 
 class DistanceDecayParticipation(ParticipationModel):

@@ -19,6 +19,7 @@ from ..geometry import SpacePoint
 from .mobility import MobilityModel, MobilityState
 from .participation import AlwaysRespond, ParticipationModel, ResponseDecision
 from .phenomena import PhenomenonField
+from .state import ArrayBackedMobilityState, SensorStateArrays
 
 
 @dataclass
@@ -37,7 +38,16 @@ class SensorState:
 
 
 class MobileSensor:
-    """One simulated mobile sensor (a smartphone, vehicle sensor or human)."""
+    """One simulated mobile sensor (a smartphone, vehicle sensor or human).
+
+    A sensor's mutable state (position, velocity, waypoint target, request
+    counters, participation parameters) lives in a
+    :class:`~repro.sensing.state.SensorStateArrays` row; the sensor object is
+    a lazy view over that row.  A :class:`~repro.sensing.SensingWorld` shares
+    one SoA across its whole crowd so batch kernels can advance every sensor
+    at once; a standalone sensor allocates a private single-row SoA, so both
+    construction styles behave identically.
+    """
 
     def __init__(
         self,
@@ -47,6 +57,8 @@ class MobileSensor:
         participation: Optional[ParticipationModel] = None,
         rng: Optional[np.random.Generator] = None,
         memory_capacity: int = 256,
+        state_arrays: Optional[SensorStateArrays] = None,
+        index: Optional[int] = None,
     ) -> None:
         if memory_capacity <= 0:
             raise AcquisitionError("memory_capacity must be positive")
@@ -54,17 +66,52 @@ class MobileSensor:
         self._mobility = mobility
         self._participation = participation or AlwaysRespond()
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._state: MobilityState = mobility.initial_state(self._rng)
+        if state_arrays is None:
+            if index is not None:
+                raise AcquisitionError(
+                    "index is only meaningful together with a shared "
+                    "SensorStateArrays"
+                )
+            state_arrays = SensorStateArrays(1)
+            index = 0
+        elif index is None:
+            raise AcquisitionError(
+                "index is required when binding to a shared SensorStateArrays"
+            )
+        self._arrays = state_arrays
+        self._index = index
+        # Draw the initial placement exactly as the per-object path did,
+        # then copy it into the SoA row the sensor views from now on.
+        initial_state = mobility.initial_state(self._rng)
+        state_arrays.load_mobility_state(index, initial_state)
+        state_arrays.sensor_ids[index] = sensor_id
+        state_arrays.set_participation(index, self._participation.vector_params())
+        self._state: ArrayBackedMobilityState = state_arrays.state_view(index)
+        # The model's own state object doubles as the scalar-step scratch:
+        # `move` checks the canonical columns out of the SoA into it and
+        # commits them back afterwards, so scalar steps run at
+        # plain-attribute speed and any *extra* per-sensor state a custom
+        # model stashed on its MobilityState survives for the sensor's
+        # lifetime, as it did pre-SoA.
+        self._scratch = initial_state
         self._memory: List[Tuple[float, str, Any]] = []
         self._memory_capacity = memory_capacity
-        self._requests_received = 0
-        self._responses_sent = 0
 
     # ------------------------------------------------------------------
     @property
     def sensor_id(self) -> int:
         """Unique identifier of the sensor."""
         return self._sensor_id
+
+    @property
+    def mobility(self) -> MobilityModel:
+        """The sensor's mobility model (consulted for batch-kernel grouping)."""
+        return self._mobility
+
+    @property
+    def participation(self) -> ParticipationModel:
+        """The sensor's participation model."""
+        return self._participation
 
     @property
     def position(self) -> SpacePoint:
@@ -74,12 +121,12 @@ class MobileSensor:
     @property
     def requests_received(self) -> int:
         """Acquisition requests received so far."""
-        return self._requests_received
+        return int(self._arrays.requests_received[self._index])
 
     @property
     def responses_sent(self) -> int:
         """Responses actually produced so far."""
-        return self._responses_sent
+        return int(self._arrays.responses_sent[self._index])
 
     @property
     def memory(self) -> List[Tuple[float, str, Any]]:
@@ -91,10 +138,59 @@ class MobileSensor:
         return SensorState(self._sensor_id, t, self._state.x, self._state.y)
 
     # ------------------------------------------------------------------
+    def begin_moves(self) -> MobilityState:
+        """Check the SoA row out into the scalar-step scratch state.
+
+        Part of the scalar advance protocol (``begin_moves`` /
+        ``step_scalar``\\* / ``end_moves``) used by
+        :meth:`~repro.sensing.SensingWorld.advance` in strict mode: the
+        checkout/commit round-trip is paid once per ``advance`` call instead
+        of once per movement sub-step, so the inner loop runs on plain
+        dataclass attributes at the original per-object speed.  The
+        ``float(...)`` conversions are exact, so seeded byte-identity is
+        preserved.
+        """
+        arrays = self._arrays
+        i = self._index
+        scratch = self._scratch
+        scratch.x = float(arrays.x[i])
+        scratch.y = float(arrays.y[i])
+        scratch.vx = float(arrays.vx[i])
+        scratch.vy = float(arrays.vy[i])
+        tx = arrays.target_x[i]
+        ty = arrays.target_y[i]
+        scratch.target_x = None if tx != tx else float(tx)  # NaN check
+        scratch.target_y = None if ty != ty else float(ty)
+        scratch.pause_remaining = float(arrays.pause_remaining[i])
+        return scratch
+
+    def step_scalar(self, dt: float) -> None:
+        """Advance the checked-out scratch state by ``dt`` (no SoA write-back)."""
+        self._mobility.step(self._scratch, dt, self._rng)
+
+    def end_moves(self) -> None:
+        """Commit the scratch state back into the SoA row."""
+        arrays = self._arrays
+        i = self._index
+        scratch = self._scratch
+        arrays.x[i] = scratch.x
+        arrays.y[i] = scratch.y
+        arrays.vx[i] = scratch.vx
+        arrays.vy[i] = scratch.vy
+        arrays.target_x[i] = np.nan if scratch.target_x is None else scratch.target_x
+        arrays.target_y[i] = np.nan if scratch.target_y is None else scratch.target_y
+        arrays.pause_remaining[i] = scratch.pause_remaining
+
     def move(self, dt: float) -> SpacePoint:
-        """Advance the sensor's position by ``dt`` time units."""
-        self._mobility.step(self._state, dt, self._rng)
-        return self.position
+        """Advance the sensor's position by ``dt`` time units.
+
+        One full checkout / step / commit round-trip; the SoA row is
+        canonical again when the call returns.
+        """
+        scratch = self.begin_moves()
+        self._mobility.step(scratch, dt, self._rng)
+        self.end_moves()
+        return SpacePoint(scratch.x, scratch.y)
 
     def _remember(self, t: float, attribute: str, value: Any) -> None:
         self._memory.append((t, attribute, value))
@@ -161,7 +257,7 @@ class MobileSensor:
                 value_column[:] = values
             return answered, response_times, xs, ys, value_column
 
-        self._requests_received += n
+        self._arrays.requests_received[self._index] += n
         if np.all(multipliers == multipliers[0]):
             responds, latencies = self._participation.decide_many(
                 self._sensor_id,
@@ -197,7 +293,7 @@ class MobileSensor:
         )
         if len(self._memory) > self._memory_capacity:
             del self._memory[: len(self._memory) - self._memory_capacity]
-        self._responses_sent += k
+        self._arrays.responses_sent[self._index] += k
         return responds, respond_times + latencies[responds], xs, ys, values
 
     def handle_request(
@@ -214,12 +310,12 @@ class MobileSensor:
         the reported coordinates as the sensing location) and
         ``response_time = t + latency``.
         """
-        self._requests_received += 1
+        self._arrays.requests_received[self._index] += 1
         decision: ResponseDecision = self._participation.decide(
             self._sensor_id, t, incentive_multiplier=incentive_multiplier, rng=self._rng
         )
         if not decision.responds:
             return None
         value = self.sense(field, t)
-        self._responses_sent += 1
+        self._arrays.responses_sent[self._index] += 1
         return (t + decision.latency, self._state.x, self._state.y, value)

@@ -1,0 +1,199 @@
+"""Struct-of-arrays sensor state.
+
+The sensing world at scale is a numerical simulation: at 10k+ sensors the
+per-object ``MobilityState`` dataclasses and one-``step``-call-per-sensor
+loops dominate the engine's wall clock.  :class:`SensorStateArrays` stores
+the whole crowd's mutable state as numpy columns so that
+
+* batch mobility kernels (:meth:`~repro.sensing.mobility.MobilityModel.step_batch`)
+  advance every sensor of a model group with a handful of array operations,
+* spatial queries (``sensors_in``, ``density_snapshot``) reduce to boolean
+  masks and bincounts over the position columns, and
+* the fast-sim acquisition path vectorises participation sampling across a
+  whole cell population using the per-sensor participation parameter columns.
+
+:class:`MobileSensor` objects remain the public per-sensor API, but each one
+is a lazy *view* over its SoA row: :class:`ArrayBackedMobilityState` exposes
+the exact attribute surface of the old ``MobilityState`` dataclass
+(including ``target_x is None`` semantics, encoded as NaN in the arrays), so
+the scalar mobility ``step`` implementations run unchanged — and
+byte-identically — against either representation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CraqrError
+
+
+class ArrayBackedMobilityState:
+    """A per-sensor mobility-state view over one :class:`SensorStateArrays` row.
+
+    Duck-types :class:`~repro.sensing.mobility.MobilityState`: the scalar
+    ``MobilityModel.step`` implementations read and write ``x``, ``y``,
+    ``vx``, ``vy``, ``target_x``, ``target_y`` and ``pause_remaining``
+    exactly as they do on the dataclass.  ``target_x``/``target_y`` map
+    ``None`` to NaN in the backing arrays so batch kernels can test
+    "has no target" with ``np.isnan``.
+    """
+
+    __slots__ = ("_arrays", "_index")
+
+    def __init__(self, arrays: "SensorStateArrays", index: int) -> None:
+        self._arrays = arrays
+        self._index = index
+
+    # -- positions and velocities --------------------------------------
+    @property
+    def x(self) -> float:
+        return float(self._arrays.x[self._index])
+
+    @x.setter
+    def x(self, value: float) -> None:
+        self._arrays.x[self._index] = value
+
+    @property
+    def y(self) -> float:
+        return float(self._arrays.y[self._index])
+
+    @y.setter
+    def y(self, value: float) -> None:
+        self._arrays.y[self._index] = value
+
+    @property
+    def vx(self) -> float:
+        return float(self._arrays.vx[self._index])
+
+    @vx.setter
+    def vx(self, value: float) -> None:
+        self._arrays.vx[self._index] = value
+
+    @property
+    def vy(self) -> float:
+        return float(self._arrays.vy[self._index])
+
+    @vy.setter
+    def vy(self, value: float) -> None:
+        self._arrays.vy[self._index] = value
+
+    # -- waypoint target (None <-> NaN) --------------------------------
+    @property
+    def target_x(self) -> Optional[float]:
+        value = self._arrays.target_x[self._index]
+        return None if np.isnan(value) else float(value)
+
+    @target_x.setter
+    def target_x(self, value: Optional[float]) -> None:
+        self._arrays.target_x[self._index] = np.nan if value is None else value
+
+    @property
+    def target_y(self) -> Optional[float]:
+        value = self._arrays.target_y[self._index]
+        return None if np.isnan(value) else float(value)
+
+    @target_y.setter
+    def target_y(self, value: Optional[float]) -> None:
+        self._arrays.target_y[self._index] = np.nan if value is None else value
+
+    # -- pause timer ----------------------------------------------------
+    @property
+    def pause_remaining(self) -> float:
+        return float(self._arrays.pause_remaining[self._index])
+
+    @pause_remaining.setter
+    def pause_remaining(self, value: float) -> None:
+        self._arrays.pause_remaining[self._index] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayBackedMobilityState(index={self._index}, x={self.x:.4f}, "
+            f"y={self.y:.4f})"
+        )
+
+
+class SensorStateArrays:
+    """All per-sensor mutable state of a sensing world, as numpy columns.
+
+    Columns
+    -------
+    ``x, y, vx, vy, target_x, target_y, pause_remaining``
+        Mobility state; targets are NaN when unset.
+    ``sensor_ids``
+        Public sensor identifier of each row.
+    ``requests_received, responses_sent``
+        Acquisition bookkeeping counters.
+    ``p_base, p_max, latency_mean, incentive_sensitive, vector_participation``
+        Participation parameters (see
+        :meth:`~repro.sensing.participation.ParticipationModel.vector_params`):
+        base response probability, incentive-boost cap, mean exponential
+        response latency, whether incentives scale the probability, and
+        whether the row may be decided vectorially at all.  Rows whose
+        participation model is stateful keep ``vector_participation`` False,
+        which makes the fast-sim acquisition path fall back to the exact
+        per-sensor loop for the affected cells.
+    """
+
+    __slots__ = (
+        "x", "y", "vx", "vy", "target_x", "target_y", "pause_remaining",
+        "sensor_ids", "requests_received", "responses_sent",
+        "p_base", "p_max", "latency_mean", "incentive_sensitive",
+        "vector_participation",
+    )
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise CraqrError("a SensorStateArrays needs at least one row")
+        self.x = np.zeros(count, dtype=np.float64)
+        self.y = np.zeros(count, dtype=np.float64)
+        self.vx = np.zeros(count, dtype=np.float64)
+        self.vy = np.zeros(count, dtype=np.float64)
+        self.target_x = np.full(count, np.nan, dtype=np.float64)
+        self.target_y = np.full(count, np.nan, dtype=np.float64)
+        self.pause_remaining = np.zeros(count, dtype=np.float64)
+        self.sensor_ids = np.zeros(count, dtype=np.int64)
+        self.requests_received = np.zeros(count, dtype=np.int64)
+        self.responses_sent = np.zeros(count, dtype=np.int64)
+        self.p_base = np.ones(count, dtype=np.float64)
+        self.p_max = np.ones(count, dtype=np.float64)
+        self.latency_mean = np.zeros(count, dtype=np.float64)
+        self.incentive_sensitive = np.zeros(count, dtype=bool)
+        self.vector_participation = np.zeros(count, dtype=bool)
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    # ------------------------------------------------------------------
+    def state_view(self, index: int) -> ArrayBackedMobilityState:
+        """The mobility-state view of one row."""
+        return ArrayBackedMobilityState(self, index)
+
+    def load_mobility_state(self, index: int, state) -> None:
+        """Copy a freshly initialised ``MobilityState`` into row ``index``."""
+        self.x[index] = state.x
+        self.y[index] = state.y
+        self.vx[index] = state.vx
+        self.vy[index] = state.vy
+        self.target_x[index] = np.nan if state.target_x is None else state.target_x
+        self.target_y[index] = np.nan if state.target_y is None else state.target_y
+        self.pause_remaining[index] = state.pause_remaining
+
+    def set_participation(
+        self, index: int, params: Optional[Tuple[float, float, float, bool]]
+    ) -> None:
+        """Record a row's participation parameters (``None`` = not vectorisable)."""
+        if params is None:
+            self.vector_participation[index] = False
+            return
+        p_base, p_max, latency_mean, incentive_sensitive = params
+        self.p_base[index] = p_base
+        self.p_max[index] = p_max
+        self.latency_mean[index] = latency_mean
+        self.incentive_sensitive[index] = incentive_sensitive
+        self.vector_participation[index] = True
+
+    def positions(self) -> np.ndarray:
+        """An ``(n, 2)`` copy of the current positions."""
+        return np.column_stack((self.x, self.y))

@@ -5,12 +5,36 @@ to.  It owns the mobile sensors (with their mobility and participation
 models), the phenomena fields backing each attribute, and the simulation
 clock.  The request/response handler queries the world for the sensors
 currently inside a grid cell and forwards acquisition requests to them.
+
+All per-sensor mutable state lives in one
+:class:`~repro.sensing.state.SensorStateArrays` struct-of-arrays owned by
+the world; :class:`MobileSensor` objects are lazy views over its rows.
+Spatial queries (``sensors_in``, ``density_snapshot``, ``sensor_positions``)
+are therefore plain array operations in every mode.  How sensors *move* and
+*respond* depends on the RNG contract selected by
+:attr:`WorldConfig.vectorized_rng`:
+
+* **strict mode** (default, ``vectorized_rng=False``): every sensor draws
+  from its own generator in creation order, exactly as the original
+  per-object simulator did — for a given seed the SoA storage produces
+  byte-identical trajectories and observations to per-object stepping of
+  the same models.  (The one intentional behaviour change shipped alongside
+  the refactor is the :class:`~repro.sensing.GaussMarkovMobility`
+  mean-reversion fix: its seeded trajectories differ from the pre-fix ones
+  because the *formula* changed, not the storage.)
+* **fast-sim mode** (``vectorized_rng=True``): all sensors share the
+  world's generator, so mobility advances through the models' vectorised
+  ``step_batch`` kernels (one call per model group per movement step) and
+  the handler's acquisition rounds sample participation and phenomena
+  across a whole cell population at once.  Runs are statistically
+  equivalent to strict mode (same densities, same response rates), not
+  bit-equal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +45,7 @@ from .mobility import MobilityModel, RandomWaypointMobility
 from .participation import ParticipationModel
 from .phenomena import PhenomenonField
 from .sensor import MobileSensor
+from .state import SensorStateArrays
 
 
 @dataclass(frozen=True)
@@ -37,12 +62,20 @@ class WorldConfig:
         Seed of the world's random generator.
     movement_step:
         Time granularity at which sensor positions are updated.
+    vectorized_rng:
+        Selects the fast-sim RNG contract: one shared random stream across
+        all sensors, enabling the batch mobility kernels and the handler's
+        population-level acquisition sampling.  The default ``False`` keeps
+        strict per-sensor streams (seeded byte-identical trajectories and
+        observations); flip it on for large-scale simulation where
+        statistical equivalence suffices.
     """
 
     region: Rectangle
     sensor_count: int = 100
     seed: Optional[int] = None
     movement_step: float = 0.1
+    vectorized_rng: bool = False
 
     def __post_init__(self) -> None:
         if self.sensor_count <= 0:
@@ -65,6 +98,7 @@ class SensingWorld:
         self._rng = np.random.default_rng(config.seed)
         self._clock = SimulationClock()
         mobility_factory = mobility_factory or (lambda region: RandomWaypointMobility(region))
+        self._state = SensorStateArrays(config.sensor_count)
         self._sensors: List[MobileSensor] = []
         for sensor_id in range(config.sensor_count):
             mobility = mobility_factory(config.region)
@@ -76,9 +110,36 @@ class SensingWorld:
                     mobility,
                     participation=participation,
                     rng=sensor_rng,
+                    state_arrays=self._state,
+                    index=sensor_id,
                 )
             )
+        self._mobility_groups, self._ungrouped_indices = self._group_mobility_models()
         self._fields: Dict[str, PhenomenonField] = {}
+
+    def _group_mobility_models(
+        self,
+    ) -> Tuple[List[Tuple[MobilityModel, np.ndarray]], np.ndarray]:
+        """Bucket sensors by their model's ``batch_key`` for kernel dispatch.
+
+        Sensors whose model returns ``None`` (no batch support) are stepped
+        per object even in fast-sim mode, with their own generators.
+        """
+        keyed: Dict[object, Tuple[MobilityModel, List[int]]] = {}
+        ungrouped: List[int] = []
+        for index, sensor in enumerate(self._sensors):
+            key = sensor.mobility.batch_key()
+            if key is None:
+                ungrouped.append(index)
+            elif key in keyed:
+                keyed[key][1].append(index)
+            else:
+                keyed[key] = (sensor.mobility, [index])
+        groups = [
+            (model, np.asarray(indices, dtype=np.int64))
+            for model, indices in keyed.values()
+        ]
+        return groups, np.asarray(ungrouped, dtype=np.int64)
 
     # ------------------------------------------------------------------
     @property
@@ -105,6 +166,16 @@ class SensingWorld:
     def sensors(self) -> Sequence[MobileSensor]:
         """All mobile sensors."""
         return tuple(self._sensors)
+
+    @property
+    def state_arrays(self) -> SensorStateArrays:
+        """The struct-of-arrays backing every sensor's mutable state."""
+        return self._state
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the world runs in shared-stream fast-sim mode."""
+        return self._config.vectorized_rng
 
     @property
     def rng(self) -> np.random.Generator:
@@ -138,48 +209,87 @@ class SensingWorld:
 
     # ------------------------------------------------------------------
     def advance(self, duration: float) -> float:
-        """Advance the clock by ``duration``, moving every sensor along the way."""
+        """Advance the clock by ``duration``, moving every sensor along the way.
+
+        Strict mode loops every sensor's scalar ``step`` with its private
+        generator (byte-identical to the seed behaviour); fast-sim mode runs
+        one vectorised ``step_batch`` kernel per mobility-model group per
+        movement step, drawing from the world's shared generator.
+        """
         if duration <= 0:
             raise CraqrError("duration must be positive")
         remaining = duration
         step = self._config.movement_step
-        while remaining > 1e-12:
-            dt = min(step, remaining)
-            for sensor in self._sensors:
-                sensor.move(dt)
-            self._clock.advance(dt)
-            remaining -= dt
+        vectorized = self._config.vectorized_rng
+        # Scalar-stepped sensors (all of them in strict mode, only the
+        # kernel-less ones in fast-sim) are checked out of the SoA once for
+        # the whole call, stepped on plain dataclass scratches, and
+        # committed back at the end — advance is atomic, so nothing
+        # observes the SoA in between, and the per-sub-step cost is the
+        # original per-object inner loop.
+        if vectorized:
+            scalar_sensors = [self._sensors[int(i)] for i in self._ungrouped_indices]
+        else:
+            scalar_sensors = self._sensors
+        for sensor in scalar_sensors:
+            sensor.begin_moves()
+        try:
+            while remaining > 1e-12:
+                dt = min(step, remaining)
+                if vectorized:
+                    for model, indices in self._mobility_groups:
+                        model.step_batch(self._state, indices, dt, self._rng)
+                for sensor in scalar_sensors:
+                    sensor.step_scalar(dt)
+                self._clock.advance(dt)
+                remaining -= dt
+        finally:
+            for sensor in scalar_sensors:
+                sensor.end_moves()
         return self._clock.now
+
+    def sensor_indices_in(self, region: Region) -> np.ndarray:
+        """SoA row indices of the sensors currently inside ``region``."""
+        mask = region.contains_many(self._state.x, self._state.y, closed=True)
+        return np.nonzero(mask)[0]
+
+    def sensor_indices_in_rectangle(self, rect: Rectangle) -> np.ndarray:
+        """SoA row indices of the sensors currently inside ``rect``."""
+        return self.sensor_indices_in(rect)
+
+    def sensors_at(self, indices: np.ndarray) -> List[MobileSensor]:
+        """The sensor views backing the given SoA row indices."""
+        return [self._sensors[int(i)] for i in indices]
 
     def sensors_in(self, region: Region) -> List[MobileSensor]:
         """Sensors whose current position lies inside ``region``."""
-        return [
-            sensor
-            for sensor in self._sensors
-            if region.contains(sensor.position.x, sensor.position.y, closed=True)
-        ]
+        return self.sensors_at(self.sensor_indices_in(region))
 
     def sensors_in_rectangle(self, rect: Rectangle) -> List[MobileSensor]:
         """Sensors whose current position lies inside ``rect``."""
-        return [
-            sensor
-            for sensor in self._sensors
-            if rect.contains(sensor.position.x, sensor.position.y, closed=True)
-        ]
+        return self.sensors_at(self.sensor_indices_in_rectangle(rect))
 
     def sensor_positions(self) -> np.ndarray:
-        """An ``(n, 2)`` array of current sensor positions."""
-        return np.array([[s.position.x, s.position.y] for s in self._sensors])
+        """An ``(n, 2)`` array of current sensor positions (a cheap copy)."""
+        return self._state.positions()
 
     def density_snapshot(self, nx: int = 8, ny: int = 8) -> np.ndarray:
-        """Counts of sensors in an ``ny x nx`` grid — a quick view of spatial skew."""
+        """Counts of sensors in an ``ny x nx`` grid — a quick view of spatial skew.
+
+        One vectorised bincount over the SoA position columns, using the
+        same truncation arithmetic as the original per-sensor loop so the
+        counts are identical.
+        """
         if nx <= 0 or ny <= 0:
             raise CraqrError("grid dimensions must be positive")
-        counts = np.zeros((ny, nx), dtype=int)
         region = self._config.region
-        for sensor in self._sensors:
-            pos = sensor.position
-            q = min(int((pos.x - region.x_min) / region.width * nx), nx - 1)
-            r = min(int((pos.y - region.y_min) / region.height * ny), ny - 1)
-            counts[r, q] += 1
-        return counts
+        q = np.minimum(
+            ((self._state.x - region.x_min) / region.width * nx).astype(np.int64),
+            nx - 1,
+        )
+        r = np.minimum(
+            ((self._state.y - region.y_min) / region.height * ny).astype(np.int64),
+            ny - 1,
+        )
+        counts = np.bincount(r * nx + q, minlength=nx * ny)
+        return counts.reshape(ny, nx)

@@ -1,0 +1,283 @@
+"""Mobility edge cases: walls, pauses, mean reversion, batch kernels.
+
+Covers the boundary behaviour of all five models on both entry points (the
+scalar ``step`` and the vectorised ``step_batch`` kernel), waypoint pause
+accounting across ``advance`` sub-steps, and a regression test for the
+Gauss-Markov mean-reversion bug (the velocity used to decay toward zero
+instead of reverting to ``mean_speed``).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rectangle
+from repro.sensing import (
+    GaussMarkovMobility,
+    HotspotMobility,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    SensingWorld,
+    SensorStateArrays,
+    StationaryMobility,
+    WorldConfig,
+)
+from repro.sensing.mobility import MobilityState
+
+REGION = Rectangle(0.0, 0.0, 2.0, 2.0)
+
+MODEL_FACTORIES = {
+    # Aggressive parameters so every model hammers the walls.
+    "stationary": lambda r: StationaryMobility(r),
+    "walk": lambda r: RandomWalkMobility(r, step_std=1.5),
+    "waypoint": lambda r: RandomWaypointMobility(r, speed=5.0, pause=0.1),
+    "gauss_markov": lambda r: GaussMarkovMobility(r, mean_speed=2.0, speed_std=1.0),
+    "hotspot": lambda r: HotspotMobility(
+        r, [(0.05, 0.05, 1.0), (1.95, 1.95, 1.0)], speed=4.0, jitter=0.5
+    ),
+}
+
+
+def in_region(xs, ys):
+    return (
+        np.all(xs >= REGION.x_min) and np.all(xs <= REGION.x_max)
+        and np.all(ys >= REGION.y_min) and np.all(ys <= REGION.y_max)
+    )
+
+
+class TestWallBehaviourScalar:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_scalar_steps_never_escape_region(self, name):
+        model = MODEL_FACTORIES[name](REGION)
+        rng = np.random.default_rng(101)
+        state = model.initial_state(rng)
+        xs, ys = [], []
+        for _ in range(300):
+            model.step(state, 0.2, rng)
+            xs.append(state.x)
+            ys.append(state.y)
+        assert in_region(np.array(xs), np.array(ys))
+
+    def test_gauss_markov_reflects_velocity_at_walls(self):
+        model = GaussMarkovMobility(REGION, mean_speed=1.0, speed_std=0.01)
+        state = MobilityState(x=1.95, y=1.0, vx=1.0, vy=0.0)
+        rng = np.random.default_rng(5)
+        model.step(state, 1.0, rng)
+        assert state.x == REGION.x_max  # clamped onto the wall ...
+        assert state.vx < 0  # ... with the velocity turned around
+
+
+class TestWallBehaviourBatch:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_batch_steps_never_escape_region(self, name):
+        model = MODEL_FACTORIES[name](REGION)
+        rng = np.random.default_rng(103)
+        count = 64
+        arrays = SensorStateArrays(count)
+        for i in range(count):
+            arrays.load_mobility_state(i, model.initial_state(rng))
+        indices = np.arange(count)
+        for _ in range(100):
+            model.step_batch(arrays, indices, 0.2, rng)
+            assert in_region(arrays.x, arrays.y)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_batch_kernel_handles_partial_masks(self, name):
+        # Kernels must only touch the rows they are given.
+        model = MODEL_FACTORIES[name](REGION)
+        rng = np.random.default_rng(104)
+        arrays = SensorStateArrays(10)
+        for i in range(10):
+            arrays.load_mobility_state(i, model.initial_state(rng))
+        frozen = arrays.positions()[5:].copy()
+        for _ in range(20):
+            model.step_batch(arrays, np.arange(5), 0.2, rng)
+        assert np.array_equal(arrays.positions()[5:], frozen)
+
+    def test_gauss_markov_batch_reflects_velocity(self):
+        model = GaussMarkovMobility(REGION, mean_speed=1.0, speed_std=0.01)
+        arrays = SensorStateArrays(1)
+        arrays.x[0], arrays.y[0] = 1.95, 1.0
+        arrays.vx[0], arrays.vy[0] = 1.0, 0.0
+        model.step_batch(arrays, np.array([0]), 1.0, np.random.default_rng(5))
+        assert arrays.x[0] == REGION.x_max
+        assert arrays.vx[0] < 0
+
+
+class TestWaypointPauseAccounting:
+    def make_paused_state(self, pause):
+        state = MobilityState(x=1.0, y=1.0, pause_remaining=pause)
+        return state
+
+    def test_pause_runs_down_across_steps_without_moving(self):
+        model = RandomWaypointMobility(REGION, speed=1.0, pause=0.35)
+        state = self.make_paused_state(0.35)
+        rng = np.random.default_rng(7)
+        for expected in (0.25, 0.15, 0.05, 0.0):
+            model.step(state, 0.1, rng)
+            assert state.pause_remaining == pytest.approx(expected)
+            assert (state.x, state.y) == (1.0, 1.0)
+        # Only the step *after* the timer hit zero starts a new leg.
+        model.step(state, 0.1, rng)
+        assert (state.x, state.y) != (1.0, 1.0)
+        assert state.target_x is not None
+
+    def test_batch_pause_matches_scalar_semantics(self):
+        model = RandomWaypointMobility(REGION, speed=1.0, pause=0.35)
+        arrays = SensorStateArrays(3)
+        arrays.x[:] = arrays.y[:] = 1.0
+        arrays.pause_remaining[:] = [0.35, 0.05, 0.0]
+        rng = np.random.default_rng(8)
+        model.step_batch(arrays, np.arange(3), 0.1, rng)
+        # Paused rows ran their timers down in place ...
+        assert arrays.pause_remaining[0] == pytest.approx(0.25)
+        assert arrays.pause_remaining[1] == pytest.approx(0.0)
+        assert np.all(arrays.x[:2] == 1.0) and np.all(arrays.y[:2] == 1.0)
+        # ... while the expired row picked a target and moved.
+        assert (arrays.x[2], arrays.y[2]) != (1.0, 1.0)
+        assert not np.isnan(arrays.target_x[2])
+
+    def test_pause_accounting_across_world_advance_sub_steps(self):
+        # speed 50 reaches any target within one 0.1 sub-step, so the
+        # sensor alternates arrive -> pause(0.3 = 3 sub-steps) -> walk.
+        world = SensingWorld(
+            WorldConfig(region=REGION, sensor_count=1, seed=13, movement_step=0.1),
+            mobility_factory=lambda r: RandomWaypointMobility(r, speed=50.0, pause=0.3),
+        )
+        soa = world.state_arrays
+        world.advance(0.1)  # arrives at its first target and starts pausing
+        resting = (float(soa.x[0]), float(soa.y[0]))
+        assert soa.pause_remaining[0] == pytest.approx(0.3)
+        world.advance(0.3)  # three sub-steps: 0.2 -> 0.1 -> 0.0, no movement
+        assert soa.pause_remaining[0] == pytest.approx(0.0)
+        assert (float(soa.x[0]), float(soa.y[0])) == resting
+        world.advance(0.1)  # next leg: jumps to a fresh target, pauses again
+        assert (float(soa.x[0]), float(soa.y[0])) != resting
+        assert soa.pause_remaining[0] == pytest.approx(0.3)
+
+
+class TestGaussMarkovMeanReversion:
+    """Regression: the mean-reversion term used to be multiplied by 0.0."""
+
+    def long_run_mean_speed(self, *, batch, mean_speed=0.3, steps=4000):
+        region = Rectangle(0.0, 0.0, 50.0, 50.0)  # huge: walls play no role
+        model = GaussMarkovMobility(
+            region, mean_speed=mean_speed, alpha=0.75, speed_std=0.05
+        )
+        rng = np.random.default_rng(42)
+        if batch:
+            arrays = SensorStateArrays(100)
+            for i in range(100):
+                state = model.initial_state(rng)
+                state.x = state.y = 25.0
+                arrays.load_mobility_state(i, state)
+            speeds = []
+            for _ in range(steps // 100):
+                model.step_batch(arrays, np.arange(100), 0.1, rng)
+                speeds.append(np.hypot(arrays.vx, arrays.vy).mean())
+            return float(np.mean(speeds[len(speeds) // 2:]))
+        state = model.initial_state(rng)
+        state.x = state.y = 25.0
+        speeds = []
+        for _ in range(steps):
+            model.step(state, 0.1, rng)
+            speeds.append(math.hypot(state.vx, state.vy))
+        return float(np.mean(speeds[steps // 2:]))
+
+    def test_scalar_long_run_speed_reverts_to_mean(self):
+        mean = self.long_run_mean_speed(batch=False)
+        # With the old bug the velocity decays to pure noise
+        # (~speed_std * sqrt(pi/2) ~ 0.06); fixed, it hovers at mean_speed.
+        assert 0.25 < mean < 0.4
+
+    def test_batch_long_run_speed_reverts_to_mean(self):
+        mean = self.long_run_mean_speed(batch=True)
+        assert 0.25 < mean < 0.4
+
+    def test_zero_velocity_state_recovers(self):
+        model = GaussMarkovMobility(REGION, mean_speed=0.5, speed_std=0.1)
+        state = MobilityState(x=1.0, y=1.0, vx=0.0, vy=0.0)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            model.step(state, 0.1, rng)
+        assert math.hypot(state.vx, state.vy) > 0.1
+
+
+class _BiasedWalk(RandomWalkMobility):
+    """Overrides the scalar dynamics but inherits the parent's kernel."""
+
+    def step(self, state, dt, rng):
+        super().step(state, dt, rng)
+        state.x = min(state.x + 1.0 * dt, self.region.x_max)
+
+
+class _DriftingModel(StationaryMobility):
+    """Stashes custom per-sensor state on its MobilityState (pre-SoA idiom)."""
+
+    def initial_state(self, rng):
+        state = super().initial_state(rng)
+        state.drift_budget = 0.5  # extra attribute unknown to the SoA
+        return state
+
+    def step(self, state, dt, rng):
+        consumed = min(state.drift_budget, 0.1 * dt)
+        state.drift_budget -= consumed
+        state.x = min(state.x + consumed, self.region.x_max)
+
+
+class TestCustomModelContract:
+    """Subclassed models must stay correct in both RNG modes."""
+
+    def test_overridden_step_disables_inherited_kernel(self):
+        model = _BiasedWalk(REGION, step_std=0.01)
+        assert model.batch_key() is None  # parent kernel no longer matches
+        assert RandomWalkMobility(REGION, step_std=0.01).batch_key() is not None
+
+    def test_overridden_helper_hook_disables_inherited_kernel(self):
+        # Customising dynamics through a helper hook (not step itself) must
+        # also opt the subclass out of the parent's kernel.
+        class LeftHalfWaypoint(RandomWaypointMobility):
+            def _pick_target(self, state, rng):
+                super()._pick_target(state, rng)
+                state.target_x = min(state.target_x, self.region.center.x)
+
+        assert LeftHalfWaypoint(REGION).batch_key() is None
+
+    def test_overridden_step_runs_in_fast_sim_world(self):
+        def mean_drift(vectorized):
+            world = SensingWorld(
+                WorldConfig(
+                    region=Rectangle(0.0, 0.0, 100.0, 100.0),
+                    sensor_count=30,
+                    seed=5,
+                    vectorized_rng=vectorized,
+                ),
+                mobility_factory=lambda r: _BiasedWalk(r, step_std=0.01),
+            )
+            before = world.sensor_positions()[:, 0].mean()
+            world.advance(5.0)
+            return world.sensor_positions()[:, 0].mean() - before
+
+        # The +1.0/time-unit drift must appear in both modes (fast-sim
+        # falls back to per-object stepping for the unmatched subclass).
+        assert mean_drift(False) == pytest.approx(5.0, abs=0.5)
+        assert mean_drift(True) == pytest.approx(5.0, abs=0.5)
+
+    def test_custom_state_attributes_survive_the_soa(self):
+        for vectorized in (False, True):
+            world = SensingWorld(
+                WorldConfig(
+                    region=REGION, sensor_count=3, seed=9, vectorized_rng=vectorized
+                ),
+                mobility_factory=lambda r: _DriftingModel(r),
+            )
+            start = world.sensor_positions()[:, 0].copy()
+            world.advance(2.0)  # drains 0.1/time-unit from each drift budget
+            moved = world.sensor_positions()[:, 0] - start
+            assert np.allclose(moved[start + 0.2 <= REGION.x_max], 0.2)
+            world.advance(10.0)  # budget (0.5 total) is exhausted by now
+            final = world.sensor_positions()[:, 0]
+            assert np.allclose(
+                final[start + 0.5 <= REGION.x_max], (start + 0.5)[start + 0.5 <= REGION.x_max]
+            )

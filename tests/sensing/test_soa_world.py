@@ -1,0 +1,212 @@
+"""The SoA sensing world: strict-mode equivalence and vectorised queries.
+
+Strict mode (the default) must be *byte-identical* to the seed
+implementation, which kept a ``MobilityState`` dataclass per sensor and
+stepped each one with its private generator.  The reference trajectories
+here are produced exactly that way — plain dataclass states, scalar
+``step`` calls — and compared against the SoA-backed world with ``==``,
+not ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rectangle, RectRegion
+from repro.sensing import (
+    AlwaysRespond,
+    BernoulliParticipation,
+    GaussMarkovMobility,
+    HotspotMobility,
+    MobileSensor,
+    RandomWalkMobility,
+    RandomWaypointMobility,
+    SensingWorld,
+    SensorStateArrays,
+    StationaryMobility,
+    WorldConfig,
+)
+from repro.sensing.mobility import MobilityState
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+MOBILITY_FACTORIES = {
+    "stationary": lambda r: StationaryMobility(r),
+    "walk": lambda r: RandomWalkMobility(r, step_std=0.2),
+    "waypoint": lambda r: RandomWaypointMobility(r, speed=0.4, pause=0.3),
+    "gauss_markov": lambda r: GaussMarkovMobility(r, mean_speed=0.3),
+    "hotspot": lambda r: HotspotMobility(r, [(1.0, 1.0, 1.0), (3.0, 3.0, 2.0)]),
+}
+
+
+def reference_trajectories(factory, sensor_count, seed, duration, movement_step):
+    """Re-run the pre-SoA per-object simulation: dataclass states, scalar steps."""
+    rng = np.random.default_rng(seed)
+    sensors = []
+    for _ in range(sensor_count):
+        model = factory(REGION)
+        sensor_rng = np.random.default_rng(rng.integers(0, 2 ** 63 - 1))
+        state = model.initial_state(sensor_rng)
+        assert isinstance(state, MobilityState)
+        sensors.append((model, state, sensor_rng))
+    remaining = duration
+    while remaining > 1e-12:
+        dt = min(movement_step, remaining)
+        for model, state, sensor_rng in sensors:
+            model.step(state, dt, sensor_rng)
+        remaining -= dt
+    return np.array([[state.x, state.y] for _, state, _ in sensors])
+
+
+class TestStrictModeEquivalence:
+    """Strict SoA trajectories == the old per-object path, bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(MOBILITY_FACTORIES))
+    def test_advance_byte_identical_to_per_object_path(self, name):
+        factory = MOBILITY_FACTORIES[name]
+        config = WorldConfig(region=REGION, sensor_count=40, seed=17)
+        world = SensingWorld(config, mobility_factory=factory)
+        world.advance(2.5)
+        expected = reference_trajectories(
+            factory, 40, 17, 2.5, config.movement_step
+        )
+        assert np.array_equal(world.sensor_positions(), expected)
+
+    def test_initial_positions_byte_identical(self):
+        factory = MOBILITY_FACTORIES["waypoint"]
+        world = SensingWorld(
+            WorldConfig(region=REGION, sensor_count=30, seed=23),
+            mobility_factory=factory,
+        )
+        rng = np.random.default_rng(23)
+        for sensor in world.sensors:
+            model = factory(REGION)
+            sensor_rng = np.random.default_rng(rng.integers(0, 2 ** 63 - 1))
+            state = model.initial_state(sensor_rng)
+            assert (sensor.position.x, sensor.position.y) == (state.x, state.y)
+
+
+class TestSensorStateArrays:
+    def test_rejects_empty(self):
+        from repro.errors import CraqrError
+
+        with pytest.raises(CraqrError):
+            SensorStateArrays(0)
+
+    def test_state_view_round_trips_none_targets(self):
+        arrays = SensorStateArrays(2)
+        view = arrays.state_view(0)
+        assert view.target_x is None and view.target_y is None
+        view.target_x = 1.5
+        view.target_y = 2.5
+        assert (view.target_x, view.target_y) == (1.5, 2.5)
+        assert arrays.target_x[0] == 1.5
+        view.target_x = None
+        assert view.target_x is None
+        assert np.isnan(arrays.target_x[0])
+        # The sibling row is untouched.
+        assert np.isnan(arrays.target_x[1])
+
+    def test_view_duck_types_mobility_state(self):
+        arrays = SensorStateArrays(1)
+        view = arrays.state_view(0)
+        model = RandomWaypointMobility(REGION, speed=1.0, pause=0.0)
+        rng = np.random.default_rng(0)
+        arrays.load_mobility_state(0, model.initial_state(rng))
+        for _ in range(50):
+            model.step(view, 0.1, rng)
+        assert REGION.contains(view.x, view.y, closed=True)
+
+    def test_standalone_sensor_owns_private_row(self):
+        sensor = MobileSensor(
+            7, StationaryMobility(REGION), rng=np.random.default_rng(1)
+        )
+        assert sensor.requests_received == 0
+        assert REGION.contains_point(sensor.position, closed=True)
+
+    def test_participation_columns_populated(self):
+        world = SensingWorld(
+            WorldConfig(region=REGION, sensor_count=10, seed=3),
+            participation_factory=lambda i: BernoulliParticipation(
+                0.4, mean_latency=0.3, max_probability=0.9
+            ),
+        )
+        soa = world.state_arrays
+        assert np.all(soa.vector_participation)
+        assert np.all(soa.p_base == 0.4)
+        assert np.all(soa.p_max == 0.9)
+        assert np.all(soa.latency_mean == 0.3)
+        assert np.all(soa.incentive_sensitive)
+
+    def test_always_respond_is_incentive_insensitive(self):
+        world = SensingWorld(
+            WorldConfig(region=REGION, sensor_count=4, seed=3),
+            participation_factory=lambda i: AlwaysRespond(),
+        )
+        soa = world.state_arrays
+        assert np.all(soa.vector_participation)
+        assert np.all(soa.p_base == 1.0)
+        assert not np.any(soa.incentive_sensitive)
+
+
+class TestVectorisedWorldQueries:
+    def make_world(self, sensor_count=200, seed=6):
+        return SensingWorld(
+            WorldConfig(region=REGION, sensor_count=sensor_count, seed=seed),
+            mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.3),
+        )
+
+    def test_sensors_in_matches_per_sensor_loop(self):
+        world = self.make_world()
+        world.advance(3.0)
+        sub_region = RectRegion(Rectangle(0.5, 0.5, 2.5, 2.5))
+        vectorised = world.sensors_in(sub_region)
+        looped = [
+            sensor
+            for sensor in world.sensors
+            if sub_region.contains(sensor.position.x, sensor.position.y, closed=True)
+        ]
+        assert vectorised == looped
+        assert 0 < len(vectorised) < 200
+
+    def test_sensors_in_rectangle_matches_per_sensor_loop(self):
+        world = self.make_world(seed=8)
+        rect = Rectangle(2.0, 0.0, 4.0, 2.0)
+        vectorised = world.sensors_in_rectangle(rect)
+        looped = [
+            sensor
+            for sensor in world.sensors
+            if rect.contains(sensor.position.x, sensor.position.y, closed=True)
+        ]
+        assert vectorised == looped
+
+    def test_sensor_indices_align_with_sensor_ids(self):
+        world = self.make_world(seed=9)
+        rect = Rectangle(0.0, 0.0, 2.0, 4.0)
+        indices = world.sensor_indices_in_rectangle(rect)
+        assert [world.sensors[int(i)].sensor_id for i in indices] == list(
+            world.state_arrays.sensor_ids[indices]
+        )
+
+    def test_density_snapshot_matches_per_sensor_loop(self):
+        world = self.make_world(sensor_count=300, seed=11)
+        world.advance(2.0)
+        counts = world.density_snapshot(5, 3)
+        assert counts.sum() == 300
+        expected = np.zeros((3, 5), dtype=int)
+        for sensor in world.sensors:
+            pos = sensor.position
+            q = min(int((pos.x - REGION.x_min) / REGION.width * 5), 4)
+            r = min(int((pos.y - REGION.y_min) / REGION.height * 3), 2)
+            expected[r, q] += 1
+        assert np.array_equal(counts, expected)
+
+    def test_sensor_positions_reflect_soa_columns(self):
+        world = self.make_world(sensor_count=50, seed=12)
+        positions = world.sensor_positions()
+        assert positions.shape == (50, 2)
+        assert np.array_equal(positions[:, 0], world.state_arrays.x)
+        assert np.array_equal(positions[:, 1], world.state_arrays.y)
+        # A copy, not an aliased view: advancing must not mutate it.
+        before = positions.copy()
+        world.advance(1.0)
+        assert np.array_equal(positions, before)
