@@ -1,0 +1,169 @@
+"""E15: fused attribute-level acquisition vs the per-cell fast-sim round.
+
+PR 2 vectorised acquisition *within* a cell (``acquire_cell_batch`` samples
+one cell population per call); this benchmark measures the PR 3 fusion that
+serves **all** cells of an attribute with one bucketing pass, one
+participation draw, one latency draw and one ``field.values`` call
+(``acquire_attribute_batch``).
+
+Two measurements:
+
+* Fused vs per-cell fast-sim round at 1k / 10k / 100k sensors over a
+  64-cell grid with one attribute.  ISSUE 3's acceptance bar is a >= 3x
+  speedup at 10k sensors.
+* A ``FatigueParticipation`` crowd (the stateful model that used to force
+  the exact per-sensor fallback) running fast-sim acquisition through the
+  participation vector-state protocol, compared to the per-sensor exact
+  round it used to require.  The benchmark also *proves* the fallback was
+  not taken: only the per-sensor path journals observations into sensor
+  memory.
+
+Results are persisted to ``BENCH_world.json`` via ``record_world_metric`` so
+the acquisition perf trajectory is tracked across PRs.
+"""
+
+import time
+
+from repro.geometry import Grid, Rectangle
+from repro.metrics import ResultTable
+from repro.sensing import (
+    BernoulliParticipation,
+    FatigueParticipation,
+    RainField,
+    RandomWaypointMobility,
+    RequestResponseHandler,
+    SensingWorld,
+    WorldConfig,
+)
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+GRID_SIDE = 8  # 64 cells, the ISSUE 3 acceptance geometry
+BUDGET = 100
+ROUNDS = 3
+
+SENSOR_COUNTS = (1_000, 10_000, 100_000)
+
+#: ISSUE 3 acceptance: fused vs per-cell fast-sim at 10k sensors / 64 cells.
+REQUIRED_FUSED_SPEEDUP = 3.0
+
+
+def make_world(sensor_count, *, vectorized=True, participation=None, seed=23):
+    world = SensingWorld(
+        WorldConfig(
+            region=REGION,
+            sensor_count=sensor_count,
+            seed=seed,
+            vectorized_rng=vectorized,
+        ),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.4),
+        participation_factory=participation
+        or (lambda i: BernoulliParticipation(0.6, mean_latency=0.1)),
+    )
+    world.register_field(RainField(REGION))
+    return world
+
+
+def time_rounds(handler, cells, run_round, rounds=ROUNDS):
+    """Best wall-clock of ``rounds`` acquisition rounds (no world advance)."""
+    run_round(handler, cells)  # warm-up
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_round(handler, cells)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def per_cell_round(handler, cells):
+    for cell in cells:
+        handler.acquire_cell_batch("rain", cell, duration=1.0)
+
+
+def fused_round(handler, cells):
+    handler.acquire_attribute_batch("rain", cells, duration=1.0)
+
+
+def test_fused_attribute_acquisition_throughput(record_table, record_world_metric):
+    table = ResultTable(
+        "E15 - acquisition round: per-cell fast-sim vs fused attribute-level",
+        ["sensors", "cells", "per-cell ms/round", "fused ms/round", "speedup"],
+    )
+    grid = Grid(REGION, side=GRID_SIDE)
+    cells = list(grid.cells())
+    speedups = {}
+    for count in SENSOR_COUNTS:
+        cellwise_world = make_world(count)
+        fused_world = make_world(count)
+        cellwise_handler = RequestResponseHandler(
+            cellwise_world, grid, default_budget=BUDGET
+        )
+        fused_handler = RequestResponseHandler(
+            fused_world, grid, default_budget=BUDGET
+        )
+        cellwise_elapsed = time_rounds(cellwise_handler, cells, per_cell_round)
+        fused_elapsed = time_rounds(fused_handler, cells, fused_round)
+        speedup = cellwise_elapsed / fused_elapsed
+        speedups[count] = speedup
+        table.add_row(
+            count,
+            len(cells),
+            f"{cellwise_elapsed * 1e3:.2f}",
+            f"{fused_elapsed * 1e3:.2f}",
+            f"{speedup:.1f}x",
+        )
+        record_world_metric(
+            f"acquisition_fused_speedup_{count}",
+            speedup,
+            unit="x",
+            detail={
+                "per_cell_seconds_per_round": cellwise_elapsed,
+                "fused_seconds_per_round": fused_elapsed,
+                "cells": len(cells),
+                "budget_per_cell": BUDGET,
+            },
+        )
+    record_table("E15_fused_acquisition", table)
+
+    assert speedups[10_000] >= REQUIRED_FUSED_SPEEDUP, (
+        f"fused attribute-level round only {speedups[10_000]:.1f}x faster than "
+        f"the per-cell fast-sim round at 10k sensors / {len(cells)} cells"
+    )
+
+
+def test_fatigue_crowd_runs_fast_sim_without_fallback(record_world_metric):
+    """Stateful participation through the vector-state protocol, measured."""
+    participation = lambda i: FatigueParticipation(
+        0.7, fatigue_per_request=0.05, recovery_per_time=0.01
+    )
+    grid = Grid(REGION, side=GRID_SIDE)
+    cells = list(grid.cells())
+
+    # The old behaviour: fatigue forced the exact per-sensor round (still
+    # reachable as the strict per-cell path, which is what fast-sim fell
+    # back to before the vector-state protocol).
+    exact_world = make_world(10_000, vectorized=False, participation=participation)
+    exact_handler = RequestResponseHandler(exact_world, grid, default_budget=BUDGET)
+    exact_elapsed = time_rounds(exact_handler, cells, per_cell_round)
+
+    fused_world = make_world(10_000, vectorized=True, participation=participation)
+    fused_handler = RequestResponseHandler(fused_world, grid, default_budget=BUDGET)
+    fused_elapsed = time_rounds(fused_handler, cells, fused_round)
+
+    # Only the per-sensor fallback journals into sensor memory: empty
+    # journals prove the whole crowd took the vectorised path.
+    assert fused_handler.total_responses > 0
+    assert all(not sensor.memory for sensor in fused_world.sensors)
+
+    speedup = exact_elapsed / fused_elapsed
+    record_world_metric(
+        "acquisition_fatigue_vector_state_speedup",
+        speedup,
+        unit="x",
+        detail={
+            "per_sensor_exact_seconds_per_round": exact_elapsed,
+            "fused_vector_state_seconds_per_round": fused_elapsed,
+            "sensors": 10_000,
+            "cells": len(cells),
+        },
+    )
+    assert speedup >= REQUIRED_FUSED_SPEEDUP

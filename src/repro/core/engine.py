@@ -118,7 +118,11 @@ class QueryHandle:
         return self._buffer.items()
 
     def achieved_rate(self, last_batches: Optional[int] = None) -> RateEstimate:
-        """Achieved spatio-temporal rate (over all or the last N batches)."""
+        """Achieved spatio-temporal rate (over all or the last N batches).
+
+        ``last_batches`` must be positive when given; ``None`` covers the
+        query's whole history.
+        """
         return self._buffer.rate_over_batches(
             self._engine.config.batch_duration, last=last_batches
         )
@@ -302,7 +306,10 @@ class CraqrEngine:
         individual object.  Both paths are seeded identically and deliver
         the same tuples.  When the world additionally runs in fast-sim mode
         (:attr:`~repro.sensing.WorldConfig.vectorized_rng`), sensor movement
-        and acquisition sampling vectorise across the whole crowd — faster
+        and acquisition sampling vectorise across the whole crowd — the
+        handler then serves each attribute with one fused
+        :meth:`~repro.sensing.RequestResponseHandler.acquire_attribute_batch`
+        round instead of one round per ``(attribute, cell)`` pair — faster
         still, but statistically rather than bit-for-bit reproducible.
         """
         duration = self._config.batch_duration

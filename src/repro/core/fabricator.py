@@ -133,7 +133,10 @@ class StreamFabricator:
         :meth:`Grid.cells_for_points` call; tuples are then grouped per cell
         with a single lexsort (cell code major, time minor), so every
         resulting per-cell slice is already time-ordered — no per-tuple
-        ``locate`` calls and no comparison sort of object lists.
+        ``locate`` calls and no comparison sort of object lists.  The input
+        is one batch per attribute either way the handler produced it: the
+        strict path concatenates its per-cell rounds, the fast-sim path
+        hands over the fused attribute-level round directly.
         """
         side = self._grid.side
         mapped: Dict[CellKey, Dict[str, TupleBatch]] = {}

@@ -177,12 +177,16 @@ class FlattenOperator(PMATOperator):
         """Pick the intensity model used to flatten the current batch."""
         if self._intensity is not None:
             return self._intensity
+        t_min, t_max = batch.time_span()
         if self._online and self._online_estimator is not None:
-            self._online_estimator.observe_batch(batch)
+            # Anchor the SGD compensator at the batch's own window: without
+            # it the per-event gradient integrated the basis over
+            # [0, window_duration] forever while event times grew, biasing
+            # theta_t more and more as simulation time advanced.
+            self._online_estimator.observe_batch(batch, window_start=t_min)
             # Until the online estimate has warmed up fall back to MLE below.
             if self._online_estimator.updates >= 2 * self._min_batch_for_fit:
                 return self._online_estimator.intensity
-        t_min, t_max = batch.time_span()
         duration = max(t_max - t_min, self._batch_duration)
         if len(batch) >= self._min_batch_for_fit:
             try:

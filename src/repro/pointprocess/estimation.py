@@ -337,10 +337,21 @@ class OnlineIntensityEstimator:
         step = self._learning_rate / np.sqrt(self._updates)
         self._theta = self._theta + step * gradient
 
-    def observe_batch(self, batch: EventBatch, *, window_start: float = 0.0) -> None:
-        """Apply SGD steps for every event in a batch (in time order)."""
+    def observe_batch(
+        self, batch: EventBatch, *, window_start: Optional[float] = None
+    ) -> None:
+        """Apply SGD steps for every event in a batch (in time order).
+
+        ``window_start`` anchors the compensator's observation window; it
+        defaults to the batch's own earliest event time, so that batches
+        starting at large simulation times integrate the basis over the
+        window they were actually observed on (a fixed ``0.0`` anchor would
+        bias the time-slope gradient more and more as time advances).
+        """
         if batch.is_empty:
             return
+        if window_start is None:
+            window_start = float(np.min(batch.t))
         # Track the running average of events per window for the compensator.
         self._events_in_window = 0.7 * self._events_in_window + 0.3 * len(batch)
         ordered = batch.sorted_by_time()

@@ -36,6 +36,7 @@ from .phenomena import (
 )
 from .participation import (
     ParticipationModel,
+    ResponseDecision,
     AlwaysRespond,
     BernoulliParticipation,
     DistanceDecayParticipation,
@@ -63,6 +64,7 @@ __all__ = [
     "TemperatureField",
     "ConstantField",
     "ParticipationModel",
+    "ResponseDecision",
     "AlwaysRespond",
     "BernoulliParticipation",
     "DistanceDecayParticipation",

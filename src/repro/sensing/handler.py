@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import AcquisitionError, BudgetError
+from ..errors import AcquisitionError, BudgetError, GeometryError
 from ..geometry import Grid, GridCell
 from ..streams import SensorTuple, TupleBatch, make_tuple_id_allocator
 from .incentives import FlatIncentive, IncentiveScheme
@@ -246,9 +246,7 @@ class RequestResponseHandler:
 
     def _allocate_tuple_ids(self, count: int) -> np.ndarray:
         """Allocate ``count`` consecutive tuple ids as an int64 column."""
-        return np.fromiter(
-            (self._allocate_tuple_id() for _ in range(count)), dtype=np.int64, count=count
-        )
+        return self._allocate_tuple_id.allocate_block(count)
 
     @staticmethod
     def _cell_column(cell: GridCell, count: int) -> np.ndarray:
@@ -307,9 +305,11 @@ class RequestResponseHandler:
         samples the whole cell population at once from the world's shared
         stream: participation decisions, latencies and phenomenon values are
         single vectorised draws over the SoA columns (see
-        :meth:`_acquire_cell_batch_fast`).  Cells containing a sensor whose
-        participation model cannot be vectorised fall back to the exact
-        per-sensor round.
+        :meth:`_acquire_cell_batch_fast`).  Stateful models that implement
+        the vector-state protocol (fatigue, distance decay) are decided
+        vectorially through their participation group; only cells containing
+        a sensor whose model supports neither stationary ``vector_params``
+        nor vector state fall back to the exact per-sensor round.
         """
         field_model, budget, indices, key = self._start_round(
             attribute, cell, duration=duration
@@ -399,13 +399,15 @@ class RequestResponseHandler:
 
         Instead of answering each chosen sensor from its private stream, the
         whole round draws from the world's shared generator: one uniform
-        draw decides every participation outcome against the SoA probability
-        columns, one exponential draw produces every latency, and one
-        ``field.values`` call senses every response at the responders'
-        current SoA positions.  :meth:`acquire_cell_batch` dispatches here
-        only when every sensor in the cell exposes vectorisable
-        participation parameters (``indices`` is the non-empty cell
-        population it already resolved).
+        draw decides every participation outcome against the per-row
+        response probabilities (stationary SoA parameter columns, or the
+        vector-state protocol for stateful participation groups — see
+        :meth:`_vector_response_probabilities`), one exponential draw
+        produces every latency, and one ``field.values`` call senses every
+        response at the responders' current SoA positions.
+        :meth:`acquire_cell_batch` dispatches here only when every sensor in
+        the cell exposes vectorisable participation (``indices`` is the
+        non-empty cell population it already resolved).
 
         Note: unlike the per-sensor paths, fast-sim does not journal
         observations into each sensor's local memory — at fast-sim scale the
@@ -422,11 +424,10 @@ class RequestResponseHandler:
         report.incentive_spent += float(payments.sum())
 
         rows = indices[np.asarray(chosen_indices)]
-        probabilities = np.where(
-            soa.incentive_sensitive[rows],
-            np.minimum(soa.p_base[rows] * multipliers, soa.p_max[rows]),
-            soa.p_base[rows],
+        probabilities = self._vector_response_probabilities(
+            rows, request_times, multipliers
         )
+        self._vector_commit_round(rows, request_times)
         rng = world.rng
         responds = rng.random(budget) < probabilities
         # Rows repeat only when the cell held fewer sensors than the budget
@@ -464,6 +465,419 @@ class RequestResponseHandler:
             self._allocate_tuple_ids(count),
             extra={
                 "cell": self._cell_column(cell, count),
+                "incentive": payments[responds],
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorised participation (shared by the cell-level and fused rounds)
+    # ------------------------------------------------------------------
+    def _vector_response_probabilities(
+        self, rows: np.ndarray, times: np.ndarray, multipliers: np.ndarray
+    ) -> np.ndarray:
+        """Final response probabilities for the requested SoA ``rows``.
+
+        Stationary rows read the participation parameter columns directly;
+        rows of a stateful vector-participation group are routed to the
+        group's representative model (one
+        :meth:`~repro.sensing.participation.ParticipationModel.vector_probabilities`
+        call per distinct group in the round).  Incentive boosting and the
+        per-row ``p_max`` cap apply uniformly to both kinds.
+        """
+        soa = self._world.state_arrays
+        base = soa.p_base[rows]  # fancy indexing: a fresh array, safe to edit
+        group_ids = soa.participation_group[rows]
+        stateful = group_ids >= 0
+        if np.any(stateful):
+            groups = self._world.participation_groups
+            for group_id in np.unique(group_ids[stateful]):
+                mask = group_ids == group_id
+                base[mask] = groups[int(group_id)].vector_probabilities(
+                    soa, rows[mask], times[mask]
+                )
+        return np.where(
+            soa.incentive_sensitive[rows],
+            np.minimum(base * multipliers, soa.p_max[rows]),
+            base,
+        )
+
+    def _vector_commit_round(self, rows: np.ndarray, times: np.ndarray) -> None:
+        """Apply the round's state updates for stateful participation rows."""
+        soa = self._world.state_arrays
+        group_ids = soa.participation_group[rows]
+        stateful = group_ids >= 0
+        if not np.any(stateful):
+            return
+        groups = self._world.participation_groups
+        for group_id in np.unique(group_ids[stateful]):
+            mask = group_ids == group_id
+            groups[int(group_id)].vector_commit(soa, rows[mask], times[mask])
+
+    def _bucket_sensors(self) -> Tuple[np.ndarray, np.ndarray, frozenset]:
+        """Bucket the whole crowd into grid cells, once per acquisition round.
+
+        The expensive part of population resolution is independent of which
+        cells (and which attribute) a round requests: every sensor's cell
+        code is computed and sorted in one pass, so a multi-attribute round
+        pays it once (:meth:`acquire_batches` threads the result through
+        each attribute's :meth:`acquire_attribute_batch`).
+
+        Returns ``(sorted_codes, sorted_rows, non_vector_codes)``: cell
+        codes ascending with the SoA row indices aligned, plus the codes of
+        cells hosting any sensor without vectorisable participation.
+        """
+        soa = self._world.state_arrays
+        grid = self._grid
+        region = grid.region
+        side = grid.side
+        xs, ys = soa.x, soa.y
+        inside = (
+            (region.x_min <= xs) & (xs <= region.x_max)
+            & (region.y_min <= ys) & (ys <= region.y_max)
+        )
+        if inside.all():
+            # The common case (no mobility model escapes the region): work
+            # on the columns directly, and the argsort result doubles as
+            # the sorted row indices — no gathers at all.
+            rows = None
+            in_xs, in_ys = xs, ys
+        else:
+            rows = np.nonzero(inside)[0]
+            in_xs, in_ys = xs[rows], ys[rows]
+        # Same bucketing arithmetic as Grid.cells_for_points (including the
+        # clamp of the outermost top/right boundary), inlined because the
+        # containment check above already validated the coordinates.
+        cell_width = region.width / side
+        cell_height = region.height / side
+        q = ((in_xs - region.x_min) / cell_width).astype(np.int64)
+        r = ((in_ys - region.y_min) / cell_height).astype(np.int64)
+        np.minimum(q, side - 1, out=q)
+        np.minimum(r, side - 1, out=r)
+        codes = r * side + q
+        # Radix-sorting a narrow integer key is several times faster than
+        # sorting int64; any practical grid fits in int16.
+        sort_codes = codes.astype(np.int16) if side * side < 2 ** 15 else codes
+        order = np.argsort(sort_codes, kind="stable")
+        sorted_codes = sort_codes[order]
+        sorted_rows = order if rows is None else rows[order]
+        # Cells hosting any non-vectorisable sensor, computed in one mask
+        # instead of one np.all per cell (and skipped entirely for the
+        # common fully-vectorisable crowd).
+        if soa.vector_participation.all():
+            non_vector_codes = frozenset()
+        else:
+            non_vector_codes = frozenset(
+                np.unique(
+                    sorted_codes[~soa.vector_participation[sorted_rows]]
+                ).tolist()
+            )
+        return sorted_codes, sorted_rows, non_vector_codes
+
+    def _resolve_cell_populations(
+        self,
+        cells: List[GridCell],
+        bucketing: Optional[Tuple[np.ndarray, np.ndarray, frozenset]] = None,
+    ) -> Tuple[Dict[CellKey, np.ndarray], Dict[CellKey, bool]]:
+        """SoA row indices of every requested cell's population.
+
+        Instead of one O(n) containment mask per cell, the crowd is
+        bucketed once (:meth:`_bucket_sensors`, or the precomputed
+        ``bucketing`` of the current round) and each requested cell's
+        population is a slice lookup via two vectorised ``searchsorted``
+        calls.  Sensors that escaped the region (possible only with
+        out-of-bounds custom mobility models) are excluded, and cells that
+        do not belong to the handler's grid are left out (the caller falls
+        back to the exact per-cell containment round for them).  Sensors
+        exactly on an interior cell edge land in one bucket (the upper
+        cell) rather than both closed rectangles — indistinguishable
+        statistically, which is the fused fast-sim round's contract.
+
+        Returns ``(populations, fully_vector)``: the second map tells the
+        caller, without any further per-cell array work, whether every row
+        of a cell's population has vectorisable participation.
+        """
+        if bucketing is None:
+            bucketing = self._bucket_sensors()
+        sorted_codes, sorted_rows, non_vector_codes = bucketing
+        side = self._grid.side
+        wanted = np.array(
+            [cell.r * side + cell.q for cell in cells], dtype=sorted_codes.dtype
+        )
+        lows = np.searchsorted(sorted_codes, wanted, side="left")
+        highs = np.searchsorted(sorted_codes, wanted, side="right")
+        populations: Dict[CellKey, np.ndarray] = {}
+        fully_vector: Dict[CellKey, bool] = {}
+        for cell, lo, hi, code in zip(
+            cells, lows.tolist(), highs.tolist(), wanted.tolist()
+        ):
+            populations[cell.key] = sorted_rows[lo:hi]
+            fully_vector[cell.key] = code not in non_vector_codes
+        return populations, fully_vector
+
+    def _cell_in_grid(self, cell: GridCell) -> bool:
+        """Whether ``cell`` is (geometrically) a cell of the handler's grid."""
+        try:
+            return self._grid.cell(cell.q, cell.r) == cell
+        except GeometryError:
+            return False
+
+    def acquire_attribute_batch(
+        self,
+        attribute: str,
+        cells: List[GridCell],
+        *,
+        duration: float,
+        report: Optional[HandlerReport] = None,
+        bucketing: Optional[Tuple[np.ndarray, np.ndarray, frozenset]] = None,
+    ) -> Optional[TupleBatch]:
+        """Fused fast-sim acquisition: all of one attribute's cells in one round.
+
+        The population-level :meth:`_acquire_cell_batch_fast` still ran once
+        per ``(attribute, cell)`` pair — one containment mask, one
+        participation draw, one latency draw, one ``field.values`` call and
+        one :class:`TupleBatch` per cell.  This round fuses all requested
+        cells of an attribute: every cell population is resolved by a single
+        bucketing pass (:meth:`_resolve_cell_populations`), the chosen rows
+        of all cells are concatenated, and the whole attribute is served
+        with **one** participation draw, **one** latency draw and **one**
+        ``field.values`` call, while per-cell budgets, request/response
+        counts and incentive accounting stay exactly per ``(attribute,
+        cell)``.
+
+        Cells that cannot take the fused path — a population containing a
+        sensor without vectorisable participation, or a cell that is not
+        part of the handler's grid — are served by :meth:`acquire_cell_batch`
+        (which itself falls back to the exact per-sensor round when
+        needed).  Empty cells send nothing, as in the per-cell paths.
+
+        Only meaningful in fast-sim mode (``WorldConfig.vectorized_rng``);
+        :meth:`acquire_batches` dispatches here per attribute whenever the
+        world is vectorised, sharing one :meth:`_bucket_sensors` pass across
+        all attributes of the round via ``bucketing`` (sensor positions are
+        frozen within a round, so the bucketing is too).  Returns one batch
+        for the whole attribute (the target cell of every tuple rides in
+        the ``cell`` extra column), or ``None`` when no responses arrived.
+        """
+        if duration <= 0:
+            raise AcquisitionError("duration must be positive")
+        world = self._world
+        field_model = world.field_for(attribute)
+        report = report if report is not None else HandlerReport()
+
+        grid_cells: List[GridCell] = []
+        off_grid: List[GridCell] = []
+        for cell in cells:
+            (grid_cells if self._cell_in_grid(cell) else off_grid).append(cell)
+        populations, fully_vector = self._resolve_cell_populations(
+            grid_cells, bucketing
+        )
+
+        fused_cells: List[GridCell] = []
+        fused_populations: List[np.ndarray] = []
+        fallback_cells: List[GridCell] = list(off_grid)
+        for cell in grid_cells:
+            population = populations[cell.key]
+            if population.size == 0:
+                continue  # nobody to ask: no requests, like the per-cell paths
+            if fully_vector[cell.key]:
+                fused_cells.append(cell)
+                fused_populations.append(population)
+            else:
+                fallback_cells.append(cell)
+
+        parts: List[TupleBatch] = []
+        for cell in fallback_cells:
+            batch = self.acquire_cell_batch(
+                attribute, cell, duration=duration, report=report
+            )
+            if batch is not None and len(batch):
+                parts.append(batch)
+
+        fused = self._acquire_fused_round(
+            attribute, field_model, fused_cells, fused_populations,
+            duration=duration, report=report,
+        )
+        if fused is not None:
+            parts.append(fused)
+        if not parts:
+            return None
+        return TupleBatch.concatenate(parts)
+
+    @staticmethod
+    def _fused_sensor_choices(
+        populations: List[np.ndarray],
+        budgets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, bool]:
+        """Every cell's sensor choices in one vectorised draw.
+
+        Pads the cell populations into an ``(m, max_population)`` matrix,
+        draws one random key per candidate, and takes each row's ``budget``
+        smallest keys via a single ``argpartition`` — a uniform
+        without-replacement sample per cell (sorting the selected keys is a
+        uniform shuffle, so the sample is also uniformly *ordered*, matching
+        the per-cell ``rng.choice`` contract).  Two round shapes use the
+        per-cell draws instead: cells whose population is smaller than
+        their budget need with-replacement sampling, which the padded
+        matrix cannot express, and heavily skewed crowds (one cell holding
+        most of the population) would make the dense padding cost
+        ``cells x max_population`` memory instead of ``O(candidates)``.
+
+        Returns ``(rows, replacement_used)`` with ``rows`` in cell-major
+        request order.
+        """
+        sizes = np.fromiter(
+            (population.size for population in populations),
+            dtype=np.int64,
+            count=len(populations),
+        )
+        m = len(populations)
+        width = int(sizes.max())
+        undersized = bool(np.any(sizes < budgets))
+        skewed = m * width > max(4 * int(sizes.sum()), 1 << 16)
+        if undersized or skewed:
+            chosen_parts = []
+            for population, budget in zip(populations, budgets):
+                budget = int(budget)
+                replace = population.size < budget
+                chosen_parts.append(
+                    population[
+                        rng.choice(population.size, size=budget, replace=replace)
+                    ]
+                )
+            return np.concatenate(chosen_parts), undersized
+        candidate_rows = np.concatenate(populations)
+        segment_of_candidate = np.repeat(np.arange(m), sizes)
+        within_segment = np.arange(candidate_rows.size) - np.repeat(
+            np.cumsum(sizes) - sizes, sizes
+        )
+        padded_rows = np.zeros((m, width), dtype=np.int64)
+        padded_rows[segment_of_candidate, within_segment] = candidate_rows
+        keys = np.full((m, width), np.inf)
+        keys[segment_of_candidate, within_segment] = rng.random(candidate_rows.size)
+
+        max_budget = int(budgets.max())
+        partitioned = np.argpartition(keys, max_budget - 1, axis=1)[:, :max_budget]
+        partitioned_keys = np.take_along_axis(keys, partitioned, axis=1)
+        ordered = np.take_along_axis(
+            partitioned, np.argsort(partitioned_keys, axis=1), axis=1
+        )
+        row_ids = np.broadcast_to(np.arange(m)[:, None], ordered.shape)
+        wanted = np.arange(max_budget)[None, :] < budgets[:, None]
+        return padded_rows[row_ids, ordered][wanted], False
+
+    @staticmethod
+    def _fused_request_times(
+        budgets: np.ndarray, duration: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sorted request times for every cell segment from one draw.
+
+        Uses the exponential-spacing construction of uniform order
+        statistics — ``k`` sorted ``U(0, 1)`` samples are the first ``k``
+        normalised prefix sums of ``k + 1`` iid exponentials — so no
+        per-segment sort is needed: one exponential draw, two cumulative
+        sums and a mask produce every cell's ascending request times
+        (distributionally identical to the per-cell ``sort(uniform(...))``).
+        """
+        extended = np.asarray(budgets, dtype=np.int64) + 1
+        draws = rng.exponential(1.0, int(extended.sum()))
+        ends = np.cumsum(extended)
+        cumulative = np.cumsum(draws)
+        segment_base = np.concatenate(([0.0], cumulative[ends[:-1] - 1]))
+        segment_totals = cumulative[ends - 1] - segment_base
+        keep = np.ones(draws.size, dtype=bool)
+        keep[ends - 1] = False
+        uniforms = (
+            (cumulative - np.repeat(segment_base, extended))[keep]
+            / np.repeat(segment_totals, extended)[keep]
+        )
+        return duration * uniforms
+
+    def _acquire_fused_round(
+        self,
+        attribute: str,
+        field_model,
+        cells: List[GridCell],
+        populations: List[np.ndarray],
+        *,
+        duration: float,
+        report: HandlerReport,
+    ) -> Optional[TupleBatch]:
+        """The fused core: one draw of everything across the given cells.
+
+        ``cells`` and ``populations`` are aligned; every population is
+        non-empty and fully vector-capable.  Sensor choices keep the paper's
+        with/without-replacement semantics but are drawn for all cells at
+        once (:meth:`_fused_sensor_choices`), request times come from one
+        order-statistics draw (:meth:`_fused_request_times`), and
+        participation, latencies and sensing are single vectorised draws
+        over the concatenated rows.
+        """
+        if not cells:
+            return None
+        world = self._world
+        soa = world.state_arrays
+        rng = world.rng
+
+        budgets = np.array(
+            [self.budget_for(attribute, cell.key) for cell in cells], dtype=np.int64
+        )
+        total = int(budgets.sum())
+        rows, replacement_used = self._fused_sensor_choices(
+            populations, budgets, rng
+        )
+        for cell, budget in zip(cells, budgets):
+            self._count_requests(report, (attribute, cell.key), int(budget))
+
+        segments = np.repeat(np.arange(len(cells)), budgets)
+        request_times = world.now + self._fused_request_times(budgets, duration, rng)
+
+        payments, multipliers = self._round_payments(total)
+        report.incentive_spent += float(payments.sum())
+
+        probabilities = self._vector_response_probabilities(
+            rows, request_times, multipliers
+        )
+        self._vector_commit_round(rows, request_times)
+        responds = rng.random(total) < probabilities
+        if replacement_used:
+            np.add.at(soa.requests_received, rows, 1)
+        else:
+            # Populations are disjoint across cells and sampled without
+            # replacement within each, so every row is unique: the cheaper
+            # fancy-index increment is exact.
+            soa.requests_received[rows] += 1
+
+        respond_segments = segments[responds]
+        response_counts = np.bincount(respond_segments, minlength=len(cells))
+        for cell, count in zip(cells, response_counts):
+            self._count_responses(report, (attribute, cell.key), int(count))
+        count = int(responds.sum())
+        if count == 0:
+            return None
+        respond_rows = rows[responds]
+        if replacement_used:
+            np.add.at(soa.responses_sent, respond_rows, 1)
+        else:
+            soa.responses_sent[respond_rows] += 1
+
+        # Exp(scale m) == m * Exp(1): one draw serves every per-sensor mean.
+        latencies = rng.exponential(1.0, count) * soa.latency_mean[respond_rows]
+        respond_times = request_times[responds]
+        xs = soa.x[respond_rows]
+        ys = soa.y[respond_rows]
+        values = field_model.values(respond_times, xs, ys, rng=rng)
+        cell_keys = np.array([cell.key for cell in cells], dtype=np.int64)
+        return TupleBatch(
+            attribute,
+            respond_times + latencies,
+            xs,
+            ys,
+            np.asarray(values),
+            soa.sensor_ids[respond_rows],
+            self._allocate_tuple_ids(count),
+            extra={
+                "cell": cell_keys[respond_segments],
                 "incentive": payments[responds],
             },
         )
@@ -516,8 +930,25 @@ class RequestResponseHandler:
         target cell of every tuple in its ``cell`` extra column; the
         fabricator's map stage re-buckets by the *reported* coordinates
         anyway, so no per-cell grouping is done here.
+
+        In strict mode the round runs one seeded byte-identical
+        :meth:`acquire_cell_batch` per ``(attribute, cell)`` pair; in
+        fast-sim mode (``WorldConfig.vectorized_rng``) each attribute is
+        served by one fused :meth:`acquire_attribute_batch` round instead.
         """
         report = HandlerReport()
+        batches: Dict[str, TupleBatch] = {}
+        if self._world.vectorized:
+            bucketing = self._bucket_sensors() if attribute_cells else None
+            for attribute, cells in attribute_cells.items():
+                batch = self.acquire_attribute_batch(
+                    attribute, cells, duration=duration, report=report,
+                    bucketing=bucketing,
+                )
+                if batch is not None and len(batch):
+                    batches[attribute] = batch
+            self._rounds += 1
+            return batches, report
         per_attribute: Dict[str, List[TupleBatch]] = {}
         for attribute, cells in attribute_cells.items():
             for cell in cells:

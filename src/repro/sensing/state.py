@@ -22,7 +22,7 @@ byte-identically — against either representation.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -131,16 +131,27 @@ class SensorStateArrays:
         base response probability, incentive-boost cap, mean exponential
         response latency, whether incentives scale the probability, and
         whether the row may be decided vectorially at all.  Rows whose
-        participation model is stateful keep ``vector_participation`` False,
-        which makes the fast-sim acquisition path fall back to the exact
-        per-sensor loop for the affected cells.
+        participation model cannot be vectorised — neither stationary
+        ``vector_params`` nor the stateful vector-state protocol — keep
+        ``vector_participation`` False, which makes the fast-sim acquisition
+        path fall back to the exact per-sensor loop for the affected cells.
+    ``participation_group``
+        Index into the world's stateful participation groups (see
+        :meth:`~repro.sensing.SensingWorld.participation_groups`) for rows
+        whose probabilities come from the vector-state protocol
+        (``vector_probabilities`` over the model's state columns);
+        ``-1`` for rows decided from the stationary parameter columns.
+
+    Stateful participation models additionally allocate named *extra*
+    columns (e.g. a fatigue level) via :meth:`ensure_column`; they are
+    accessed with :meth:`column`.
     """
 
     __slots__ = (
         "x", "y", "vx", "vy", "target_x", "target_y", "pause_remaining",
         "sensor_ids", "requests_received", "responses_sent",
         "p_base", "p_max", "latency_mean", "incentive_sensitive",
-        "vector_participation",
+        "vector_participation", "participation_group", "_extra_columns",
     )
 
     def __init__(self, count: int) -> None:
@@ -161,9 +172,33 @@ class SensorStateArrays:
         self.latency_mean = np.zeros(count, dtype=np.float64)
         self.incentive_sensitive = np.zeros(count, dtype=bool)
         self.vector_participation = np.zeros(count, dtype=bool)
+        self.participation_group = np.full(count, -1, dtype=np.int64)
+        self._extra_columns: Dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return self.x.shape[0]
+
+    # ------------------------------------------------------------------
+    # Named extra columns (participation vector state)
+    # ------------------------------------------------------------------
+    def ensure_column(self, name: str, *, fill: float = 0.0) -> np.ndarray:
+        """Allocate (or return) a named float column of the SoA's length."""
+        column = self._extra_columns.get(name)
+        if column is None:
+            column = np.full(len(self), fill, dtype=np.float64)
+            self._extra_columns[name] = column
+        return column
+
+    def column(self, name: str) -> np.ndarray:
+        """A previously allocated extra column."""
+        try:
+            return self._extra_columns[name]
+        except KeyError:
+            raise CraqrError(f"no extra state column named '{name}'") from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether a named extra column has been allocated."""
+        return name in self._extra_columns
 
     # ------------------------------------------------------------------
     def state_view(self, index: int) -> ArrayBackedMobilityState:

@@ -115,6 +115,7 @@ class SensingWorld:
                 )
             )
         self._mobility_groups, self._ungrouped_indices = self._group_mobility_models()
+        self._participation_groups = self._group_participation_models()
         self._fields: Dict[str, PhenomenonField] = {}
 
     def _group_mobility_models(
@@ -140,6 +141,45 @@ class SensingWorld:
             for model, indices in keyed.values()
         ]
         return groups, np.asarray(ungrouped, dtype=np.int64)
+
+    def _group_participation_models(self) -> List[ParticipationModel]:
+        """Wire stateful participation models into the SoA vector-state columns.
+
+        Sensors whose model implements the vector-state protocol
+        (:meth:`~repro.sensing.participation.ParticipationModel.vector_state_columns`)
+        get their state columns allocated, their initial state written, and a
+        ``participation_group`` id assigned; models sharing a
+        ``vector_state_key`` form one group evaluated by a single
+        representative instance (the per-sensor state lives entirely in the
+        SoA columns, so any instance of the group can evaluate all of its
+        rows).  Such rows are marked ``vector_participation`` so the
+        fast-sim handler decides them with array operations instead of
+        falling back to the exact per-sensor round.
+        """
+        soa = self._state
+        keyed: Dict[object, int] = {}
+        groups: List[ParticipationModel] = []
+        for index, sensor in enumerate(self._sensors):
+            model = sensor.participation
+            columns = model.vector_state_columns()
+            if columns is None:
+                continue
+            for name in columns:
+                soa.ensure_column(name)
+            key = model.vector_state_key()
+            group_id = keyed.get(key)
+            if group_id is None:
+                group_id = len(groups)
+                keyed[key] = group_id
+                groups.append(model)
+            p_max, latency_mean, incentive_sensitive = model.vector_static_params()
+            soa.p_max[index] = p_max
+            soa.latency_mean[index] = latency_mean
+            soa.incentive_sensitive[index] = incentive_sensitive
+            soa.participation_group[index] = group_id
+            soa.vector_participation[index] = True
+            model.init_vector_state(soa, index)
+        return groups
 
     # ------------------------------------------------------------------
     @property
@@ -181,6 +221,16 @@ class SensingWorld:
     def rng(self) -> np.random.Generator:
         """The world's random generator (used by the handler for sampling)."""
         return self._rng
+
+    @property
+    def participation_groups(self) -> List[ParticipationModel]:
+        """Representative models of the stateful vector-participation groups.
+
+        Indexed by the ``participation_group`` SoA column: the fast-sim
+        handler asks ``participation_groups[g].vector_probabilities(...)``
+        for the rows of group ``g`` (see :meth:`_group_participation_models`).
+        """
+        return self._participation_groups
 
     @property
     def attributes(self) -> List[str]:
@@ -278,17 +328,23 @@ class SensingWorld:
 
         One vectorised bincount over the SoA position columns, using the
         same truncation arithmetic as the original per-sensor loop so the
-        counts are identical.
+        counts are identical.  Positions outside the region — possible with
+        custom mobility models that escape the bounds — are clipped into the
+        nearest boundary bucket rather than producing negative indices
+        (which would crash ``bincount`` or silently miscount via
+        ``r * nx + q`` collisions).
         """
         if nx <= 0 or ny <= 0:
             raise CraqrError("grid dimensions must be positive")
         region = self._config.region
-        q = np.minimum(
+        q = np.clip(
             ((self._state.x - region.x_min) / region.width * nx).astype(np.int64),
+            0,
             nx - 1,
         )
-        r = np.minimum(
+        r = np.clip(
             ((self._state.y - region.y_min) / region.height * ny).astype(np.int64),
+            0,
             ny - 1,
         )
         counts = np.bincount(r * nx + q, minlength=nx * ny)

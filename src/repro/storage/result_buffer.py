@@ -211,9 +211,16 @@ class QueryResultBuffer:
         )
 
     def rate_over_batches(self, batch_duration: float, last: Optional[int] = None) -> RateEstimate:
-        """Achieved rate over the most recent ``last`` completed batches."""
+        """Achieved rate over the most recent ``last`` completed batches.
+
+        ``last=None`` means the whole history; an explicit ``last`` must be
+        positive (``last=0`` used to slice ``[-0:]``, silently reporting the
+        lifetime rate instead of an empty window).
+        """
         if batch_duration <= 0:
             raise StorageError("batch_duration must be positive")
+        if last is not None and last <= 0:
+            raise StorageError("last must be positive (or None for the whole history)")
         counts = self._per_batch_counts if last is None else self._per_batch_counts[-last:]
         if not counts:
             raise StorageError("no completed batches yet")

@@ -140,6 +140,28 @@ class TestOnlineEstimator:
         assert estimator.theta[2] > estimator.theta[3]
         assert estimator.theta[2] > 0.0
 
+    def test_stays_stable_on_stationary_process_at_large_times(self):
+        # Regression: observe_batch used to anchor the compensator window at
+        # t=0 forever, so batches starting at large simulation times pushed
+        # an ever-growing bias into the time-slope gradient (theta_t blew up
+        # to ~50 and the predicted rate to ~5e4 in this exact setup).  With
+        # the window anchored at the batch's own start the estimate stays
+        # pinned to the true constant rate.
+        rate = 40.0
+        estimator = OnlineIntensityEstimator(
+            REGION, 1.0, expected_events_per_window=rate
+        )
+        rng = np.random.default_rng(12)
+        process = HomogeneousMDPP(rate, REGION)
+        offset = 1000.0
+        for k in range(40):
+            batch = process.sample(1.0, rng=rng)
+            shifted = EventBatch(batch.t + offset + k, batch.x, batch.y)
+            estimator.observe_batch(shifted)
+        predicted = estimator.intensity.rate_at(offset + 40.0, 0.5, 0.5)
+        assert predicted == pytest.approx(rate, rel=0.25)
+        assert abs(estimator.theta[1]) < 1.0  # no runaway time slope
+
     def test_result_snapshot(self):
         estimator = OnlineIntensityEstimator(REGION, 1.0)
         batch = HomogeneousMDPP(20.0, REGION).sample(1.0, rng=np.random.default_rng(11))

@@ -16,15 +16,28 @@ from repro.sensing import (
     BernoulliParticipation,
     FatigueParticipation,
     HotspotMobility,
+    ParticipationModel,
     RainField,
     RandomWaypointMobility,
     RequestResponseHandler,
+    ResponseDecision,
     SensingWorld,
     TemperatureField,
     WorldConfig,
 )
 
 REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+class MoodyParticipation(ParticipationModel):
+    """A deliberately non-vectorisable model: no stationary params, no
+    vector-state protocol, so fast-sim must take the exact per-sensor round."""
+
+    def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
+        rng = rng if rng is not None else np.random.default_rng()
+        if rng.random() >= 0.7:
+            return ResponseDecision.no_response()
+        return ResponseDecision(responds=True, latency=float(rng.exponential(0.1)))
 
 
 def make_world(vectorized, *, sensor_count=2000, seed=29, mobility=None, participation=None):
@@ -154,11 +167,12 @@ class TestFastSimAcquisition:
         totals = sum(s.requests_received for s in fast.sensors)
         assert totals == handler.total_requests
 
-    def test_stateful_participation_falls_back_to_exact_path(self):
-        # FatigueParticipation cannot be vectorised; a fast-sim world must
-        # then produce *byte-identical* rounds to a strict world with the
-        # same seed, because the fallback is the strict per-sensor path.
-        participation = lambda i: FatigueParticipation(0.7)
+    def test_non_vectorisable_participation_falls_back_to_exact_path(self):
+        # A model with neither stationary vector_params nor the vector-state
+        # protocol cannot be vectorised; a fast-sim world must then produce
+        # *byte-identical* rounds to a strict world with the same seed,
+        # because the fallback is the strict per-sensor path.
+        participation = lambda i: MoodyParticipation()
         strict = make_world(False, participation=participation, sensor_count=200)
         fast = make_world(True, participation=participation, sensor_count=200)
         assert not np.any(fast.state_arrays.vector_participation)
@@ -172,11 +186,24 @@ class TestFastSimAcquisition:
         if strict_batch is not None:
             assert strict_batch.to_tuples() == fast_batch.to_tuples()
 
+    def test_stateful_models_are_vector_capable(self):
+        # Since the participation vector-state protocol, fatigue sensors no
+        # longer force the per-sensor fallback: their rows are flagged
+        # vector-capable and belong to a participation group.
+        participation = lambda i: FatigueParticipation(0.7)
+        fast = make_world(True, participation=participation, sensor_count=200)
+        soa = fast.state_arrays
+        assert np.all(soa.vector_participation)
+        assert np.all(soa.participation_group == 0)
+        assert len(fast.participation_groups) == 1
+        assert soa.has_column(FatigueParticipation.LEVEL_COLUMN)
+
     def test_mixed_vectorisable_flags_use_fallback(self):
-        # Half the crowd is stateful: every cell containing such a sensor
-        # must take the exact path, and the round still completes.
+        # Half the crowd is genuinely non-vectorisable: every cell
+        # containing such a sensor must take the exact path, and the round
+        # still completes.
         participation = lambda i: (
-            BernoulliParticipation(0.8) if i % 2 == 0 else FatigueParticipation(0.7)
+            BernoulliParticipation(0.8) if i % 2 == 0 else MoodyParticipation()
         )
         fast = make_world(True, participation=participation, sensor_count=100)
         flags = fast.state_arrays.vector_participation

@@ -1,0 +1,423 @@
+"""The fused attribute-level fast-sim acquisition round.
+
+``RequestResponseHandler.acquire_attribute_batch`` serves all requested
+cells of one attribute with a single participation draw, a single latency
+draw and a single ``field.values`` call.  These tests pin down its three
+contracts:
+
+* **statistical equivalence** with the per-cell fast-sim round — same
+  per-cell response rates, incentive spend and report counters within
+  tolerance (twin worlds share a seed but draw in different orders, so
+  the comparison is distributional);
+* **exact bookkeeping** — per-cell budgets, request counts and incentive
+  accounting are per ``(attribute, cell)`` even though the draws are fused;
+* a **strict-mode guard** — a non-vectorised world never enters the fused
+  path, keeping the seeded byte-identical per-cell contract intact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid, Rectangle
+from repro.sensing import (
+    BernoulliParticipation,
+    DistanceDecayParticipation,
+    FatigueParticipation,
+    FlatIncentive,
+    RainField,
+    RandomWaypointMobility,
+    RequestResponseHandler,
+    SensingWorld,
+    TemperatureField,
+    WorldConfig,
+)
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+def make_world(vectorized, *, sensor_count=2000, seed=17, participation=None):
+    world = SensingWorld(
+        WorldConfig(
+            region=REGION,
+            sensor_count=sensor_count,
+            seed=seed,
+            vectorized_rng=vectorized,
+        ),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.4),
+        participation_factory=participation,
+    )
+    world.register_field(RainField(REGION))
+    world.register_field(TemperatureField(REGION))
+    return world
+
+
+def per_cell_round(handler, attribute, cells, *, duration=1.0):
+    """The pre-fusion fast-sim baseline: one acquire_cell_batch per cell."""
+    from repro.sensing.handler import HandlerReport
+    from repro.streams import TupleBatch
+
+    report = HandlerReport()
+    batches = []
+    for cell in cells:
+        batch = handler.acquire_cell_batch(
+            attribute, cell, duration=duration, report=report
+        )
+        if batch is not None and len(batch):
+            batches.append(batch)
+    if not batches:
+        return None, report
+    return TupleBatch.concatenate(batches), report
+
+
+class TestFusedStatisticalEquivalence:
+    def test_matches_per_cell_fast_sim_rates_and_counters(self):
+        participation = lambda i: BernoulliParticipation(0.6, mean_latency=0.1)
+        fused_world = make_world(True, participation=participation)
+        cellwise_world = make_world(True, participation=participation)
+        grid = Grid(REGION, side=4)
+        cells = list(grid.cells())
+        fused_handler = RequestResponseHandler(fused_world, grid, default_budget=100)
+        cellwise_handler = RequestResponseHandler(
+            cellwise_world, grid, default_budget=100
+        )
+
+        fused_requests = fused_responses = 0
+        cellwise_requests = cellwise_responses = 0
+        fused_cell_rates = {}
+        cellwise_cell_rates = {}
+        for _ in range(4):
+            batches, fused_report = fused_handler.acquire_batches(
+                {"rain": cells}, duration=1.0
+            )
+            fused_world.advance(1.0)
+            _, cellwise_report = per_cell_round(cellwise_handler, "rain", cells)
+            cellwise_world.advance(1.0)
+            fused_requests += fused_report.requests_sent
+            fused_responses += fused_report.responses_received
+            cellwise_requests += cellwise_report.requests_sent
+            cellwise_responses += cellwise_report.responses_received
+            for key, sent in fused_report.per_cell_requests.items():
+                fused_cell_rates.setdefault(key, [0, 0])
+                fused_cell_rates[key][0] += sent
+                fused_cell_rates[key][1] += fused_report.per_cell_responses.get(key, 0)
+            for key, sent in cellwise_report.per_cell_requests.items():
+                cellwise_cell_rates.setdefault(key, [0, 0])
+                cellwise_cell_rates[key][0] += sent
+                cellwise_cell_rates[key][1] += cellwise_report.per_cell_responses.get(key, 0)
+            # Within one round the fused path counts tuples == responses,
+            # exactly like the per-cell path.
+            assert (
+                sum(len(b) for b in batches.values())
+                == fused_report.responses_received
+            )
+
+        # Budgets are deterministic, so request counters agree exactly.
+        assert fused_requests == cellwise_requests
+        assert set(fused_cell_rates) == set(cellwise_cell_rates)
+        # Aggregate response rate is a Bernoulli(0.6) mean over ~6k draws.
+        fused_rate = fused_responses / fused_requests
+        cellwise_rate = cellwise_responses / cellwise_requests
+        assert fused_rate == pytest.approx(0.6, abs=0.05)
+        assert fused_rate == pytest.approx(cellwise_rate, abs=0.04)
+        # Per-cell rates agree within a tolerance wide enough for the
+        # smaller per-cell populations (budget 100 x 4 rounds per cell).
+        for key, (sent, got) in fused_cell_rates.items():
+            other_sent, other_got = cellwise_cell_rates[key]
+            assert sent == other_sent
+            assert got / sent == pytest.approx(other_got / other_sent, abs=0.12)
+
+    def test_incentive_spend_matches_per_cell_fast_sim(self):
+        participation = lambda i: BernoulliParticipation(0.4)
+        fused_world = make_world(True, participation=participation)
+        cellwise_world = make_world(True, participation=participation)
+        grid = Grid(REGION, side=4)
+        cells = list(grid.cells())
+        fused_handler = RequestResponseHandler(
+            fused_world, grid, default_budget=50, incentive=FlatIncentive(0.5)
+        )
+        cellwise_handler = RequestResponseHandler(
+            cellwise_world, grid, default_budget=50, incentive=FlatIncentive(0.5)
+        )
+        _, fused_report = fused_handler.acquire_batches({"rain": cells}, duration=1.0)
+        _, cellwise_report = per_cell_round(cellwise_handler, "rain", cells)
+        # A flat incentive pays exactly per request, so the fused round's
+        # spend is byte-equal, not just statistically equal.
+        assert fused_report.requests_sent == cellwise_report.requests_sent
+        assert fused_report.incentive_spent == pytest.approx(
+            cellwise_report.incentive_spent
+        )
+        assert fused_report.incentive_spent == pytest.approx(
+            0.5 * fused_report.requests_sent
+        )
+
+    def test_fused_batch_is_well_formed(self):
+        fused_world = make_world(True, sensor_count=800)
+        grid = Grid(REGION, side=4)
+        handler = RequestResponseHandler(fused_world, grid, default_budget=40)
+        cells = list(grid.cells())
+        batch = handler.acquire_attribute_batch("temp", cells, duration=1.0)
+        assert batch is not None
+        n = len(batch)
+        assert batch.attribute == "temp"
+        assert batch.value.dtype == np.float64
+        assert batch.extra["cell"].shape == (n, 2)
+        assert batch.extra["incentive"].shape == (n,)
+        # Every tuple's cell key is one of the requested cells, and the
+        # reported coordinates lie inside that cell.
+        for cell in cells:
+            mask = np.all(batch.extra["cell"] == np.array(cell.key), axis=1)
+            if not mask.any():
+                continue
+            assert np.all(
+                cell.rect.contains_many(batch.x[mask], batch.y[mask], closed=True)
+            )
+
+    def test_fused_round_updates_soa_counters(self):
+        fused_world = make_world(True, sensor_count=600)
+        grid = Grid(REGION, side=4)
+        handler = RequestResponseHandler(fused_world, grid, default_budget=30)
+        handler.acquire_batches({"rain": list(grid.cells())}, duration=1.0)
+        soa = fused_world.state_arrays
+        assert soa.requests_received.sum() == handler.total_requests
+        assert soa.responses_sent.sum() == handler.total_responses
+
+    def test_with_replacement_sampling_in_starved_cells(self):
+        # Deterministic coverage of the replacement branch: 6 sensors over
+        # 4 cells with budget 10 guarantees every populated cell is smaller
+        # than its budget, so chosen rows repeat and the counter accounting
+        # must use the unbuffered scatter-add (a fancy-index increment
+        # would silently drop repeated-row counts).
+        fused_world = make_world(True, sensor_count=6)
+        grid = Grid(REGION, side=2)
+        handler = RequestResponseHandler(fused_world, grid, default_budget=10)
+        cells = list(grid.cells())
+        batch = handler.acquire_attribute_batch("rain", cells, duration=1.0)
+        populated = sum(
+            1 for cell in cells
+            if fused_world.sensor_indices_in_rectangle(cell.rect).size
+        )
+        assert handler.total_requests == 10 * populated
+        soa = fused_world.state_arrays
+        # Every dispatched request is accounted exactly once, even though
+        # each sensor was asked several times in one round.
+        assert soa.requests_received.sum() == handler.total_requests
+        assert soa.requests_received.max() > 1
+        assert soa.responses_sent.sum() == handler.total_responses
+        if batch is not None:
+            assert len(batch) == handler.total_responses
+
+    def test_off_grid_cells_are_served_by_the_per_cell_path(self):
+        fused_world = make_world(True, sensor_count=500)
+        grid = Grid(REGION, side=4)
+        other_grid = Grid(REGION, side=2)  # different geometry: not in grid
+        handler = RequestResponseHandler(fused_world, grid, default_budget=25)
+        cells = [grid.cell(0, 0), other_grid.cell(1, 1)]
+        batch = handler.acquire_attribute_batch("rain", cells, duration=1.0)
+        assert batch is not None
+        keys = {tuple(key) for key in batch.extra["cell"]}
+        assert keys <= {(0, 0), (1, 1)}
+
+
+class TestStatefulFastSim:
+    def test_fatigue_crowd_avoids_per_sensor_fallback(self):
+        # ISSUE 3 acceptance: a FatigueParticipation crowd must run fast-sim
+        # acquisition without the per-sensor fallback.  The fallback (and
+        # only the fallback) journals observations into each sensor's local
+        # memory, so empty journals prove the vector path served every round.
+        participation = lambda i: FatigueParticipation(
+            0.7, fatigue_per_request=0.1, recovery_per_time=0.01
+        )
+        world = make_world(True, sensor_count=800, participation=participation)
+        grid = Grid(REGION, side=4)
+        handler = RequestResponseHandler(world, grid, default_budget=60)
+        cells = list(grid.cells())
+        for _ in range(3):
+            handler.acquire_batches({"rain": cells}, duration=1.0)
+            world.advance(1.0)
+        assert handler.total_responses > 0
+        assert all(not sensor.memory for sensor in world.sensors)
+        # The SoA fatigue columns moved: requests accumulated fatigue.
+        assert np.any(world.state_arrays.column(FatigueParticipation.LEVEL_COLUMN) > 0)
+
+    def test_fatigue_response_rate_matches_strict(self):
+        participation = lambda i: FatigueParticipation(
+            0.7, fatigue_per_request=0.02, recovery_per_time=0.005, min_probability=0.1
+        )
+        strict = make_world(False, sensor_count=1000, participation=participation)
+        fast = make_world(True, sensor_count=1000, participation=participation)
+        grid = Grid(REGION, side=4)
+        strict_handler = RequestResponseHandler(strict, grid, default_budget=80)
+        fast_handler = RequestResponseHandler(fast, grid, default_budget=80)
+        cells = list(grid.cells())
+        rates = {}
+        for name, world, handler in (
+            ("strict", strict, strict_handler),
+            ("fast", fast, fast_handler),
+        ):
+            for _ in range(4):
+                handler.acquire_batches({"rain": cells}, duration=1.0)
+                world.advance(1.0)
+            rates[name] = handler.total_responses / handler.total_requests
+        assert rates["fast"] == pytest.approx(rates["strict"], abs=0.05)
+
+    def test_fatigue_rate_declines_over_rounds(self):
+        # Hammering the same crowd with no recovery must wear it out in
+        # fast-sim exactly as the scalar model describes.
+        participation = lambda i: FatigueParticipation(
+            0.9, fatigue_per_request=0.15, recovery_per_time=0.0, min_probability=0.05
+        )
+        world = make_world(True, sensor_count=400, participation=participation)
+        grid = Grid(REGION, side=2)
+        handler = RequestResponseHandler(world, grid, default_budget=150)
+        cells = list(grid.cells())
+        round_rates = []
+        for _ in range(5):
+            _, report = handler.acquire_batches({"rain": cells}, duration=1.0)
+            world.advance(1.0)
+            round_rates.append(report.response_rate)
+        assert round_rates[-1] < round_rates[0] - 0.2
+
+    def test_distance_decay_uses_soa_distance_column(self):
+        models = {}
+
+        def participation(sensor_id):
+            model = DistanceDecayParticipation(0.9, decay_scale=0.5)
+            models[sensor_id] = model
+            return model
+
+        world = make_world(True, sensor_count=400, participation=participation)
+        grid = Grid(REGION, side=2)
+        handler = RequestResponseHandler(world, grid, default_budget=100)
+        cells = list(grid.cells())
+
+        _, near_report = handler.acquire_batches({"rain": cells}, duration=1.0)
+        world.advance(1.0)
+        # Push every sensor far from the point of interest; set_distance
+        # writes through to the SoA column, so the next fused round sees it.
+        for sensor_id, model in models.items():
+            model.set_distance(sensor_id, 5.0)
+        column = world.state_arrays.column(
+            DistanceDecayParticipation.DISTANCE_COLUMN
+        )
+        assert np.all(column == 5.0)
+        _, far_report = handler.acquire_batches({"rain": cells}, duration=1.0)
+        assert near_report.response_rate > 0.7
+        assert far_report.response_rate < 0.05
+        assert all(not sensor.memory for sensor in world.sensors)
+
+    def test_fatigue_state_is_coherent_across_vector_and_fallback_paths(self):
+        # A fatigue sensor bound to SoA vector state must keep ONE fatigue
+        # store: scalar decide() (the per-sensor fallback round) writes the
+        # SoA columns, so fused rounds — and current_probability() — see
+        # fatigue accumulated on either path.
+        from repro.sensing import SensorStateArrays
+
+        model = FatigueParticipation(
+            0.8, fatigue_per_request=0.1, recovery_per_time=0.0
+        )
+        soa = SensorStateArrays(2)
+        soa.sensor_ids[:] = [7, 8]
+        for name in model.vector_state_columns():
+            soa.ensure_column(name)
+        model.init_vector_state(soa, 0)
+        model.init_vector_state(soa, 1)
+        rng = np.random.default_rng(3)
+        # Scalar decisions (the fallback path) must land in the SoA columns...
+        for _ in range(3):
+            model.decide(7, 1.0, rng=rng)
+        levels = soa.column(FatigueParticipation.LEVEL_COLUMN)
+        assert levels[0] == pytest.approx(0.3)
+        # ... be visible to the public probability API ...
+        assert model.current_probability(7, 1.0) == pytest.approx(0.8 - 0.3)
+        # ... and to the vector round; a vector commit must likewise be
+        # visible to the scalar path.
+        assert model.vector_probabilities(
+            soa, np.array([0]), np.array([1.0])
+        )[0] == pytest.approx(0.5)
+        model.vector_commit(soa, np.array([1, 1]), np.array([2.0, 2.5]))
+        assert model.current_probability(8, 2.5) == pytest.approx(0.8 - 0.2)
+
+    def test_fused_choices_skew_guard_stays_correct(self):
+        # Heavily skewed populations route through the per-cell draw (the
+        # dense padded matrix would cost cells x max_population); the
+        # sample contract is unchanged: per-cell budgets honoured, every
+        # chosen row from its own cell, no replacement when populations
+        # suffice.
+        rng = np.random.default_rng(11)
+        populations = [np.arange(200_000), np.array([200_001, 200_002, 200_003])]
+        budgets = np.array([5, 2], dtype=np.int64)
+        rows, replacement_used = RequestResponseHandler._fused_sensor_choices(
+            populations, budgets, rng
+        )
+        assert not replacement_used
+        assert rows.shape == (7,)
+        assert set(rows[:5]) <= set(range(200_000)) and len(set(rows[:5])) == 5
+        assert set(rows[5:]) <= {200_001, 200_002, 200_003} and len(set(rows[5:])) == 2
+
+    def test_mixed_stateful_groups_are_dispatched_separately(self):
+        # Two fatigue parameterisations form two participation groups; both
+        # must be decided vectorially in one fused round.
+        participation = lambda i: (
+            FatigueParticipation(0.9, fatigue_per_request=0.0)
+            if i % 2 == 0
+            else FatigueParticipation(0.3, fatigue_per_request=0.0)
+        )
+        world = make_world(True, sensor_count=1000, participation=participation)
+        assert len(world.participation_groups) == 2
+        soa = world.state_arrays
+        assert set(np.unique(soa.participation_group)) == {0, 1}
+        grid = Grid(REGION, side=1)
+        handler = RequestResponseHandler(world, grid, default_budget=600)
+        _, report = handler.acquire_batches(
+            {"rain": list(grid.cells())}, duration=1.0
+        )
+        assert all(not sensor.memory for sensor in world.sensors)
+        # The blended response rate sits between the two groups' bases.
+        assert 0.45 < report.response_rate < 0.75
+
+
+class TestStrictModeGuard:
+    def test_strict_acquire_batches_stays_byte_identical_to_object_path(self):
+        # The fused round must never engage in strict mode: the columnar
+        # acquisition of a strict world remains byte-identical to the
+        # object-at-a-time path, per-cell, for the same seed.
+        participation = lambda i: BernoulliParticipation(0.5, mean_latency=0.1)
+        columnar = make_world(False, sensor_count=300, participation=participation)
+        object_world = make_world(False, sensor_count=300, participation=participation)
+        grid = Grid(REGION, side=4)
+        columnar_handler = RequestResponseHandler(columnar, grid, default_budget=20)
+        object_handler = RequestResponseHandler(object_world, grid, default_budget=20)
+        cells = list(grid.cells())
+        batches, columnar_report = columnar_handler.acquire_batches(
+            {"rain": cells}, duration=1.0
+        )
+        tuples_by_cell, object_report = object_handler.acquire(
+            {"rain": cells}, duration=1.0
+        )
+        columnar_tuples = sorted(
+            (item for batch in batches.values() for item in batch.to_tuples()),
+            key=lambda item: item.tuple_id,
+        )
+        object_tuples = sorted(
+            (item for items in tuples_by_cell.values() for item in items),
+            key=lambda item: item.tuple_id,
+        )
+        assert columnar_tuples == object_tuples
+        assert columnar_report.requests_sent == object_report.requests_sent
+        assert columnar_report.responses_received == object_report.responses_received
+        assert columnar_report.per_cell_requests == object_report.per_cell_requests
+        assert columnar_report.per_cell_responses == object_report.per_cell_responses
+
+    def test_strict_world_never_builds_fused_rounds(self, monkeypatch):
+        world = make_world(False, sensor_count=100)
+        grid = Grid(REGION, side=2)
+        handler = RequestResponseHandler(world, grid, default_budget=10)
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("strict mode must not take the fused path")
+
+        monkeypatch.setattr(handler, "acquire_attribute_batch", boom)
+        batches, report = handler.acquire_batches(
+            {"rain": list(grid.cells())}, duration=1.0
+        )
+        assert report.requests_sent == 10 * 4

@@ -156,6 +156,134 @@ class TestParticipationModels:
         assert model.current_probability(1, 0.0) == pytest.approx(0.2)
 
 
+class TestIncentiveCapUnification:
+    """All participation models cap boosted probabilities at max_probability."""
+
+    def boosted_rate(self, model, *, multiplier, seed, trials=4000):
+        rng = np.random.default_rng(seed)
+        responses = sum(
+            model.decide(1, 0.0, incentive_multiplier=multiplier, rng=rng).responds
+            for _ in range(trials)
+        )
+        return responses / trials
+
+    def test_distance_decay_caps_boost_at_max_probability(self):
+        model = DistanceDecayParticipation(0.6, max_probability=0.7)
+        model.set_distance(1, 0.0)
+        # A huge boost saturates at 0.7, not at 1.0.
+        assert self.boosted_rate(model, multiplier=10.0, seed=7) == pytest.approx(
+            0.7, abs=0.03
+        )
+
+    def test_fatigue_caps_boost_at_max_probability(self):
+        model = FatigueParticipation(
+            0.6, fatigue_per_request=0.0, max_probability=0.7
+        )
+        assert self.boosted_rate(model, multiplier=10.0, seed=8) == pytest.approx(
+            0.7, abs=0.03
+        )
+
+    def test_max_probability_validation(self):
+        with pytest.raises(CraqrError):
+            DistanceDecayParticipation(0.8, max_probability=0.5)
+        with pytest.raises(CraqrError):
+            DistanceDecayParticipation(0.8, max_probability=1.5)
+        with pytest.raises(CraqrError):
+            FatigueParticipation(0.8, max_probability=0.5)
+        with pytest.raises(CraqrError):
+            FatigueParticipation(0.8, max_probability=1.5)
+
+    def test_max_probability_exposed(self):
+        assert DistanceDecayParticipation(0.5, max_probability=0.9).max_probability == 0.9
+        assert FatigueParticipation(0.5, max_probability=0.9).max_probability == 0.9
+        # vector_static_params carries the cap into the SoA columns.
+        assert DistanceDecayParticipation(0.5, max_probability=0.9).vector_static_params()[0] == 0.9
+        assert FatigueParticipation(0.5, max_probability=0.9).vector_static_params()[0] == 0.9
+
+
+class TestVectorStateProtocol:
+    """Unit-level checks of the stateful vector-state implementations."""
+
+    def make_soa(self, count):
+        from repro.sensing import SensorStateArrays
+
+        soa = SensorStateArrays(count)
+        soa.sensor_ids[:] = np.arange(count)
+        return soa
+
+    def test_fatigue_vector_matches_scalar_recurrence(self):
+        scalar = FatigueParticipation(
+            0.8, fatigue_per_request=0.1, recovery_per_time=0.02, min_probability=0.1
+        )
+        vector = FatigueParticipation(
+            0.8, fatigue_per_request=0.1, recovery_per_time=0.02, min_probability=0.1
+        )
+        soa = self.make_soa(3)
+        for name in vector.vector_state_columns():
+            soa.ensure_column(name)
+        for index in range(3):
+            vector.init_vector_state(soa, index)
+
+        rng = np.random.default_rng(0)
+        # Three rounds of one request per sensor at increasing times: the
+        # vector recurrence must track the scalar dict state exactly when
+        # each sensor is asked once per round.
+        for t in (0.0, 1.0, 5.0):
+            rows = np.arange(3)
+            times = np.full(3, t)
+            expected = np.array(
+                [scalar.current_probability(i, t) for i in range(3)]
+            )
+            got = vector.vector_probabilities(soa, rows, times)
+            assert np.allclose(got, expected)
+            for i in range(3):
+                scalar.decide(i, t, rng=rng)
+            vector.vector_commit(soa, rows, times)
+
+    def test_fatigue_vector_commit_handles_repeated_rows(self):
+        model = FatigueParticipation(
+            0.8, fatigue_per_request=0.1, recovery_per_time=0.0
+        )
+        soa = self.make_soa(2)
+        for name in model.vector_state_columns():
+            soa.ensure_column(name)
+        for index in range(2):
+            model.init_vector_state(soa, index)
+        # Row 0 requested three times, row 1 once: fatigue accumulates per
+        # request even within one round.
+        rows = np.array([0, 0, 1, 0])
+        times = np.array([0.1, 0.4, 0.2, 0.9])
+        model.vector_commit(soa, rows, times)
+        levels = soa.column(FatigueParticipation.LEVEL_COLUMN)
+        lasts = soa.column(FatigueParticipation.LAST_TIME_COLUMN)
+        assert levels[0] == pytest.approx(0.3)
+        assert levels[1] == pytest.approx(0.1)
+        assert lasts[0] == pytest.approx(0.9)
+        assert lasts[1] == pytest.approx(0.2)
+
+    def test_distance_decay_set_distance_writes_through(self):
+        model = DistanceDecayParticipation(0.9, decay_scale=1.0)
+        soa = self.make_soa(2)
+        for name in model.vector_state_columns():
+            soa.ensure_column(name)
+        model.set_distance(1, 2.0)  # before binding: dict only
+        model.init_vector_state(soa, 0)
+        model.init_vector_state(soa, 1)
+        column = soa.column(DistanceDecayParticipation.DISTANCE_COLUMN)
+        assert column[1] == pytest.approx(2.0)  # picked up at init
+        model.set_distance(0, 3.0)  # after binding: writes through
+        assert column[0] == pytest.approx(3.0)
+        probabilities = model.vector_probabilities(
+            soa, np.array([0, 1]), np.zeros(2)
+        )
+        assert np.allclose(probabilities, 0.9 * np.exp([-3.0, -2.0]))
+
+    def test_stationary_models_have_no_vector_state(self):
+        assert BernoulliParticipation(0.5).vector_state_columns() is None
+        assert AlwaysRespond().vector_state_columns() is None
+        assert BernoulliParticipation(0.5).vector_state_key() is None
+
+
 class TestIncentives:
     def test_boost_is_one_without_payment(self):
         assert incentive_boost(0.0) == pytest.approx(1.0)

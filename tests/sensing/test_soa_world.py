@@ -200,6 +200,25 @@ class TestVectorisedWorldQueries:
             expected[r, q] += 1
         assert np.array_equal(counts, expected)
 
+    def test_density_snapshot_clips_out_of_region_positions(self):
+        # Regression: a custom mobility model that escapes the region used
+        # to produce negative bucket indices — a bincount ValueError for
+        # strongly negative y, or silent miscounts via r*nx+q collisions
+        # for slightly negative x.  Escaped sensors now land in the nearest
+        # boundary bucket and every sensor stays counted.
+        world = self.make_world(sensor_count=12, seed=13)
+        soa = world.state_arrays
+        soa.x[0] = -3.0   # far left of the region
+        soa.y[1] = -9.0   # far below (negative flat index without clipping)
+        soa.x[2] = 11.0   # far right
+        soa.y[3] = 7.5    # far above
+        counts = world.density_snapshot(4, 4)
+        assert counts.sum() == 12
+        assert counts[:, 0].sum() >= 1   # the left escapee
+        assert counts[0, :].sum() >= 1   # the bottom escapee
+        assert counts[:, 3].sum() >= 1   # the right escapee
+        assert counts[3, :].sum() >= 1   # the top escapee
+
     def test_sensor_positions_reflect_soa_columns(self):
         world = self.make_world(sensor_count=50, seed=12)
         positions = world.sensor_positions()

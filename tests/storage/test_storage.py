@@ -162,6 +162,18 @@ class TestQueryResultBuffer:
         with pytest.raises(StorageError):
             self.make_buffer().rate_over_batches(1.0)
 
+    def test_rate_over_batches_rejects_non_positive_last(self):
+        # Regression: last=0 used to slice [-0:] — the whole history — and
+        # silently report the lifetime rate instead of a recent window.
+        buffer = self.make_buffer(rate=5.0, area=1.0)
+        for i in range(5):
+            buffer.append(make_tuple(tuple_id=i))
+        buffer.end_batch()
+        with pytest.raises(StorageError):
+            buffer.rate_over_batches(1.0, last=0)
+        with pytest.raises(StorageError):
+            buffer.rate_over_batches(1.0, last=-2)
+
     def test_values_and_event_batch(self):
         buffer = self.make_buffer()
         buffer.append(make_tuple(value=1.5, t=1.0))
