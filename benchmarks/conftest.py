@@ -24,6 +24,7 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_columnar.json"
 BENCH_WORLD_JSON = pathlib.Path(__file__).parent.parent / "BENCH_world.json"
+BENCH_SESSION_JSON = pathlib.Path(__file__).parent.parent / "BENCH_session.json"
 
 
 @pytest.fixture(scope="session")
@@ -48,6 +49,7 @@ def record_table(results_dir):
 #: Session-wide accumulators behind the ``record_metric`` fixtures.
 _METRIC_STORE: Dict[str, dict] = {}
 _WORLD_METRIC_STORE: Dict[str, dict] = {}
+_SESSION_METRIC_STORE: Dict[str, dict] = {}
 
 
 def _make_recorder(store: Dict[str, dict]):
@@ -82,6 +84,17 @@ def record_world_metric():
     return _make_recorder(_WORLD_METRIC_STORE)
 
 
+@pytest.fixture
+def record_session_metric():
+    """Like ``record_metric`` but routed to ``BENCH_session.json``.
+
+    Used by the query-session benchmarks (``bench_session_api.py``) so the
+    session-surface perf trajectory (cursor read cost, retention overhead)
+    is tracked separately from the pipeline's and the simulator's.
+    """
+    return _make_recorder(_SESSION_METRIC_STORE)
+
+
 def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
     if path.exists():
@@ -109,3 +122,5 @@ def pytest_sessionfinish(session, exitstatus):
         _persist(BENCH_JSON, _METRIC_STORE)
     if _WORLD_METRIC_STORE:
         _persist(BENCH_WORLD_JSON, _WORLD_METRIC_STORE)
+    if _SESSION_METRIC_STORE:
+        _persist(BENCH_SESSION_JSON, _SESSION_METRIC_STORE)

@@ -51,6 +51,7 @@ from .core import (
     RateSpec,
     CraqrEngine,
     QueryHandle,
+    QuerySessionInfo,
     EngineReport,
     FlattenOperator,
     ThinOperator,
@@ -60,7 +61,7 @@ from .core import (
 from .geometry import Rectangle, RectRegion, CompositeRegion, Grid
 from .pointprocess import HomogeneousMDPP, InhomogeneousMDPP, LinearIntensity
 from .sensing import SensingWorld, WorldConfig
-from .query import parse_query, parse_queries, AttributeCatalog
+from .query import parse_query, parse_queries, parse_statements, AttributeCatalog
 
 __version__ = "1.0.0"
 
@@ -84,6 +85,7 @@ __all__ = [
     "RateSpec",
     "CraqrEngine",
     "QueryHandle",
+    "QuerySessionInfo",
     "EngineReport",
     "FlattenOperator",
     "ThinOperator",
@@ -100,5 +102,6 @@ __all__ = [
     "WorldConfig",
     "parse_query",
     "parse_queries",
+    "parse_statements",
     "AttributeCatalog",
 ]

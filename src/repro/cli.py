@@ -10,22 +10,27 @@ scenarios without writing Python::
 
     python -m repro.cli scenarios           # list available scenarios
     python -m repro.cli attributes          # list the attribute catalog
+    python -m repro.cli repl                # interactive live-engine session
 
 The ``run`` sub-command prints, per query, the requested and achieved rates
 and (optionally, ``--show-samples``) the first tuples of each fabricated
-stream.
+stream.  The ``repl`` sub-command keeps one engine alive and feeds it
+statements line by line — ``ACQUIRE`` to register, ``run N`` to advance
+batch windows, ``ALTER <name> SET RATE ...`` / ``SET REGION ...`` to
+replan in flight, ``SHOW QUERIES`` for the session table and ``STOP
+<name>`` to deregister.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
 
-from .core import CraqrEngine
+from .core import CraqrEngine, QueryHandle, QuerySessionInfo
 from .errors import CraqrError
 from .metrics import ResultTable
-from .query import AttributeCatalog, parse_queries
+from .query import AttributeCatalog, ParsedQuery, parse_queries, parse_statements
 from .sensing import SensingWorld
 from .workloads import (
     build_hotspot_world,
@@ -83,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="print the first N tuples of each fabricated stream",
+    )
+
+    repl = subparsers.add_parser(
+        "repl",
+        help="interactive session: drive a live engine with ACQUIRE/ALTER/STOP/SHOW QUERIES",
+    )
+    repl.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="rain-temperature",
+        help="which simulated world to acquire from",
+    )
+    repl.add_argument("--sensors", type=int, default=300, help="number of mobile sensors")
+    repl.add_argument("--grid-cells", type=int, default=16, help="grid cells h (perfect square)")
+    repl.add_argument("--seed", type=int, default=7, help="random seed")
+    repl.add_argument(
+        "--retention-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound engine memory to the last N batches (default: keep everything)",
     )
 
     subparsers.add_parser("scenarios", help="list the available simulated scenarios")
@@ -155,8 +181,138 @@ def _command_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
-    """CLI entry point; returns a process exit code."""
+_REPL_HELP = """\
+statements (case-insensitive keywords, ';'-separable):
+  ACQUIRE <attr> FROM RECT(x0,y0,x1,y1) [AT] RATE <r> [PER KM2 [PER MIN]] [AS <name>]
+  ALTER <name> SET RATE <r> [PER KM2 [PER MIN]]
+  ALTER <name> SET REGION RECT(x0,y0,x1,y1)
+  STOP <name>
+  SHOW QUERIES
+repl commands:
+  run [N]     advance N batch windows (default 1)
+  help        this text
+  quit/exit   leave the repl"""
+
+
+def _sessions_table(sessions: List[QuerySessionInfo]) -> ResultTable:
+    table = ResultTable(
+        "query sessions",
+        ["query", "attribute", "area", "rate", "achieved", "tuples", "batches", "state"],
+    )
+    for info in sessions:
+        table.add_row(
+            info.label,
+            info.attribute,
+            round(info.region_area, 2),
+            round(info.requested_rate, 2),
+            "-" if info.achieved_rate is None else round(info.achieved_rate, 2),
+            info.total_tuples,
+            info.batches_completed,
+            "paused" if info.paused else "live",
+        )
+    return table
+
+
+def _execute_repl_statement(
+    engine: CraqrEngine,
+    catalog: AttributeCatalog,
+    statement,
+    out: Callable[[str], None],
+) -> None:
+    """Run one parsed statement against the live engine and narrate it."""
+    if isinstance(statement, ParsedQuery):
+        catalog.validate_attribute(statement.attribute)
+    result = engine.execute(statement)
+    if isinstance(result, list):  # SHOW QUERIES
+        out(_sessions_table(result).render())
+    elif isinstance(result, QueryHandle):
+        if isinstance(statement, ParsedQuery):
+            out(
+                f"registered {result.query.label}: {result.query.attribute} over "
+                f"area {result.query.region.area:g} at rate {result.query.rate:g}"
+            )
+        elif result.is_active():
+            out(
+                f"altered {result.query.label}: rate {result.query.rate:g}, "
+                f"area {result.query.region.area:g}"
+            )
+        else:
+            out(
+                f"stopped {result.query.label} "
+                f"({result.buffer.total_tuples} tuples remain readable)"
+            )
+
+
+def _command_repl(
+    args: argparse.Namespace,
+    out: Callable[[str], None],
+    in_stream: TextIO,
+) -> int:
+    description, builder = SCENARIOS[args.scenario]
+    world: SensingWorld = builder(sensor_count=args.sensors, seed=args.seed)
+    config = default_engine_config(
+        grid_cells=args.grid_cells,
+        seed=args.seed + 1,
+        retention_batches=args.retention_batches,
+    )
+    engine = CraqrEngine(config, world)
+    catalog = AttributeCatalog.default()
+    out(f"scenario '{args.scenario}': {description}")
+    out("CrAQR repl — type 'help' for statements, 'quit' to leave.")
+    interactive = in_stream is sys.stdin and sys.stdin.isatty()
+    while True:
+        if interactive:
+            sys.stdout.write("craqr> ")
+            sys.stdout.flush()
+        line = in_stream.readline()
+        if not line:  # EOF
+            break
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        lowered = line.lower()
+        if lowered in ("quit", "exit"):
+            break
+        if lowered == "help":
+            out(_REPL_HELP)
+            continue
+        if lowered == "run" or lowered.startswith("run "):
+            try:
+                batches = int(lowered[4:].strip() or "1")
+                engine.run(batches)
+                out(f"ran {batches} batch(es); {engine.batches_run} total")
+            except ValueError:
+                out(f"error: 'run' takes a batch count, got {line[4:].strip()!r}")
+            except CraqrError as exc:
+                out(f"error: {exc}")
+            continue
+        try:
+            statements = parse_statements(line)
+        except CraqrError as exc:
+            out(f"error: {exc}")
+            continue
+        for statement in statements:
+            try:
+                _execute_repl_statement(engine, catalog, statement, out)
+            except CraqrError as exc:
+                out(f"error: {exc}")
+    out(
+        f"bye: {engine.batches_run} batches run, "
+        f"{engine.total_tuples_delivered()} tuples delivered"
+    )
+    return 0
+
+
+def main(
+    argv: Optional[Sequence[str]] = None,
+    out: Callable[[str], None] = print,
+    in_stream: Optional[TextIO] = None,
+) -> int:
+    """CLI entry point; returns a process exit code.
+
+    ``in_stream`` feeds the ``repl`` sub-command (defaults to stdin; tests
+    pass a ``StringIO`` script).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -168,6 +324,10 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
             if args.batches <= 0:
                 raise CraqrError("--batches must be positive")
             return _command_run(args, out)
+        if args.command == "repl":
+            if args.retention_batches is not None and args.retention_batches <= 0:
+                raise CraqrError("--retention-batches must be positive")
+            return _command_repl(args, out, in_stream if in_stream is not None else sys.stdin)
         parser.error(f"unknown command {args.command!r}")
         return 2
     except CraqrError as exc:

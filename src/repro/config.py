@@ -129,6 +129,17 @@ class EngineConfig:
         trades per-sensor stream reproducibility for statistically
         equivalent output at simulation scale.  Flip both on for maximum
         end-to-end throughput (see ``benchmarks/bench_world_advance.py``).
+    retention_batches:
+        Service-mode memory bound: when set, every query result buffer
+        evicts chunks older than this many completed batches, the engine
+        keeps only this many :class:`~repro.core.engine.EngineReport`\\ s and
+        the budget tuner bounds its decision history to the same window.
+        Lifetime accounting (``total_tuples``, whole-history achieved rate)
+        stays exact through running totals; windowed reads past the
+        retention window (an old cursor, ``achieved_rate(last=k)`` with
+        ``k`` beyond the window) raise
+        :class:`~repro.errors.StorageError`.  ``None`` (the default)
+        retains everything, as before.
     """
 
     grid_cells: int = DEFAULT_GRID_CELLS
@@ -138,8 +149,11 @@ class EngineConfig:
     store_discarded: bool = False
     online_estimation: bool = False
     columnar: bool = True
+    retention_batches: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.retention_batches is not None and self.retention_batches <= 0:
+            raise CraqrError("retention_batches must be positive (or None)")
         if self.grid_cells <= 0:
             raise CraqrError("grid_cells must be positive")
         side = int(round(self.grid_cells ** 0.5))

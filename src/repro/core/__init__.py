@@ -30,10 +30,10 @@ from .pmat import (
     OutlierFilterOperator,
 )
 from .topology import AttributeChain, CellTopology, RateLevel
-from .planner import QueryPlanner, PlannerStats
+from .planner import QueryPlanner, PlannerStats, QueryUpdate
 from .budget import BudgetTuner, BudgetDecision
 from .fabricator import StreamFabricator, BatchResult
-from .engine import CraqrEngine, EngineReport, QueryHandle
+from .engine import CraqrEngine, EngineReport, QueryHandle, QuerySessionInfo
 from .optimizer import (
     TopologyCostModel,
     QueryCostEstimate,
@@ -64,6 +64,7 @@ __all__ = [
     "RateLevel",
     "QueryPlanner",
     "PlannerStats",
+    "QueryUpdate",
     "BudgetTuner",
     "BudgetDecision",
     "StreamFabricator",
@@ -71,6 +72,7 @@ __all__ = [
     "CraqrEngine",
     "EngineReport",
     "QueryHandle",
+    "QuerySessionInfo",
     "TopologyCostModel",
     "QueryCostEstimate",
     "estimate_query_cost",

@@ -16,7 +16,7 @@ decision to the user, e.g. by switching on incentives).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import BudgetConfig
 from ..errors import BudgetError
@@ -53,13 +53,28 @@ class BudgetDecision:
 
 
 class BudgetTuner:
-    """Adjusts acquisition budgets from Flatten rate-violation feedback."""
+    """Adjusts acquisition budgets from Flatten rate-violation feedback.
 
-    def __init__(self, handler: RequestResponseHandler, config: BudgetConfig) -> None:
+    ``history_batches`` optionally bounds the decision history to the most
+    recent N :meth:`tune` calls (the engine wires it to
+    :attr:`~repro.config.EngineConfig.retention_batches` so a service-mode
+    engine runs in bounded memory); ``None`` retains everything.
+    """
+
+    def __init__(
+        self,
+        handler: RequestResponseHandler,
+        config: BudgetConfig,
+        *,
+        history_batches: Optional[int] = None,
+    ) -> None:
+        if history_batches is not None and history_batches <= 0:
+            raise BudgetError("history_batches must be positive (or None)")
         self._handler = handler
         self._config = config
         self._saturated: Dict[PairKey, bool] = {}
-        self._history: List[BudgetDecision] = []
+        self._history: List[List[BudgetDecision]] = []
+        self._history_batches = history_batches
 
     # ------------------------------------------------------------------
     @property
@@ -69,8 +84,8 @@ class BudgetTuner:
 
     @property
     def history(self) -> List[BudgetDecision]:
-        """Every decision made so far (batch order)."""
-        return list(self._history)
+        """Retained decisions in batch order (flattened across batches)."""
+        return [decision for batch in self._history for decision in batch]
 
     @property
     def saturated_pairs(self) -> List[PairKey]:
@@ -129,5 +144,10 @@ class BudgetTuner:
                 saturated=saturated,
             )
             decisions.append(decision)
-            self._history.append(decision)
+        self._history.append(decisions)
+        if (
+            self._history_batches is not None
+            and len(self._history) > self._history_batches
+        ):
+            del self._history[: len(self._history) - self._history_batches]
         return decisions

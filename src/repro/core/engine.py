@@ -9,23 +9,53 @@ A :class:`CraqrEngine` owns
 * the budget tuner (``N_v`` feedback control of acquisition budgets), and
 * per-query result buffers.
 
+The engine's public surface is organised around *live query sessions*: a
+:class:`QueryHandle` is not just a window onto a finished run but the
+control point of a continuously executing query —
+
+* **incremental consumption** — :meth:`QueryHandle.cursor` returns a
+  resumable cursor whose reads cost O(new tuples) regardless of history,
+  and :meth:`QueryHandle.subscribe` registers push callbacks fired once per
+  batch with the delivered :class:`~repro.streams.TupleBatch`;
+* **in-flight mutation** — :meth:`QueryHandle.set_rate` /
+  :meth:`QueryHandle.set_region` replan the per-cell PMAT topology in place
+  (buffer, batch accounting and untouched cells' budget state survive), and
+  :meth:`QueryHandle.pause` / :meth:`QueryHandle.resume` detach and
+  reattach acquisition without tearing the topology down;
+* **statements** — :meth:`CraqrEngine.execute` runs parsed (or textual)
+  ``ACQUIRE`` / ``ALTER`` / ``STOP`` / ``SHOW QUERIES`` statements against
+  the same session API, and :meth:`CraqrEngine.query` resolves the ``AS
+  <name>`` labels to handles;
+* **bounded retention** — with
+  :attr:`~repro.config.EngineConfig.retention_batches` set, buffers,
+  engine reports and tuner history are evicted past the window while the
+  lifetime accounting stays exact, so a service-mode engine runs
+  indefinitely in bounded memory.
+
 A typical session::
 
     engine = CraqrEngine(config, world)
-    handle = engine.register_query(AcquisitionalQuery("rain", region, rate=10.0))
+    handle = engine.execute(
+        "ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 10 PER KM2 PER MIN AS Storm"
+    )
+    cursor = handle.cursor()
     for _ in range(30):
         engine.run_batch()
-    print(handle.achieved_rate())
+        for item in cursor.fetch():
+            ...                       # only the new tuples, O(new)
+    engine.execute("ALTER Storm SET RATE 5")
+    engine.execute("STOP Storm")
 
 Each :meth:`run_batch` call acquires one batch window of crowdsensed tuples
 from the world, fabricates every registered query's stream and adjusts
-budgets from the rate-violation feedback.
+budgets from the rate-violation feedback.  ``register_query``/``run_batch``
+keep their original behaviour, so pre-session code keeps working unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +63,13 @@ from ..config import EngineConfig
 from ..errors import PlanningError, QueryError
 from ..geometry import Grid
 from ..sensing import HandlerReport, IncentiveScheme, RequestResponseHandler, SensingWorld
-from ..storage import DiscardedStore, QueryResultBuffer, RateEstimate
+from ..storage import (
+    DiscardedStore,
+    QueryResultBuffer,
+    RateEstimate,
+    ResultCursor,
+    Subscription,
+)
 from ..streams import SensorTuple, TupleBatch
 from .budget import BudgetDecision, BudgetTuner
 from .fabricator import BatchResult, StreamFabricator
@@ -63,11 +99,28 @@ class EngineReport:
         return self.fabrication.tuples_delivered
 
 
+@dataclass(frozen=True)
+class QuerySessionInfo:
+    """One row of :meth:`CraqrEngine.sessions` (the ``SHOW QUERIES`` output)."""
+
+    label: str
+    query_id: int
+    attribute: str
+    requested_rate: float
+    region_area: float
+    paused: bool
+    total_tuples: int
+    batches_completed: int
+    achieved_rate: Optional[float]
+
+
 class _ReportsView(Sequence):
     """A live, read-only view over the engine's report list.
 
     Returned by :attr:`CraqrEngine.reports` so every property access costs
     O(1) instead of copying a list that grows with the number of batches.
+    With :attr:`~repro.config.EngineConfig.retention_batches` set, index 0
+    is the oldest *retained* report.
     """
 
     __slots__ = ("_items",)
@@ -86,7 +139,7 @@ class _ReportsView(Sequence):
 
 
 class QueryHandle:
-    """The user-facing handle to one registered query's results."""
+    """The user-facing handle to one live query session."""
 
     def __init__(
         self,
@@ -100,7 +153,7 @@ class QueryHandle:
 
     @property
     def query(self) -> AcquisitionalQuery:
-        """The underlying acquisitional query."""
+        """The underlying acquisitional query (reflects in-flight ALTERs)."""
         return self._query
 
     @property
@@ -110,29 +163,110 @@ class QueryHandle:
 
     @property
     def buffer(self) -> QueryResultBuffer:
-        """The query's result buffer."""
+        """The query's result buffer (outlives deregistration)."""
         return self._buffer
 
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
     def results(self) -> List[SensorTuple]:
-        """Tuples of the fabricated crowdsensed data stream so far."""
+        """The *retained* tuples of the fabricated stream, oldest first.
+
+        Copies the whole retained history on every call; a polling consumer
+        should prefer :meth:`cursor`, whose reads cost O(new tuples).
+        """
         return self._buffer.items()
+
+    def cursor(self, *, tail: bool = False) -> ResultCursor:
+        """A resumable cursor over the query's stream.
+
+        Every read returns only the tuples appended since the previous
+        read — in object form (:meth:`~repro.storage.ResultCursor.fetch`)
+        or as one columnar batch
+        (:meth:`~repro.storage.ResultCursor.fetch_batch`) — at a cost
+        independent of how much history the buffer holds.  ``tail=True``
+        skips everything already delivered.  A cursor that falls behind the
+        retention window raises :class:`~repro.errors.StorageError` on its
+        next read.
+        """
+        return self._buffer.cursor(tail=tail)
+
+    def subscribe(self, fn: Callable[[TupleBatch], None]) -> Subscription:
+        """Push consumption: call ``fn`` once per batch with the new tuples.
+
+        The callback receives each completed batch's deliveries as one
+        :class:`~repro.streams.TupleBatch` (batches that delivered nothing
+        do not fire).  Returns a :class:`~repro.storage.Subscription`;
+        cancel it to detach.
+        """
+        return self._buffer.subscribe(fn)
 
     def achieved_rate(self, last_batches: Optional[int] = None) -> RateEstimate:
         """Achieved spatio-temporal rate (over all or the last N batches).
 
         ``last_batches`` must be positive when given; ``None`` covers the
-        query's whole history.
+        query's whole history (exact even after retention evicted old
+        batches).
         """
         return self._buffer.rate_over_batches(
             self._engine.config.batch_duration, last=last_batches
         )
 
+    # ------------------------------------------------------------------
+    # In-flight mutation
+    # ------------------------------------------------------------------
+    def set_rate(self, rate) -> "QueryHandle":
+        """Change the query's requested rate on the live engine.
+
+        Accepts a number or a :class:`~repro.core.query.RateSpec`.  The
+        per-cell topology is replanned in place: the result buffer, batch
+        accounting and the budget state of every cell the query keeps are
+        preserved, so the achieved rate converges to the new target without
+        restarting the query.
+        """
+        return self._engine.update_query(self._query.query_id, rate=rate)
+
+    def set_region(self, region) -> "QueryHandle":
+        """Change the query's region on the live engine.
+
+        Accepts a :class:`~repro.geometry.Region` or
+        :class:`~repro.geometry.Rectangle`.  Cells left behind drop the
+        query (and are dematerialised when empty), newly covered cells are
+        materialised and budget-seeded; the result buffer keeps the tuples
+        acquired under the old region.
+        """
+        return self._engine.update_query(self._query.query_id, region=region)
+
+    def pause(self) -> None:
+        """Detach acquisition for this query without tearing down its topology.
+
+        While paused the query demands no acquisition, receives no
+        deliveries (even from cells shared with active queries) and its
+        batch accounting is frozen, so the achieved rate is not diluted by
+        the paused interval.
+        """
+        self._engine.pause_query(self._query.query_id)
+
+    def resume(self) -> None:
+        """Reattach acquisition after :meth:`pause`."""
+        self._engine.resume_query(self._query.query_id)
+
+    def is_paused(self) -> bool:
+        """Whether the query is currently paused."""
+        return self._engine.planner.is_paused(self._query.query_id)
+
+    # ------------------------------------------------------------------
     def is_active(self) -> bool:
         """Whether the query is still registered with the engine."""
         return self._engine.has_query(self._query.query_id)
 
     def delete(self) -> None:
-        """Deregister the query from the engine."""
+        """Deregister the query from the engine.
+
+        The handle's buffer stays readable (results, cursors), but the
+        engine drops its own reference so the memory is reclaimable once
+        the caller lets go of the handle.
+        """
         self._engine.delete_query(self._query.query_id)
 
 
@@ -165,12 +299,17 @@ class CraqrEngine:
             rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
         )
         self._fabricator = StreamFabricator(self._planner, self._grid)
-        self._tuner = BudgetTuner(self._handler, config.budget)
+        self._tuner = BudgetTuner(
+            self._handler, config.budget, history_batches=config.retention_batches
+        )
         self._buffers: Dict[int, QueryResultBuffer] = {}
         self._handles: Dict[int, QueryHandle] = {}
         self._reports: List[EngineReport] = []
         self._reports_view = _ReportsView(self._reports)
         self._batch_index = 0
+        #: tuples delivered to queries whose buffers were since dropped by
+        #: delete_query; keeps total_tuples_delivered exact.
+        self._delivered_dropped = 0
 
     # ------------------------------------------------------------------
     # Accessors
@@ -228,12 +367,17 @@ class CraqrEngine:
 
     @property
     def reports(self) -> Sequence[EngineReport]:
-        """Reports of every batch run so far (a live, read-only view)."""
+        """Reports of retained batches (a live, read-only view).
+
+        Without retention this is every batch ever run; with
+        :attr:`~repro.config.EngineConfig.retention_batches` only the most
+        recent window is kept.
+        """
         return self._reports_view
 
     @property
     def batches_run(self) -> int:
-        """Number of batches executed."""
+        """Number of batches executed (survives report eviction)."""
         return self._batch_index
 
     def planner_stats(self) -> PlannerStats:
@@ -251,6 +395,28 @@ class CraqrEngine:
         """Handles of every registered query."""
         return list(self._handles.values())
 
+    def query(self, label: str) -> QueryHandle:
+        """Resolve a query by its label (the ``AS <name>`` of the query language).
+
+        Unnamed queries answer to their default ``Q<id>`` label.  Raises
+        :class:`~repro.errors.QueryError` when no registered query carries
+        the label, or when several do (labels are not enforced unique at
+        registration, so lookup is where ambiguity surfaces).
+        """
+        matches = [
+            handle
+            for handle in self._handles.values()
+            if handle.query.label == label
+        ]
+        if not matches:
+            raise QueryError(f"no registered query is labelled {label!r}")
+        if len(matches) > 1:
+            raise QueryError(
+                f"label {label!r} is ambiguous: {len(matches)} registered "
+                f"queries share it; address them by query_id instead"
+            )
+        return matches[0]
+
     def register_query(self, query: AcquisitionalQuery) -> QueryHandle:
         """Register an acquisitional query and return a handle to its results."""
         if query.query_id in self._handles:
@@ -259,6 +425,7 @@ class CraqrEngine:
             query.query_id,
             requested_rate=query.rate,
             region_area=query.region.area,
+            retention_batches=self._config.retention_batches,
         )
         self._buffers[query.query_id] = buffer
 
@@ -287,13 +454,129 @@ class CraqrEngine:
         self._handles[query.query_id] = handle
         return handle
 
+    def update_query(
+        self, query_id: int, *, rate=None, region=None
+    ) -> QueryHandle:
+        """Replan a live query's rate and/or region in place.
+
+        The planner rewires only the cells the query touches (see
+        :meth:`~repro.core.planner.QueryPlanner.update_query`); newly
+        covered cells get the configured initial budget, cells the query
+        keeps retain their tuned budget, and the result buffer, batch index
+        and accounting all survive, so rate estimates continue seamlessly
+        against the new target.
+        """
+        handle = self._handles.get(query_id)
+        if handle is None:
+            raise PlanningError(f"query id {query_id} is not registered")
+        update = self._planner.update_query(query_id, rate=rate, region=region)
+        for key in update.added:
+            self._tuner.ensure_initial_budget(update.query.attribute, key)
+        buffer = handle.buffer
+        if rate is not None:
+            buffer.set_requested_rate(update.query.rate)
+        if region is not None:
+            buffer.set_region_area(update.query.region.area)
+        handle._query = update.query
+        return handle
+
+    def pause_query(self, query_id: int) -> None:
+        """Detach a query's acquisition without tearing down its topology."""
+        if query_id not in self._handles:
+            raise PlanningError(f"query id {query_id} is not registered")
+        self._planner.set_paused(query_id, True)
+
+    def resume_query(self, query_id: int) -> None:
+        """Reattach a paused query's acquisition."""
+        if query_id not in self._handles:
+            raise PlanningError(f"query id {query_id} is not registered")
+        self._planner.set_paused(query_id, False)
+
     def delete_query(self, query_id: int) -> None:
-        """Deregister a query and tear down its topology pieces."""
+        """Deregister a query and tear down its topology pieces.
+
+        The engine drops its reference to the query's result buffer — any
+        surviving :class:`QueryHandle` keeps the fabricated results
+        readable, but a long-running engine no longer accumulates buffers
+        of dead queries (lifetime delivery totals stay exact).
+        """
         if query_id not in self._handles:
             raise PlanningError(f"query id {query_id} is not registered")
         self._planner.delete_query(query_id)
         del self._handles[query_id]
-        # The buffer is kept so already-fabricated results stay readable.
+        buffer = self._buffers.pop(query_id, None)
+        if buffer is not None:
+            self._delivered_dropped += buffer.total_tuples
+
+    # ------------------------------------------------------------------
+    # Statement execution (the query language's session surface)
+    # ------------------------------------------------------------------
+    def execute(self, statement):
+        """Execute one query-language statement against the live engine.
+
+        ``statement`` is an AST node from
+        :func:`repro.query.parse_statements`, or a string holding exactly
+        one statement.  Returns
+
+        * :class:`QueryHandle` for ``ACQUIRE`` (the new session) and
+          ``ALTER`` (the updated session),
+        * the deleted query's :class:`QueryHandle` for ``STOP`` (its buffer
+          stays readable),
+        * a list of :class:`QuerySessionInfo` rows for ``SHOW QUERIES``.
+        """
+        # Imported lazily: repro.query imports repro.core.query, so a
+        # module-level import would be order-sensitive during package init.
+        from ..query.ast import AlterStatement, ParsedQuery, ShowQueriesStatement, StopStatement
+        from ..query.parser import parse_statements
+
+        if isinstance(statement, str):
+            statements = parse_statements(statement)
+            if len(statements) != 1:
+                raise QueryError(
+                    f"execute() takes exactly one statement, got "
+                    f"{len(statements)}; parse_statements() + a loop runs scripts"
+                )
+            statement = statements[0]
+        if isinstance(statement, ParsedQuery):
+            return self.register_query(statement.to_query())
+        if isinstance(statement, AlterStatement):
+            handle = self.query(statement.name)
+            rate = statement.rate_spec()
+            region = statement.region.to_region() if statement.region is not None else None
+            return self.update_query(handle.query_id, rate=rate, region=region)
+        if isinstance(statement, StopStatement):
+            handle = self.query(statement.name)
+            self.delete_query(handle.query_id)
+            return handle
+        if isinstance(statement, ShowQueriesStatement):
+            return self.sessions()
+        raise QueryError(
+            f"cannot execute a {type(statement).__name__}; expected a parsed "
+            f"ACQUIRE/ALTER/STOP/SHOW QUERIES statement or its text"
+        )
+
+    def sessions(self) -> List[QuerySessionInfo]:
+        """One :class:`QuerySessionInfo` row per registered query."""
+        rows: List[QuerySessionInfo] = []
+        for handle in self._handles.values():
+            buffer = handle.buffer
+            achieved: Optional[float] = None
+            if buffer.batches_completed > 0:
+                achieved = handle.achieved_rate().achieved_rate
+            rows.append(
+                QuerySessionInfo(
+                    label=handle.query.label,
+                    query_id=handle.query_id,
+                    attribute=handle.query.attribute,
+                    requested_rate=handle.query.rate,
+                    region_area=handle.query.region.area,
+                    paused=handle.is_paused(),
+                    total_tuples=buffer.total_tuples,
+                    batches_completed=buffer.batches_completed,
+                    achieved_rate=achieved,
+                )
+            )
+        return rows
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -328,8 +611,13 @@ class CraqrEngine:
             self._world.advance(duration)
             fabrication = self._fabricator.process_batch(tuples_by_cell)
         decisions = self._tuner.tune(fabrication.violations)
-        for buffer in self._buffers.values():
-            buffer.end_batch()
+        # Snapshot: a subscriber callback firing inside end_batch may
+        # register or delete queries, mutating the buffer dict.
+        for query_id, buffer in list(self._buffers.items()):
+            # Paused queries freeze their batch accounting: the pause
+            # window neither counts batches nor dilutes the achieved rate.
+            if not self._planner.is_paused(query_id):
+                buffer.end_batch()
         report = EngineReport(
             batch_index=self._batch_index,
             handler=handler_report,
@@ -337,6 +625,9 @@ class CraqrEngine:
             budget_decisions=decisions,
         )
         self._reports.append(report)
+        retention = self._config.retention_batches
+        if retention is not None and len(self._reports) > retention:
+            del self._reports[: len(self._reports) - retention]
         self._batch_index += 1
         return report
 
@@ -358,8 +649,15 @@ class CraqrEngine:
         return self._handler.total_responses
 
     def total_tuples_delivered(self) -> int:
-        """Tuples delivered to query streams since the engine was created."""
-        return sum(buffer.total_tuples for buffer in self._buffers.values())
+        """Tuples delivered to query streams since the engine was created.
+
+        Exact across deletions: deliveries to since-deleted queries are
+        carried in a running total after their buffers are dropped.
+        """
+        return (
+            sum(buffer.total_tuples for buffer in self._buffers.values())
+            + self._delivered_dropped
+        )
 
     def describe(self) -> str:
         """Human-readable dump of the engine's planner state."""

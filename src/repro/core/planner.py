@@ -15,8 +15,8 @@ to-left-until-a-branching-point rule expressed over the canonical form.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -41,7 +41,29 @@ class PlannerStats:
     rebuilds: int = 0
     insertions: int = 0
     deletions: int = 0
+    updates: int = 0
+    paused_queries: int = 0
     cells_touched_by_last_change: int = 0
+
+
+@dataclass(frozen=True)
+class QueryUpdate:
+    """Outcome of one in-flight :meth:`QueryPlanner.update_query`.
+
+    Attributes
+    ----------
+    query:
+        The updated query object (same ``query_id``, new rate/region).
+    added / removed / kept:
+        Grid-cell keys the query newly overlaps, no longer overlaps, and
+        keeps overlapping.  Only ``added`` cells need fresh budget seeding;
+        ``kept`` and ``removed`` cells preserve their budget state.
+    """
+
+    query: AcquisitionalQuery
+    added: List[CellKey]
+    removed: List[CellKey]
+    kept: List[CellKey]
 
 
 @dataclass
@@ -79,8 +101,10 @@ class QueryPlanner:
         self._plans: Dict[int, _QueryPlan] = {}
         self._result_handlers: Dict[int, DeliverFn] = {}
         self._batch_handlers: Dict[int, DeliverBatchFn] = {}
+        self._paused: Set[int] = set()
         self._insertions = 0
         self._deletions = 0
+        self._updates = 0
         self._last_touched = 0
 
     # ------------------------------------------------------------------
@@ -181,18 +205,7 @@ class QueryPlanner:
             overlap = query.region.intersection(cell.region)
             if overlap is None:
                 continue
-            topology = self._cells.get(cell.key)
-            if topology is None:
-                topology = CellTopology(
-                    cell,
-                    batch_duration=self._batch_duration,
-                    headroom=self._headroom,
-                    online_estimation=self._online,
-                    discard_recorder=self._discard_recorder,
-                    rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
-                )
-                self._cells[cell.key] = topology
-            topology.add_query(query, overlap)
+            self._topology_for(cell).add_query(query, overlap)
             plan.overlaps[cell.key] = overlap
             touched.append(cell.key)
         plan.cells = touched
@@ -201,6 +214,132 @@ class QueryPlanner:
         self._insertions += 1
         self._last_touched = len(touched)
         return touched
+
+    def _topology_for(self, cell) -> CellTopology:
+        """The cell's topology, materialising the hashmap entry on demand."""
+        topology = self._cells.get(cell.key)
+        if topology is None:
+            topology = CellTopology(
+                cell,
+                batch_duration=self._batch_duration,
+                headroom=self._headroom,
+                online_estimation=self._online,
+                discard_recorder=self._discard_recorder,
+                rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
+            )
+            self._cells[cell.key] = topology
+        return topology
+
+    # ------------------------------------------------------------------
+    # In-flight query mutation (the session API's ALTER path)
+    # ------------------------------------------------------------------
+    def update_query(
+        self,
+        query_id: int,
+        *,
+        rate=None,
+        region=None,
+    ) -> QueryUpdate:
+        """Replan a registered query's rate and/or region in place.
+
+        The query keeps its id, result routing and merge stage; only the
+        per-cell PMAT topology is adjusted: cells the new region no longer
+        overlaps drop the query (and are dematerialised when empty), cells
+        it keeps are re-taped with the new rate/overlap, and newly
+        overlapped cells are materialised.  Cells of *other* queries are
+        untouched, so their operators, accounting and budget state survive.
+
+        Parameters
+        ----------
+        rate:
+            New requested rate (a number or
+            :class:`~repro.core.query.RateSpec`); ``None`` keeps the rate.
+        region:
+            New query region (a :class:`~repro.geometry.Region` or
+            :class:`~repro.geometry.Rectangle`); ``None`` keeps the region.
+        """
+        plan = self._plan(query_id)
+        if rate is None and region is None:
+            raise PlanningError("update_query needs a new rate and/or region")
+        old_query = plan.query
+        changes = {}
+        if rate is not None:
+            changes["rate"] = rate
+        if region is not None:
+            changes["region"] = region
+        new_query = replace(old_query, **changes)
+        new_query.validate_against(self._grid.region, self._grid.cell_area)
+
+        new_overlaps: Dict[CellKey, Tuple] = {}
+        for cell in self._grid.overlapping_cells(new_query.region):
+            overlap = new_query.region.intersection(cell.region)
+            if overlap is not None:
+                new_overlaps[cell.key] = (cell, overlap)
+        if not new_overlaps:
+            raise QueryError(
+                f"query {new_query.label} does not overlap any grid cell"
+            )
+
+        old_keys = set(plan.cells)
+        removed = [key for key in plan.cells if key not in new_overlaps]
+        kept = [key for key in plan.cells if key in new_overlaps]
+        added = [key for key in new_overlaps if key not in old_keys]
+
+        for key in removed:
+            topology = self._cells.get(key)
+            if topology is None:
+                continue
+            topology.remove_query(old_query)
+            if topology.is_empty:
+                del self._cells[key]
+        for key in kept:
+            topology = self._cells[key]
+            topology.remove_query(old_query)
+            topology.add_query(new_query, new_overlaps[key][1])
+        for key in added:
+            cell, overlap = new_overlaps[key]
+            self._topology_for(cell).add_query(new_query, overlap)
+
+        plan.query = new_query
+        plan.cells = list(new_overlaps.keys())
+        plan.overlaps = {key: overlap for key, (_, overlap) in new_overlaps.items()}
+        if rate is not None:
+            plan.union.set_rate(new_query.rate)
+
+        rebuild = [key for key in removed if key in self._cells] + kept + added
+        self._rebuild_cells(rebuild)
+        self._updates += 1
+        self._last_touched = len(rebuild)
+        return QueryUpdate(query=new_query, added=added, removed=removed, kept=kept)
+
+    # ------------------------------------------------------------------
+    # Pause / resume (detach acquisition without tearing down topology)
+    # ------------------------------------------------------------------
+    def set_paused(self, query_id: int, paused: bool) -> None:
+        """Mark a query paused (or resumed).
+
+        A paused query keeps its whole topology, but it no longer demands
+        acquisition (:meth:`attribute_cells` skips (attribute, cell) pairs
+        whose every query is paused) and its rate violations are not
+        reported to the budget tuner (:meth:`violations` applies the same
+        filter).  The engine suppresses deliveries to paused queries, so
+        data acquired for co-located active queries is not forwarded.
+        """
+        self._plan(query_id)  # validate registration
+        if paused:
+            self._paused.add(query_id)
+        else:
+            self._paused.discard(query_id)
+
+    def is_paused(self, query_id: int) -> bool:
+        """Whether the query is currently paused (``False`` for unknown ids)."""
+        return query_id in self._paused
+
+    def _all_paused(self, query_ids: List[int]) -> bool:
+        """Whether every one of the chain's queries is paused."""
+        return bool(self._paused) and all(
+            query_id in self._paused for query_id in query_ids
+        )
 
     # ------------------------------------------------------------------
     # Query deletion (Section V, "Query Deletions")
@@ -226,6 +365,7 @@ class QueryPlanner:
         del self._plans[query_id]
         self._result_handlers.pop(query_id, None)
         self._batch_handlers.pop(query_id, None)
+        self._paused.discard(query_id)
         self._deletions += 1
         self._last_touched = len(touched)
         return touched
@@ -234,9 +374,14 @@ class QueryPlanner:
     # Internal plumbing
     # ------------------------------------------------------------------
     def _deliver(self, query_id: int, item: SensorTuple) -> None:
-        """Route a per-cell partial-stream tuple into the query's merge stage."""
+        """Route a per-cell partial-stream tuple into the query's merge stage.
+
+        Paused queries are skipped before the merge stage: tuples acquired
+        for co-located active queries must not leak into a detached
+        session's stream or accounting.
+        """
         plan = self._plans.get(query_id)
-        if plan is None:
+        if plan is None or query_id in self._paused:
             return
         plan.union.accept(item)
 
@@ -249,7 +394,7 @@ class QueryPlanner:
         handler fall back to the object path's per-tuple union flow.
         """
         plan = self._plans.get(query_id)
-        if plan is None:
+        if plan is None or query_id in self._paused:
             return
         handler = self._batch_handlers.get(query_id)
         if handler is None:
@@ -273,12 +418,16 @@ class QueryPlanner:
 
         The request/response handler uses this to know where to send
         acquisition requests: exactly the (attribute, cell) pairs with at
-        least one overlapping query.
+        least one overlapping query.  Pairs whose every overlapping query
+        is paused are excluded — a paused query keeps its topology but
+        stops demanding acquisition.
         """
         needed: Dict[str, List[GridCell]] = {}
         for key, topology in self._cells.items():
             cell = self._grid.cell(*key)
             for attribute in topology.attributes:
+                if self._all_paused(topology.chain(attribute).query_ids):
+                    continue
                 needed.setdefault(attribute, []).append(cell)
         return needed
 
@@ -312,10 +461,17 @@ class QueryPlanner:
             topology.flush()
 
     def violations(self) -> Dict[Tuple[str, CellKey], float]:
-        """Last-batch ``N_v`` per (attribute, cell) pair."""
+        """Last-batch ``N_v`` per (attribute, cell) pair.
+
+        Pairs whose every query is paused are excluded: no acquisition was
+        requested for them, so their Flatten shortfall is not a signal the
+        budget tuner should react to.
+        """
         report: Dict[Tuple[str, CellKey], float] = {}
         for key, topology in self._cells.items():
             for attribute, violation in topology.violations().items():
+                if self._all_paused(topology.chain(attribute).query_ids):
+                    continue
                 report[(attribute, key)] = violation
         return report
 
@@ -335,6 +491,8 @@ class QueryPlanner:
             rebuilds=sum(t.rebuilds for t in self._cells.values()),
             insertions=self._insertions,
             deletions=self._deletions,
+            updates=self._updates,
+            paused_queries=len(self._paused),
             cells_touched_by_last_change=self._last_touched,
         )
 

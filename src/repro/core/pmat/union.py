@@ -71,6 +71,12 @@ class UnionOperator(PMATOperator):
         """The common rate of the unioned processes, when declared."""
         return self._rate
 
+    def set_rate(self, rate: float) -> None:
+        """Declare a new common rate (used when a query is altered in-flight)."""
+        if rate <= 0:
+            raise StreamError("the common rate must be strictly positive")
+        self._rate = float(rate)
+
     @property
     def inputs_attached(self) -> int:
         """Number of upstream streams attached via :meth:`attach_input`."""

@@ -7,23 +7,39 @@ example Q1::
 
     ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 10 PER KM2 PER MIN
 
-plus an attribute catalog that records which attributes exist and whether
-they are human- or sensor-sensed.
+plus the session DDL — ``ALTER <name> SET RATE 5 PER KM2 PER MIN``,
+``ALTER <name> SET REGION RECT(...)``, ``STOP <name>`` and ``SHOW
+QUERIES`` — executed against a live engine by
+:meth:`repro.core.engine.CraqrEngine.execute`, and an attribute catalog
+that records which attributes exist and whether they are human- or
+sensor-sensed.
 """
 
-from .ast import ParsedQuery, RegionLiteral
+from .ast import (
+    AlterStatement,
+    ParsedQuery,
+    RegionLiteral,
+    ShowQueriesStatement,
+    Statement,
+    StopStatement,
+)
 from .lexer import Token, TokenType, tokenize
-from .parser import parse_query, parse_queries
+from .parser import parse_query, parse_queries, parse_statements
 from .catalog import AttributeCatalog, AttributeInfo, AttributeKind
 
 __all__ = [
+    "AlterStatement",
     "ParsedQuery",
     "RegionLiteral",
+    "ShowQueriesStatement",
+    "Statement",
+    "StopStatement",
     "Token",
     "TokenType",
     "tokenize",
     "parse_query",
     "parse_queries",
+    "parse_statements",
     "AttributeCatalog",
     "AttributeInfo",
     "AttributeKind",

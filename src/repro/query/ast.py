@@ -1,9 +1,23 @@
-"""Abstract syntax of the declarative query language."""
+"""Abstract syntax of the declarative query language.
+
+Two families of statement:
+
+* :class:`ParsedQuery` — the original ``ACQUIRE ...`` registration
+  statement (materialises an
+  :class:`~repro.core.query.AcquisitionalQuery`).
+* Session DDL — :class:`AlterStatement` (``ALTER <name> SET RATE ... /
+  SET REGION ...``), :class:`StopStatement` (``STOP <name>``) and
+  :class:`ShowQueriesStatement` (``SHOW QUERIES``), executed against a live
+  engine's session API by :meth:`repro.core.engine.CraqrEngine.execute`.
+
+``Statement`` is the union of all of them, as produced by
+:func:`repro.query.parse_statements`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.query import AcquisitionalQuery, RateSpec
 from ..errors import QueryParseError
@@ -47,3 +61,40 @@ class ParsedQuery:
             rate,
             name=self.name,
         )
+
+
+@dataclass(frozen=True)
+class AlterStatement:
+    """The AST of one ``ALTER <name> SET ...`` statement.
+
+    Exactly one of the two mutations is present: ``rate_value`` (with its
+    units) for ``SET RATE``, or ``region`` for ``SET REGION``.
+    """
+
+    name: str
+    rate_value: Optional[float] = None
+    area_unit: str = "unit2"
+    time_unit: str = "unit"
+    region: Optional[RegionLiteral] = None
+
+    def rate_spec(self) -> Optional[RateSpec]:
+        """The new rate as a :class:`RateSpec`, or ``None`` for ``SET REGION``."""
+        if self.rate_value is None:
+            return None
+        return RateSpec(self.rate_value, area_unit=self.area_unit, time_unit=self.time_unit)
+
+
+@dataclass(frozen=True)
+class StopStatement:
+    """The AST of one ``STOP <name>`` statement."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ShowQueriesStatement:
+    """The AST of one ``SHOW QUERIES`` statement."""
+
+
+#: Any statement :func:`repro.query.parse_statements` can produce.
+Statement = Union[ParsedQuery, AlterStatement, StopStatement, ShowQueriesStatement]

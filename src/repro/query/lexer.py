@@ -20,6 +20,12 @@ KEYWORDS = {
     "PER",
     "AS",
     "AND",
+    # Session DDL (ALTER <name> SET ..., STOP <name>, SHOW QUERIES).
+    "ALTER",
+    "SET",
+    "STOP",
+    "SHOW",
+    "QUERIES",
 }
 
 

@@ -2,14 +2,23 @@
 
 Grammar (keywords are case-insensitive)::
 
-    statement  := ACQUIRE attribute FROM region [AT] RATE number
+    statement  := acquire | alter | stop | show
+    acquire    := ACQUIRE attribute FROM region [AT] RATE number
                   [PER area_unit [PER time_unit]] [AS identifier]
+    alter      := ALTER name SET ( RATE number [PER area_unit [PER time_unit]]
+                                 | REGION region )
+    stop       := STOP name
+    show       := SHOW QUERIES
     region     := RECT '(' number ',' number ',' number ',' number ')'
     attribute  := identifier
+    name       := identifier
     area_unit  := identifier        (e.g. KM2, M2, UNIT2)
     time_unit  := identifier        (e.g. MIN, SEC, HOUR)
 
 Multiple statements may be separated by semicolons.
+:func:`parse_statements` accepts the full grammar; :func:`parse_queries` /
+:func:`parse_query` keep their original ``ACQUIRE``-only contract for
+callers that register workloads up front.
 """
 
 from __future__ import annotations
@@ -17,7 +26,14 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..errors import QueryParseError
-from .ast import ParsedQuery, RegionLiteral
+from .ast import (
+    AlterStatement,
+    ParsedQuery,
+    RegionLiteral,
+    ShowQueriesStatement,
+    Statement,
+    StopStatement,
+)
 from .lexer import Token, TokenType, tokenize
 
 #: Accepted spellings of area units, mapped to RateSpec unit names.
@@ -49,6 +65,10 @@ class _TokenCursor:
 
     def peek(self) -> Token:
         return self._tokens[self._index]
+
+    def peek_ahead(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
 
     def advance(self) -> Token:
         token = self._tokens[self._index]
@@ -127,13 +147,8 @@ def _parse_unit(cursor: _TokenCursor, aliases: dict, kind: str) -> str:
     return aliases[name]
 
 
-def _parse_statement(cursor: _TokenCursor) -> ParsedQuery:
-    cursor.expect_keyword("ACQUIRE")
-    attribute_token = cursor.expect(TokenType.IDENTIFIER, "an attribute name")
-    cursor.expect_keyword("FROM")
-    region = _parse_region(cursor)
-    cursor.match_keyword("AT")
-    cursor.expect_keyword("RATE")
+def _parse_rate_with_units(cursor: _TokenCursor):
+    """``number [PER area_unit [PER time_unit]]`` after a RATE keyword."""
     rate_value = _parse_number(cursor, "a rate value")
     area_unit = "unit2"
     time_unit = "unit"
@@ -141,6 +156,17 @@ def _parse_statement(cursor: _TokenCursor) -> ParsedQuery:
         area_unit = _parse_unit(cursor, _AREA_UNIT_ALIASES, "area")
         if cursor.match_keyword("PER"):
             time_unit = _parse_unit(cursor, _TIME_UNIT_ALIASES, "time")
+    return rate_value, area_unit, time_unit
+
+
+def _parse_acquire(cursor: _TokenCursor) -> ParsedQuery:
+    cursor.expect_keyword("ACQUIRE")
+    attribute_token = cursor.expect(TokenType.IDENTIFIER, "an attribute name")
+    cursor.expect_keyword("FROM")
+    region = _parse_region(cursor)
+    cursor.match_keyword("AT")
+    cursor.expect_keyword("RATE")
+    rate_value, area_unit, time_unit = _parse_rate_with_units(cursor)
     name: Optional[str] = None
     if cursor.match_keyword("AS"):
         name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
@@ -155,6 +181,61 @@ def _parse_statement(cursor: _TokenCursor) -> ParsedQuery:
     )
 
 
+def _parse_alter(cursor: _TokenCursor) -> AlterStatement:
+    cursor.expect_keyword("ALTER")
+    name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
+    cursor.expect_keyword("SET")
+    if cursor.match_keyword("RATE"):
+        rate_value, area_unit, time_unit = _parse_rate_with_units(cursor)
+        return AlterStatement(
+            name=name_token.value,
+            rate_value=rate_value,
+            area_unit=area_unit,
+            time_unit=time_unit,
+        )
+    if cursor.peek().is_keyword("REGION") or cursor.peek().is_keyword("RECT"):
+        # SET REGION RECT(...) — _parse_region consumes the RECT/REGION
+        # keyword itself, so an explicit REGION prefix is optional sugar.
+        if cursor.peek().is_keyword("REGION"):
+            after = cursor.peek_ahead()
+            if after.is_keyword("RECT") or after.is_keyword("REGION"):
+                cursor.advance()
+        return AlterStatement(name=name_token.value, region=_parse_region(cursor))
+    token = cursor.peek()
+    raise QueryParseError(
+        f"expected RATE or REGION after SET at position {token.position}, "
+        f"got {token.value!r}"
+    )
+
+
+def _parse_stop(cursor: _TokenCursor) -> StopStatement:
+    cursor.expect_keyword("STOP")
+    name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
+    return StopStatement(name=name_token.value)
+
+
+def _parse_show(cursor: _TokenCursor) -> ShowQueriesStatement:
+    cursor.expect_keyword("SHOW")
+    cursor.expect_keyword("QUERIES")
+    return ShowQueriesStatement()
+
+
+def _parse_statement(cursor: _TokenCursor) -> Statement:
+    token = cursor.peek()
+    if token.is_keyword("ACQUIRE"):
+        return _parse_acquire(cursor)
+    if token.is_keyword("ALTER"):
+        return _parse_alter(cursor)
+    if token.is_keyword("STOP"):
+        return _parse_stop(cursor)
+    if token.is_keyword("SHOW"):
+        return _parse_show(cursor)
+    raise QueryParseError(
+        f"expected a statement keyword (ACQUIRE, ALTER, STOP or SHOW) at "
+        f"position {token.position}, got {token.value!r}"
+    )
+
+
 def parse_query(text: str) -> ParsedQuery:
     """Parse a single ``ACQUIRE`` statement."""
     queries = parse_queries(text)
@@ -164,15 +245,39 @@ def parse_query(text: str) -> ParsedQuery:
 
 
 def parse_queries(text: str) -> List[ParsedQuery]:
-    """Parse one or more semicolon-separated ``ACQUIRE`` statements."""
+    """Parse one or more semicolon-separated ``ACQUIRE`` statements.
+
+    Session DDL (``ALTER`` / ``STOP`` / ``SHOW QUERIES``) is rejected here:
+    this entry point registers workloads.  Use :func:`parse_statements` for
+    the full language.
+    """
+    statements = parse_statements(text)
+    for statement in statements:
+        if not isinstance(statement, ParsedQuery):
+            raise QueryParseError(
+                f"only ACQUIRE statements are allowed here, got a "
+                f"{type(statement).__name__}; use parse_statements() for "
+                f"session DDL"
+            )
+    return statements
+
+
+def parse_statements(text: str) -> List[Statement]:
+    """Parse one or more semicolon-separated statements (full grammar).
+
+    Accepts ``ACQUIRE`` registrations and the session DDL statements
+    (``ALTER <name> SET RATE ... | SET REGION ...``, ``STOP <name>``,
+    ``SHOW QUERIES``); the resulting AST nodes execute against a live
+    engine via :meth:`repro.core.engine.CraqrEngine.execute`.
+    """
     if not text or not text.strip():
         raise QueryParseError("the query text is empty")
     cursor = _TokenCursor(tokenize(text))
-    statements: List[ParsedQuery] = []
+    statements: List[Statement] = []
     while not cursor.at_end:
         statements.append(_parse_statement(cursor))
         while cursor.peek().type is TokenType.SEMICOLON:
             cursor.advance()
     if not statements:
-        raise QueryParseError("no ACQUIRE statement found")
+        raise QueryParseError("no statement found")
     return statements

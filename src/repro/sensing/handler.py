@@ -629,6 +629,7 @@ class RequestResponseHandler:
         duration: float,
         report: Optional[HandlerReport] = None,
         bucketing: Optional[Tuple[np.ndarray, np.ndarray, frozenset]] = None,
+        round_cache: Optional[dict] = None,
     ) -> Optional[TupleBatch]:
         """Fused fast-sim acquisition: all of one attribute's cells in one round.
 
@@ -664,26 +665,41 @@ class RequestResponseHandler:
         field_model = world.field_for(attribute)
         report = report if report is not None else HandlerReport()
 
-        grid_cells: List[GridCell] = []
-        off_grid: List[GridCell] = []
-        for cell in cells:
-            (grid_cells if self._cell_in_grid(cell) else off_grid).append(cell)
-        populations, fully_vector = self._resolve_cell_populations(
-            grid_cells, bucketing
-        )
+        # The cell plan — on/off-grid split, resolved populations and the
+        # fused/fallback partition — depends only on the requested cells
+        # and the round's (frozen) sensor positions, so attributes of one
+        # round requesting the same cells share it via ``round_cache``.
+        plan = None
+        plan_key = None
+        if round_cache is not None:
+            plan_key = ("plan", tuple(cell.key for cell in cells))
+            plan = round_cache.get(plan_key)
+        if plan is None:
+            grid_cells: List[GridCell] = []
+            off_grid: List[GridCell] = []
+            for cell in cells:
+                (grid_cells if self._cell_in_grid(cell) else off_grid).append(cell)
+            populations, fully_vector = self._resolve_cell_populations(
+                grid_cells, bucketing
+            )
 
-        fused_cells: List[GridCell] = []
-        fused_populations: List[np.ndarray] = []
-        fallback_cells: List[GridCell] = list(off_grid)
-        for cell in grid_cells:
-            population = populations[cell.key]
-            if population.size == 0:
-                continue  # nobody to ask: no requests, like the per-cell paths
-            if fully_vector[cell.key]:
-                fused_cells.append(cell)
-                fused_populations.append(population)
-            else:
-                fallback_cells.append(cell)
+            fused_cells: List[GridCell] = []
+            fused_populations: List[np.ndarray] = []
+            fallback_cells: List[GridCell] = list(off_grid)
+            for cell in grid_cells:
+                population = populations[cell.key]
+                if population.size == 0:
+                    continue  # nobody to ask: no requests, like the per-cell paths
+                if fully_vector[cell.key]:
+                    fused_cells.append(cell)
+                    fused_populations.append(population)
+                else:
+                    fallback_cells.append(cell)
+            plan = (fused_cells, fused_populations, fallback_cells)
+            if round_cache is not None:
+                round_cache[plan_key] = plan
+        else:
+            fused_cells, fused_populations, fallback_cells = plan
 
         parts: List[TupleBatch] = []
         for cell in fallback_cells:
@@ -695,7 +711,7 @@ class RequestResponseHandler:
 
         fused = self._acquire_fused_round(
             attribute, field_model, fused_cells, fused_populations,
-            duration=duration, report=report,
+            duration=duration, report=report, round_cache=round_cache,
         )
         if fused is not None:
             parts.append(fused)
@@ -708,6 +724,9 @@ class RequestResponseHandler:
         populations: List[np.ndarray],
         budgets: np.ndarray,
         rng: np.random.Generator,
+        *,
+        round_cache: Optional[dict] = None,
+        cache_key=None,
     ) -> Tuple[np.ndarray, bool]:
         """Every cell's sensor choices in one vectorised draw.
 
@@ -722,6 +741,15 @@ class RequestResponseHandler:
         matrix cannot express, and heavily skewed crowds (one cell holding
         most of the population) would make the dense padding cost
         ``cells x max_population`` memory instead of ``O(candidates)``.
+
+        Sensor positions are frozen within an acquisition round, so the
+        padded candidate/key matrices depend only on the requested cells —
+        not on the attribute being served.  A multi-attribute round passes
+        ``round_cache`` (see :meth:`acquire_batches`): the first attribute
+        builds the matrices, later attributes over the same cells reuse
+        them and only redraw the random keys (the random draws themselves
+        are never cached, so each attribute's sample stays independent and
+        the stream consumption is identical with or without the cache).
 
         Returns ``(rows, replacement_used)`` with ``rows`` in cell-major
         request order.
@@ -746,14 +774,37 @@ class RequestResponseHandler:
                     ]
                 )
             return np.concatenate(chosen_parts), undersized
-        candidate_rows = np.concatenate(populations)
-        segment_of_candidate = np.repeat(np.arange(m), sizes)
-        within_segment = np.arange(candidate_rows.size) - np.repeat(
-            np.cumsum(sizes) - sizes, sizes
-        )
-        padded_rows = np.zeros((m, width), dtype=np.int64)
-        padded_rows[segment_of_candidate, within_segment] = candidate_rows
-        keys = np.full((m, width), np.inf)
+        caching = round_cache is not None and cache_key is not None
+        cached = round_cache.get(cache_key) if caching else None
+        if cached is None:
+            candidate_rows = np.concatenate(populations)
+            segment_of_candidate = np.repeat(np.arange(m), sizes)
+            within_segment = np.arange(candidate_rows.size) - np.repeat(
+                np.cumsum(sizes) - sizes, sizes
+            )
+            padded_rows = np.zeros((m, width), dtype=np.int64)
+            padded_rows[segment_of_candidate, within_segment] = candidate_rows
+            key_template = np.full((m, width), np.inf)
+            if caching:
+                round_cache[cache_key] = (
+                    candidate_rows,
+                    segment_of_candidate,
+                    within_segment,
+                    padded_rows,
+                    key_template,
+                )
+                keys = key_template.copy()
+            else:
+                keys = key_template  # sole user: no need to preserve the padding
+        else:
+            (
+                candidate_rows,
+                segment_of_candidate,
+                within_segment,
+                padded_rows,
+                key_template,
+            ) = cached
+            keys = key_template.copy()
         keys[segment_of_candidate, within_segment] = rng.random(candidate_rows.size)
 
         max_budget = int(budgets.max())
@@ -802,6 +853,7 @@ class RequestResponseHandler:
         *,
         duration: float,
         report: HandlerReport,
+        round_cache: Optional[dict] = None,
     ) -> Optional[TupleBatch]:
         """The fused core: one draw of everything across the given cells.
 
@@ -819,15 +871,20 @@ class RequestResponseHandler:
         soa = world.state_arrays
         rng = world.rng
 
+        fused_key = tuple(cell.key for cell in cells)
         budgets = np.array(
-            [self.budget_for(attribute, cell.key) for cell in cells], dtype=np.int64
+            [self.budget_for(attribute, key) for key in fused_key], dtype=np.int64
         )
         total = int(budgets.sum())
         rows, replacement_used = self._fused_sensor_choices(
-            populations, budgets, rng
+            populations,
+            budgets,
+            rng,
+            round_cache=round_cache,
+            cache_key=("choices", fused_key),
         )
-        for cell, budget in zip(cells, budgets):
-            self._count_requests(report, (attribute, cell.key), int(budget))
+        for key, budget in zip(fused_key, budgets):
+            self._count_requests(report, (attribute, key), int(budget))
 
         segments = np.repeat(np.arange(len(cells)), budgets)
         request_times = world.now + self._fused_request_times(budgets, duration, rng)
@@ -850,8 +907,8 @@ class RequestResponseHandler:
 
         respond_segments = segments[responds]
         response_counts = np.bincount(respond_segments, minlength=len(cells))
-        for cell, count in zip(cells, response_counts):
-            self._count_responses(report, (attribute, cell.key), int(count))
+        for key, count in zip(fused_key, response_counts):
+            self._count_responses(report, (attribute, key), int(count))
         count = int(responds.sum())
         if count == 0:
             return None
@@ -867,7 +924,7 @@ class RequestResponseHandler:
         xs = soa.x[respond_rows]
         ys = soa.y[respond_rows]
         values = field_model.values(respond_times, xs, ys, rng=rng)
-        cell_keys = np.array([cell.key for cell in cells], dtype=np.int64)
+        cell_keys = np.array(fused_key, dtype=np.int64)
         return TupleBatch(
             attribute,
             respond_times + latencies,
@@ -934,16 +991,23 @@ class RequestResponseHandler:
         In strict mode the round runs one seeded byte-identical
         :meth:`acquire_cell_batch` per ``(attribute, cell)`` pair; in
         fast-sim mode (``WorldConfig.vectorized_rng``) each attribute is
-        served by one fused :meth:`acquire_attribute_batch` round instead.
+        served by one fused :meth:`acquire_attribute_batch` round instead,
+        sharing one bucketing pass *and* one set of padded candidate/key
+        matrices (keyed by the requested cell set) across all attributes of
+        the round — the per-attribute work is then just the fresh random
+        draws.
         """
         report = HandlerReport()
         batches: Dict[str, TupleBatch] = {}
         if self._world.vectorized:
             bucketing = self._bucket_sensors() if attribute_cells else None
+            # Candidate/key matrices depend only on the requested cells, so
+            # attributes of one round sharing a cell set share them too.
+            round_cache: dict = {}
             for attribute, cells in attribute_cells.items():
                 batch = self.acquire_attribute_batch(
                     attribute, cells, duration=duration, report=report,
-                    bucketing=bucketing,
+                    bucketing=bucketing, round_cache=round_cache,
                 )
                 if batch is not None and len(batch):
                     batches[attribute] = batch

@@ -8,7 +8,7 @@ would sit on in a deployment.
 """
 
 from .tuple_store import TupleStore, StoreStats
-from .result_buffer import QueryResultBuffer, RateEstimate
+from .result_buffer import QueryResultBuffer, RateEstimate, ResultCursor, Subscription
 from .discarded import DiscardedStore
 from .index import SpatioTemporalIndex
 
@@ -17,6 +17,8 @@ __all__ = [
     "StoreStats",
     "QueryResultBuffer",
     "RateEstimate",
+    "ResultCursor",
+    "Subscription",
     "DiscardedStore",
     "SpatioTemporalIndex",
 ]

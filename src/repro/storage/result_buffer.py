@@ -1,4 +1,4 @@
-"""Per-query result buffers.
+"""Per-query result buffers and the session-consumption surface over them.
 
 Each registered acquisitional query gets a :class:`QueryResultBuffer` that
 accumulates its fabricated crowdsensed data stream, batch by batch, and can
@@ -11,12 +11,29 @@ the object path) and whole :class:`~repro.streams.TupleBatch` columns
 are kept columnar internally; individual :class:`SensorTuple` objects are
 only materialised when an object-level accessor such as :meth:`items` asks
 for them.
+
+Three consumption surfaces sit on top of the chunk list:
+
+* :meth:`QueryResultBuffer.items` / :meth:`QueryResultBuffer.values` — the
+  classic whole-history accessors (cost grows with retained history).
+* :meth:`QueryResultBuffer.cursor` — a resumable :class:`ResultCursor` that
+  reads only the chunks appended since its last read, in object *or*
+  columnar form, so a polling consumer pays O(new tuples) per read.
+* :meth:`QueryResultBuffer.subscribe` — push :class:`Subscription` callbacks
+  invoked once per completed batch with the batch's delivered tuples as one
+  :class:`~repro.streams.TupleBatch`.
+
+With ``retention_batches`` set, chunks older than the retention window are
+evicted at every batch end while the lifetime accounting
+(:attr:`QueryResultBuffer.total_tuples`, the whole-history achieved rate)
+stays exact through running totals; a cursor that lags behind the window
+raises :class:`~repro.errors.StorageError` on its next read.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +43,9 @@ from ..streams import SensorTuple, TupleBatch
 
 #: Internal storage unit: a run of object tuples or one columnar batch.
 _Chunk = Union[List[SensorTuple], TupleBatch]
+
+#: Callback type of push subscriptions: receives one batch's deliveries.
+SubscriberFn = Callable[[TupleBatch], None]
 
 
 @dataclass(frozen=True)
@@ -46,8 +66,149 @@ class RateEstimate:
         return abs(self.achieved_rate - self.requested_rate) / self.requested_rate
 
 
+class ResultCursor:
+    """A resumable read position over one query's result buffer.
+
+    A cursor remembers which chunk (and row within it) it has consumed up
+    to; every read returns only what arrived since and advances the
+    position.  Reads are backed by the buffer's chunk list directly, so
+    their cost is proportional to the *new* tuples, independent of how much
+    history the buffer retains.
+
+    Two read forms share one position:
+
+    * :meth:`fetch` — the new tuples as :class:`SensorTuple` objects (the
+      cursor is also iterable: ``for item in cursor`` drains what is
+      currently pending).
+    * :meth:`fetch_batch` — the new tuples as one columnar
+      :class:`TupleBatch` (chunks that are already materialised as object
+      lists are converted; purely columnar histories never materialise).
+
+    When the buffer evicts chunks the cursor has not consumed yet
+    (``retention_batches`` or an explicit ``capacity``), the next read
+    raises :class:`StorageError` naming how far behind the cursor fell.
+    """
+
+    __slots__ = ("_buffer", "_chunk_seq", "_row", "_global")
+
+    def __init__(self, buffer: "QueryResultBuffer", chunk_seq: int, row: int, global_index: int) -> None:
+        self._buffer = buffer
+        self._chunk_seq = chunk_seq
+        self._row = row
+        self._global = global_index
+
+    # ------------------------------------------------------------------
+    @property
+    def buffer(self) -> "QueryResultBuffer":
+        """The buffer this cursor reads from."""
+        return self._buffer
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """The ``(chunk sequence, row)`` position the cursor has consumed up to."""
+        return (self._chunk_seq, self._row)
+
+    @property
+    def consumed(self) -> int:
+        """Tuples the cursor has consumed (including any skipped at creation)."""
+        return self._global
+
+    @property
+    def pending(self) -> int:
+        """Tuples delivered to the buffer but not yet read through this cursor."""
+        return self._buffer.total_tuples - self._global
+
+    # ------------------------------------------------------------------
+    def fetch(self) -> List[SensorTuple]:
+        """The tuples appended since the last read, as objects (advances)."""
+        items: List[SensorTuple] = []
+        for chunk, start in self._advance():
+            if isinstance(chunk, list):
+                items.extend(chunk[start:] if start else chunk)
+            else:
+                part = chunk if start == 0 else chunk.select(np.arange(start, len(chunk)))
+                items.extend(part.to_tuples())
+        return items
+
+    def fetch_batch(self) -> TupleBatch:
+        """The tuples appended since the last read, as one columnar batch.
+
+        Returns an empty batch when nothing is pending.  Object-list chunks
+        (e.g. from the non-columnar engine path) are converted with
+        :meth:`TupleBatch.from_tuples`; columnar chunks are sliced without
+        materialising any tuple objects.
+        """
+        parts: List[TupleBatch] = []
+        for chunk, start in self._advance():
+            if isinstance(chunk, list):
+                parts.append(TupleBatch.from_tuples(chunk[start:] if start else chunk))
+            elif start == 0:
+                parts.append(chunk)
+            else:
+                parts.append(chunk.select(np.arange(start, len(chunk))))
+        if not parts:
+            return TupleBatch.empty()
+        return TupleBatch.concatenate(parts)
+
+    def __iter__(self) -> Iterator[SensorTuple]:
+        """Drain the currently pending tuples as an object iterator."""
+        return iter(self.fetch())
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> List[Tuple[_Chunk, int]]:
+        """Collect ``(chunk, start_row)`` segments past the position and advance."""
+        segments, position, read = self._buffer._segments_from(
+            self._chunk_seq, self._row, consumed=self._global
+        )
+        self._chunk_seq, self._row = position
+        self._global += read
+        return segments
+
+
+class Subscription:
+    """A push subscription on a result buffer (see :meth:`QueryResultBuffer.subscribe`)."""
+
+    __slots__ = ("_buffer", "_fn")
+
+    def __init__(self, buffer: "QueryResultBuffer", fn: SubscriberFn) -> None:
+        self._buffer = buffer
+        self._fn = fn
+
+    @property
+    def active(self) -> bool:
+        """Whether the subscription still receives callbacks."""
+        return self._fn is not None and self._fn in self._buffer._subscribers
+
+    def cancel(self) -> None:
+        """Stop receiving callbacks (idempotent)."""
+        if self._fn is not None:
+            try:
+                self._buffer._subscribers.remove(self._fn)
+            except ValueError:
+                pass
+            self._fn = None
+
+
 class QueryResultBuffer:
-    """Accumulates the fabricated MCDS of one query."""
+    """Accumulates the fabricated MCDS of one query.
+
+    Parameters
+    ----------
+    query_id:
+        Id of the owning query.
+    requested_rate / region_area:
+        The query's target rate and region area (used by rate estimates;
+        both are updatable in-flight via :meth:`set_requested_rate` /
+        :meth:`set_region_area` when the query is altered live).
+    capacity:
+        Optional cap on retained *tuples*; oldest rows are trimmed.
+    retention_batches:
+        Optional cap on retained *batches*: at every :meth:`end_batch` the
+        chunks of batches older than the window are evicted wholesale.
+        Lifetime accounting survives eviction exactly (running totals);
+        only windowed reads beyond the retained history raise
+        :class:`StorageError`.
+    """
 
     def __init__(
         self,
@@ -56,6 +217,7 @@ class QueryResultBuffer:
         requested_rate: float,
         region_area: float,
         capacity: Optional[int] = None,
+        retention_batches: Optional[int] = None,
     ) -> None:
         if requested_rate <= 0:
             raise StorageError("requested_rate must be positive")
@@ -63,15 +225,40 @@ class QueryResultBuffer:
             raise StorageError("region_area must be positive")
         if capacity is not None and capacity <= 0:
             raise StorageError("capacity must be positive or None")
+        if retention_batches is not None and retention_batches <= 0:
+            raise StorageError("retention_batches must be positive or None")
         self._query_id = query_id
         self._requested_rate = requested_rate
         self._region_area = region_area
         self._capacity = capacity
+        self._retention = retention_batches
         self._chunks: List[_Chunk] = []
+        #: global sequence number of ``_chunks[0]`` (chunks ever created
+        #: before it); lets cursor positions survive front eviction.
+        self._chunk_base = 0
+        #: rows trimmed/evicted from the front of the current head chunk,
+        #: relative to the head chunk's original content.
+        self._head_dropped = 0
         self._size = 0
+        #: retained per-batch counts (the newest ``retention_batches`` when
+        #: retention is on, the whole history otherwise) ...
         self._per_batch_counts: List[int] = []
+        #: ... with, per retained batch, the chunk sequence *after* it.
+        self._batch_bounds: List[int] = []
+        self._batches_completed = 0
+        self._completed_total = 0
         self._current_batch = 0
         self._total = 0
+        self._evicted = 0
+        #: whether the last chunk is an append-grown object list that may
+        #: still receive rows.  Closed batch-boundary chunks never grow, so
+        #: a cursor at their end can point *past* them — which both keeps a
+        #: fully-caught-up cursor immune to their eviction and lets
+        #: retention evict whole chunks without splitting one across
+        #: batches (a new chunk always starts after a batch boundary).
+        self._tail_open_list = False
+        self._subscribers: List[SubscriberFn] = []
+        self._notify_cursor: Optional[ResultCursor] = None
 
     # ------------------------------------------------------------------
     @property
@@ -85,25 +272,56 @@ class QueryResultBuffer:
         return self._requested_rate
 
     @property
+    def retention_batches(self) -> Optional[int]:
+        """The retention window in batches (``None`` keeps everything)."""
+        return self._retention
+
+    @property
     def total_tuples(self) -> int:
-        """All tuples delivered since registration."""
+        """All tuples delivered since registration (survives eviction)."""
         return self._total
 
     @property
+    def evicted_tuples(self) -> int:
+        """Tuples evicted by retention or the capacity cap."""
+        return self._evicted
+
+    @property
+    def batches_completed(self) -> int:
+        """Completed batches since registration (survives eviction)."""
+        return self._batches_completed
+
+    @property
     def per_batch_counts(self) -> List[int]:
-        """Tuples delivered in each completed batch."""
+        """Tuples delivered in each *retained* completed batch."""
         return list(self._per_batch_counts)
 
     def __len__(self) -> int:
         return self._size
 
     # ------------------------------------------------------------------
+    # Live-session mutation (used by ALTER ... SET RATE / SET REGION)
+    # ------------------------------------------------------------------
+    def set_requested_rate(self, requested_rate: float) -> None:
+        """Change the requested rate future rate estimates compare against."""
+        if requested_rate <= 0:
+            raise StorageError("requested_rate must be positive")
+        self._requested_rate = float(requested_rate)
+
+    def set_region_area(self, region_area: float) -> None:
+        """Change the region area rate estimates normalise by."""
+        if region_area <= 0:
+            raise StorageError("region_area must be positive")
+        self._region_area = float(region_area)
+
+    # ------------------------------------------------------------------
     def append(self, item: SensorTuple) -> None:
         """Deliver one tuple of the query's stream."""
-        if self._chunks and isinstance(self._chunks[-1], list):
+        if self._chunks and self._tail_open_list:
             self._chunks[-1].append(item)
         else:
             self._chunks.append([item])
+            self._tail_open_list = True
         self._size += 1
         self._total += 1
         self._current_batch += 1
@@ -119,10 +337,23 @@ class QueryResultBuffer:
         if count == 0:
             return
         self._chunks.append(batch)
+        self._tail_open_list = False
         self._size += count
         self._total += count
         self._current_batch += count
         self._trim()
+
+    def _drop_head_chunk(self) -> int:
+        """Evict the whole head chunk; returns how many rows it held."""
+        head_len = len(self._chunks[0])
+        del self._chunks[0]
+        self._chunk_base += 1
+        self._head_dropped = 0
+        self._size -= head_len
+        self._evicted += head_len
+        if not self._chunks:
+            self._tail_open_list = False
+        return head_len
 
     def _trim(self) -> None:
         if self._capacity is None:
@@ -132,24 +363,152 @@ class QueryResultBuffer:
             head = self._chunks[0]
             head_len = len(head)
             if head_len <= excess:
-                del self._chunks[0]
-                self._size -= head_len
+                self._drop_head_chunk()
                 excess -= head_len
             elif isinstance(head, list):
                 del head[:excess]
+                self._head_dropped += excess
                 self._size -= excess
+                self._evicted += excess
                 excess = 0
             else:
                 self._chunks[0] = head.select(np.arange(excess, head_len))
+                self._head_dropped += excess
                 self._size -= excess
+                self._evicted += excess
                 excess = 0
 
     def end_batch(self) -> int:
-        """Close the current batch; returns the number of tuples it delivered."""
+        """Close the current batch; returns the number of tuples it delivered.
+
+        Push subscriptions fire here (once per batch, with the batch's
+        deliveries as one :class:`TupleBatch`), then chunks older than the
+        retention window are evicted.
+        """
         count = self._current_batch
         self._per_batch_counts.append(count)
+        self._batch_bounds.append(self._chunk_base + len(self._chunks))
+        self._batches_completed += 1
+        self._completed_total += count
         self._current_batch = 0
+        self._tail_open_list = False
+        self._notify_subscribers()
+        if self._retention is not None:
+            while len(self._per_batch_counts) > self._retention:
+                self._per_batch_counts.pop(0)
+                bound = self._batch_bounds.pop(0)
+                while self._chunk_base < bound and self._chunks:
+                    self._drop_head_chunk()
         return count
+
+    # ------------------------------------------------------------------
+    # Incremental consumption
+    # ------------------------------------------------------------------
+    def cursor(self, *, tail: bool = False) -> ResultCursor:
+        """A resumable cursor over the buffer's stream.
+
+        ``tail=False`` (default) starts at the beginning of the *retained*
+        history, so the first read catches the consumer up; ``tail=True``
+        starts past everything already delivered, so only future deliveries
+        are returned.
+        """
+        if tail:
+            chunk_seq, row = self._tail_position()
+            return ResultCursor(self, chunk_seq, row, self._total)
+        return ResultCursor(self, self._chunk_base, self._head_dropped, self._evicted)
+
+    def subscribe(self, fn: SubscriberFn) -> Subscription:
+        """Register a push callback invoked once per completed batch.
+
+        The callback receives the batch's deliveries as one
+        :class:`TupleBatch` (empty batches do not fire).  Returns a
+        :class:`Subscription` whose :meth:`~Subscription.cancel` detaches
+        the callback.
+        """
+        if not callable(fn):
+            raise StorageError("a subscriber must be callable")
+        if self._notify_cursor is None:
+            self._notify_cursor = self.cursor(tail=True)
+        self._subscribers.append(fn)
+        return Subscription(self, fn)
+
+    def _notify_subscribers(self) -> None:
+        cursor = self._notify_cursor
+        if cursor is None:
+            return
+        if not self._subscribers:
+            # Keep the shared cursor at the tail so it never falls behind
+            # the retention window while nobody is subscribed.
+            self._notify_cursor = self.cursor(tail=True)
+            return
+        batch = cursor.fetch_batch()
+        if len(batch) == 0:
+            return
+        for fn in list(self._subscribers):
+            fn(batch)
+
+    def _tail_position(self) -> Tuple[int, int]:
+        """The ``(chunk_seq, row)`` position just past everything delivered.
+
+        When the last chunk is closed (a columnar batch, or an object list
+        sealed by a batch boundary) the position points past it entirely,
+        so a caught-up cursor is not invalidated when that chunk is later
+        evicted.  Only an append-grown open list pins the position inside
+        the chunk, because future rows may still land there.
+        """
+        if not self._chunks:
+            return (self._chunk_base, 0)
+        if not self._tail_open_list:
+            return (self._chunk_base + len(self._chunks), 0)
+        last_index = len(self._chunks) - 1
+        dropped = self._head_dropped if last_index == 0 else 0
+        return (self._chunk_base + last_index, len(self._chunks[last_index]) + dropped)
+
+    def _segments_from(
+        self, chunk_seq: int, row: int, *, consumed: Optional[int] = None
+    ) -> Tuple[List[Tuple[_Chunk, int]], Tuple[int, int], int]:
+        """Chunk segments past ``(chunk_seq, row)``; used by cursors.
+
+        Returns ``(segments, new_position, tuples_read)`` where each
+        segment is a ``(chunk, physical_start_row)`` pair.  Raises
+        :class:`StorageError` when the position points below the retained
+        history (the chunks were evicted before being read) — unless
+        ``consumed`` (the cursor's lifetime tuple count) shows every
+        evicted tuple was already read, in which case the position was
+        merely pinned inside a fully-consumed chunk (an open object-list
+        tail read mid-batch) and the read resumes losslessly from the
+        start of the retained history.
+        """
+        if chunk_seq < self._chunk_base or (
+            chunk_seq == self._chunk_base and self._chunks and row < self._head_dropped
+        ):
+            if consumed is not None and consumed >= self._evicted:
+                chunk_seq, row = self._chunk_base, self._head_dropped
+            else:
+                raise StorageError(
+                    f"cursor position has been evicted: the buffer retains chunks "
+                    f"from sequence {self._chunk_base} (row {self._head_dropped}) "
+                    f"onwards, cursor was at chunk {chunk_seq} row {row} "
+                    f"(retention_batches={self._retention}, "
+                    f"{self._evicted} tuples evicted so far)"
+                )
+        local = chunk_seq - self._chunk_base
+        if local > len(self._chunks):
+            raise StorageError(
+                f"cursor position (chunk {chunk_seq}) is ahead of the buffer "
+                f"(next chunk is {self._chunk_base + len(self._chunks)})"
+            )
+        segments: List[Tuple[_Chunk, int]] = []
+        read = 0
+        for index in range(local, len(self._chunks)):
+            chunk = self._chunks[index]
+            dropped = self._head_dropped if index == 0 else 0
+            start = (row - dropped) if index == local else 0
+            length = len(chunk)
+            if start < length:
+                segments.append((chunk, start))
+                read += length - start
+        return segments, self._tail_position(), read
 
     # ------------------------------------------------------------------
     def items(self) -> List[SensorTuple]:
@@ -215,19 +574,33 @@ class QueryResultBuffer:
 
         ``last=None`` means the whole history; an explicit ``last`` must be
         positive (``last=0`` used to slice ``[-0:]``, silently reporting the
-        lifetime rate instead of an empty window).
+        lifetime rate instead of an empty window).  The whole-history rate
+        stays exact under retention (running totals survive eviction); a
+        windowed ``last`` larger than the retained window raises
+        :class:`StorageError`.
         """
         if batch_duration <= 0:
             raise StorageError("batch_duration must be positive")
         if last is not None and last <= 0:
             raise StorageError("last must be positive (or None for the whole history)")
-        counts = self._per_batch_counts if last is None else self._per_batch_counts[-last:]
-        if not counts:
+        if self._batches_completed == 0:
             raise StorageError("no completed batches yet")
-        duration = batch_duration * len(counts)
-        achieved = sum(counts) / (self._region_area * duration)
+        if last is None or last >= self._batches_completed:
+            tuples = self._completed_total
+            batches = self._batches_completed
+        else:
+            if last > len(self._per_batch_counts):
+                raise StorageError(
+                    f"only the last {len(self._per_batch_counts)} batch counts "
+                    f"are retained (retention_batches={self._retention}); "
+                    f"cannot window over the last {last} batches"
+                )
+            tuples = sum(self._per_batch_counts[-last:])
+            batches = last
+        duration = batch_duration * batches
+        achieved = tuples / (self._region_area * duration)
         return RateEstimate(
-            tuples=sum(counts),
+            tuples=tuples,
             duration=duration,
             area=self._region_area,
             achieved_rate=achieved,

@@ -46,12 +46,16 @@ def default_engine_config(
     budget_delta: int = 5,
     budget_floor: int = 20,
     violation_threshold: float = 5.0,
+    retention_batches: Optional[int] = None,
 ) -> EngineConfig:
     """The engine configuration shared by the stock scenarios.
 
     The budget floor is kept well above one request so that the +/- delta
     feedback loop of Section V oscillates around the sufficient budget
-    instead of periodically starving a cell.
+    instead of periodically starving a cell.  ``retention_batches`` turns
+    on the service-mode memory bound (see
+    :attr:`repro.config.EngineConfig.retention_batches`); the stock
+    experiment scenarios keep the whole history.
     """
     return EngineConfig(
         grid_cells=grid_cells,
@@ -64,6 +68,7 @@ def default_engine_config(
             violation_threshold=violation_threshold,
         ),
         seed=seed,
+        retention_batches=retention_batches,
     )
 
 

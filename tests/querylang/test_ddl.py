@@ -1,0 +1,116 @@
+"""Lexer/parser tests for the session DDL (ALTER / STOP / SHOW QUERIES)."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query import (
+    AlterStatement,
+    ParsedQuery,
+    ShowQueriesStatement,
+    StopStatement,
+    parse_queries,
+    parse_statements,
+    tokenize,
+)
+from repro.query.lexer import TokenType
+
+
+class TestLexerKeywords:
+    @pytest.mark.parametrize("word", ["ALTER", "SET", "STOP", "SHOW", "QUERIES"])
+    def test_ddl_keywords_tokenise_case_insensitively(self, word):
+        for spelling in (word, word.lower(), word.capitalize()):
+            token = tokenize(spelling)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.value == word
+
+    def test_query_names_stay_identifiers(self):
+        tokens = tokenize("ALTER Storm SET RATE 5")
+        assert [t.type for t in tokens[:2]] == [TokenType.KEYWORD, TokenType.IDENTIFIER]
+        assert tokens[1].value == "Storm"
+
+
+class TestAlterParsing:
+    def test_alter_rate_with_units(self):
+        (statement,) = parse_statements("ALTER Storm SET RATE 5 PER KM2 PER MIN")
+        assert statement == AlterStatement(
+            name="Storm", rate_value=5.0, area_unit="km2", time_unit="min"
+        )
+        assert statement.rate_spec().per_unit == pytest.approx(5.0)
+
+    def test_alter_rate_unitless(self):
+        (statement,) = parse_statements("alter storm set rate 2.5")
+        assert statement.name == "storm"
+        assert statement.rate_value == 2.5
+        assert statement.area_unit == "unit2" and statement.time_unit == "unit"
+
+    def test_alter_region_with_and_without_region_keyword(self):
+        for text in (
+            "ALTER Storm SET REGION RECT(0, 0, 2, 2)",
+            "ALTER Storm SET RECT(0, 0, 2, 2)",
+            "ALTER Storm SET REGION(0, 0, 2, 2)",
+        ):
+            (statement,) = parse_statements(text)
+            assert statement.rate_value is None
+            assert statement.rate_spec() is None
+            assert statement.region.to_region().area == pytest.approx(4.0)
+
+    def test_alter_requires_rate_or_region(self):
+        with pytest.raises(QueryParseError, match="RATE or REGION"):
+            parse_statements("ALTER Storm SET BUDGET 5")
+
+    def test_alter_requires_name(self):
+        with pytest.raises(QueryParseError, match="query name"):
+            parse_statements("ALTER SET RATE 5")
+
+    def test_alter_rejects_bad_region_literal(self):
+        with pytest.raises(QueryParseError):
+            parse_statements("ALTER Storm SET REGION RECT(2, 2, 1, 1)")
+
+
+class TestStopAndShowParsing:
+    def test_stop(self):
+        (statement,) = parse_statements("STOP Heat")
+        assert statement == StopStatement(name="Heat")
+
+    def test_stop_requires_name(self):
+        with pytest.raises(QueryParseError, match="query name"):
+            parse_statements("STOP")
+
+    def test_show_queries(self):
+        (statement,) = parse_statements("SHOW QUERIES")
+        assert statement == ShowQueriesStatement()
+
+    def test_show_requires_queries_keyword(self):
+        with pytest.raises(QueryParseError, match="QUERIES"):
+            parse_statements("SHOW TABLES")
+
+
+class TestScripts:
+    def test_mixed_script_parses_in_order(self):
+        statements = parse_statements(
+            "ACQUIRE rain FROM RECT(0,0,2,2) RATE 10 AS Storm;"
+            "ALTER Storm SET RATE 5;"
+            "SHOW QUERIES;"
+            "STOP Storm"
+        )
+        assert [type(s) for s in statements] == [
+            ParsedQuery,
+            AlterStatement,
+            ShowQueriesStatement,
+            StopStatement,
+        ]
+
+    def test_unknown_leading_keyword_is_a_clear_error(self):
+        with pytest.raises(QueryParseError, match="ACQUIRE, ALTER, STOP or SHOW"):
+            parse_statements("SELECT rain FROM somewhere")
+
+    def test_parse_queries_rejects_ddl(self):
+        with pytest.raises(QueryParseError, match="only ACQUIRE"):
+            parse_queries("ACQUIRE rain FROM RECT(0,0,2,2) RATE 10; STOP Storm")
+
+    def test_parse_queries_still_parses_acquire_scripts(self):
+        queries = parse_queries(
+            "ACQUIRE rain FROM RECT(0,0,2,2) RATE 10 AS A;"
+            "ACQUIRE temp FROM RECT(1,1,3,3) RATE 5 AS B"
+        )
+        assert [q.name for q in queries] == ["A", "B"]

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import io
+
 import pytest
 
 from repro.cli import SCENARIOS, build_parser, main
@@ -107,3 +109,71 @@ class TestCommands:
             out=capture,
         )
         assert code == 1
+
+
+def run_repl(script, *args):
+    capture = _Capture()
+    code = main(
+        ["repl", "--scenario", "uniform", "--sensors", "120", "--seed", "3", *args],
+        out=capture,
+        in_stream=io.StringIO(script),
+    )
+    return code, capture
+
+
+class TestRepl:
+    def test_full_session_smoke(self):
+        script = """
+        ACQUIRE rain FROM RECT(0,0,2,2) AT RATE 10 PER KM2 PER MIN AS Storm
+        run 4
+        SHOW QUERIES
+        ALTER Storm SET RATE 5 PER KM2 PER MIN
+        run 3
+        ALTER Storm SET REGION RECT(1,1,3,3)
+        STOP Storm
+        SHOW QUERIES
+        quit
+        """
+        code, capture = run_repl(script)
+        assert code == 0
+        assert "registered Storm" in capture.text
+        assert "ran 4 batch(es)" in capture.text
+        assert "altered Storm: rate 5" in capture.text
+        assert "stopped Storm" in capture.text
+        assert "query sessions" in capture.text
+        assert "bye: 7 batches run" in capture.text
+
+    def test_errors_do_not_kill_the_session(self):
+        script = """
+        STOP Nobody
+        nonsense statement
+        ACQUIRE unknown_attr FROM RECT(0,0,2,2) RATE 5
+        run x
+        ACQUIRE rain FROM RECT(0,0,2,2) RATE 5 AS Ok
+        run 1
+        """
+        code, capture = run_repl(script)
+        assert code == 0
+        assert capture.text.count("error:") == 4
+        assert "registered Ok" in capture.text
+        assert "ran 1 batch(es)" in capture.text
+
+    def test_help_comments_and_eof(self):
+        code, capture = run_repl("# a comment\nhelp\n")
+        assert code == 0
+        assert "ALTER <name> SET RATE" in capture.text
+        assert "bye: 0 batches run" in capture.text
+
+    def test_retention_flag_validation(self):
+        code, capture = run_repl("quit\n", "--retention-batches", "0")
+        assert code == 1
+        assert "retention-batches must be positive" in capture.text
+
+    def test_retention_flag_accepted(self):
+        script = "ACQUIRE rain FROM RECT(0,0,2,2) RATE 8 AS Bounded\nrun 6\nSHOW QUERIES\n"
+        code, capture = run_repl(script, "--retention-batches", "3")
+        assert code == 0
+        assert "registered Bounded" in capture.text
+        assert "ran 6 batch(es)" in capture.text
+        # The session row survives retention eviction with exact totals.
+        assert "Bounded" in capture.text.split("query sessions")[1]
