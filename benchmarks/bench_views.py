@@ -1,0 +1,264 @@
+"""E18: the continuous-view serving surface — incremental and O(new frames).
+
+ISSUE 5's acceptance bars, measured at the layer each guarantee lives in:
+
+* **incremental maintenance beats recompute-from-results by >= 10x at 10x
+  retained history** — a view folds only each *new* batch into per-group
+  partials; a dashboard recomputing the same windowed aggregate from the
+  raw result history rescans everything it retained.  Both maintenance
+  styles are timed over one fresh batch at H and at 10·H retained tuples:
+  the incremental fold stays flat while the recompute grows ~10x, so the
+  headroom at 10·H must clear ``MIN_SPEEDUP``.
+* **frame reads stay O(new frames) while history grows 10x** — a
+  ``FrameCursor`` read draining a fixed number of fresh frames is timed at
+  H and 10·H retained frames; the ratio must stay under ``MAX_READ_RATIO``
+  (the generous CI-noise bar used by the session benchmarks).
+
+Results land in ``BENCH_views.json`` via ``record_view_metric`` so the
+serving-surface trajectory is tracked across PRs.
+"""
+
+import time
+
+import numpy as np
+
+from repro.geometry import Grid, Rectangle
+from repro.metrics import ResultTable
+from repro.streams import TupleBatch
+from repro.views import ContinuousView, ViewFrame, ViewFrameBuffer, ViewSpec
+
+#: Tuples per delivered batch.
+BATCH_TUPLES = 200
+
+#: History sizes (in batches) the two maintenance styles are compared at.
+BASE_BATCHES = 500
+GROWN_BATCHES = 5_000
+
+#: Acceptance: incremental fold vs recompute-from-history at 10x history.
+MIN_SPEEDUP = 10.0
+
+#: Frame-history sizes for the cursor-read comparison.
+BASE_FRAMES = 2_000
+GROWN_FRAMES = 20_000
+
+#: Frames per measured incremental cursor read.
+READ_FRAMES = 40
+
+#: Acceptance: cursor read cost at 10x history / cost at 1x history.
+MAX_READ_RATIO = 3.0
+
+#: Repeats per measurement (best-of, to shed scheduler noise).
+REPEATS = 7
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+def make_batch(batch_index: int, rng) -> TupleBatch:
+    n = BATCH_TUPLES
+    ids = np.arange(batch_index * n, (batch_index + 1) * n, dtype=np.int64)
+    return TupleBatch(
+        "rain",
+        batch_index + rng.random(n),  # timestamps inside the batch window
+        rng.random(n) * 4.0,
+        rng.random(n) * 4.0,
+        rng.random(n),
+        ids,
+        ids,
+    )
+
+
+def make_view(window: float = 1.0) -> ContinuousView:
+    return ContinuousView(
+        ViewSpec(aggregate="AVG", window=window, group_by="cell"),
+        name="bench",
+        query_id=1,
+        query_label="Q",
+        grid=Grid(REGION, 4),
+        batch_duration=1.0,
+    )
+
+
+def recompute_from_history(history, grid, window_start, window_end):
+    """The dashboard-side baseline: one windowed AVG-per-cell recompute.
+
+    ``history`` is the retained raw stream as concatenated columns — the
+    cheapest possible whole-history representation (a real consumer would
+    pay extra to even assemble it from ``results()``).  The recompute still
+    must scan every retained tuple to find the window, then group it.
+    """
+    t, x, y, values = history
+    mask = (t >= window_start) & (t < window_end)
+    xs, ys, vals = x[mask], y[mask], values[mask]
+    q, r = grid.cells_for_points(xs, ys)
+    codes = r * grid.side + q
+    order = np.argsort(codes, kind="stable")
+    codes = codes[order]
+    vals = vals[order]
+    boundaries = np.flatnonzero(np.diff(codes)) + 1
+    sums = np.add.reduceat(vals, np.concatenate(([0], boundaries))) if vals.size else np.empty(0)
+    counts = np.diff(np.concatenate(([0], boundaries, [codes.size])))
+    return sums / np.maximum(counts, 1)
+
+
+def timed_incremental_fold(view, batch_index, rng):
+    """Best-of-REPEATS cost of folding one fresh batch + closing its window."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        batch = make_batch(batch_index, rng)
+        begin = time.perf_counter()
+        view.on_delivery(batch)
+        view.advance_to(float(batch_index + 1))
+        best = min(best, time.perf_counter() - begin)
+        batch_index += 1
+    return best, batch_index
+
+
+def timed_recompute(history, grid, window_start):
+    best = float("inf")
+    for _ in range(REPEATS):
+        begin = time.perf_counter()
+        recompute_from_history(history, grid, window_start, window_start + 1.0)
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def test_incremental_maintenance_beats_recompute_at_10x_history(
+    record_table, record_view_metric
+):
+    rng = np.random.default_rng(11)
+    grid = Grid(REGION, 4)
+    view = make_view()
+
+    batches = []
+    batch_index = 0
+    while batch_index < BASE_BATCHES:
+        batch = make_batch(batch_index, rng)
+        batches.append(batch)
+        view.on_delivery(batch)
+        view.advance_to(float(batch_index + 1))
+        batch_index += 1
+
+    def history_columns():
+        return (
+            np.concatenate([b.t for b in batches]),
+            np.concatenate([b.x for b in batches]),
+            np.concatenate([b.y for b in batches]),
+            np.concatenate([b.value for b in batches]),
+        )
+
+    base_fold, batch_index = timed_incremental_fold(view, batch_index, rng)
+    base_recompute = timed_recompute(history_columns(), grid, float(BASE_BATCHES - 1))
+    base_tuples = BASE_BATCHES * BATCH_TUPLES
+
+    while batch_index < GROWN_BATCHES:
+        batch = make_batch(batch_index, rng)
+        batches.append(batch)
+        view.on_delivery(batch)
+        view.advance_to(float(batch_index + 1))
+        batch_index += 1
+    grown_fold, batch_index = timed_incremental_fold(view, batch_index, rng)
+    grown_recompute = timed_recompute(history_columns(), grid, float(GROWN_BATCHES - 1))
+    grown_tuples = GROWN_BATCHES * BATCH_TUPLES
+
+    speedup = grown_recompute / grown_fold
+    table = ResultTable(
+        "E18a - view maintenance: incremental fold vs recompute-from-history",
+        ["history tuples", "fold one batch (us)", "recompute window (us)", "speedup"],
+    )
+    table.add_row(
+        base_tuples, round(base_fold * 1e6, 1), round(base_recompute * 1e6, 1),
+        round(base_recompute / base_fold, 1),
+    )
+    table.add_row(
+        grown_tuples, round(grown_fold * 1e6, 1), round(grown_recompute * 1e6, 1),
+        round(speedup, 1),
+    )
+    record_table("e18a_view_incremental_maintenance", table)
+    record_view_metric(
+        "view_incremental_vs_recompute_speedup_10x_history",
+        speedup,
+        unit="x",
+        detail={
+            "base_history_tuples": base_tuples,
+            "grown_history_tuples": grown_tuples,
+            "fold_seconds": grown_fold,
+            "recompute_seconds": grown_recompute,
+            "frames_emitted": view.buffer.frames_emitted,
+        },
+    )
+    # The incremental fold must not degrade with history (flat in theory).
+    assert grown_fold < base_fold * MAX_READ_RATIO
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental maintenance is only {speedup:.1f}x faster than "
+        f"recompute at 10x history (bar: {MIN_SPEEDUP}x)"
+    )
+
+
+def make_frame(index: int) -> ViewFrame:
+    keys = np.empty(4, dtype=object)
+    keys[:] = [(0, 0), (1, 0), (0, 1), (1, 1)]
+    return ViewFrame(
+        frame_index=index,
+        window_start=float(index),
+        window_end=float(index + 1),
+        keys=keys,
+        values=np.full(4, 0.5),
+        counts=np.full(4, 50, dtype=np.int64),
+    )
+
+
+def grow_frames(buffer: ViewFrameBuffer, count: int, start: int) -> int:
+    for index in range(start, start + count):
+        buffer.append(make_frame(index))
+    return start + count
+
+
+def timed_frame_read(buffer: ViewFrameBuffer, start: int):
+    """Best-of-REPEATS cost of a cursor draining READ_FRAMES fresh frames."""
+    cursor = buffer.cursor(tail=True)
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = grow_frames(buffer, READ_FRAMES, start)
+        begin = time.perf_counter()
+        frames = cursor.fetch()
+        best = min(best, time.perf_counter() - begin)
+        assert len(frames) == READ_FRAMES
+    return best, start
+
+
+def test_frame_cursor_reads_stay_o_new_frames(record_table, record_view_metric):
+    buffer = ViewFrameBuffer()
+    next_index = grow_frames(buffer, BASE_FRAMES, 0)
+    base_read, next_index = timed_frame_read(buffer, next_index)
+    base_size = len(buffer)
+
+    next_index = grow_frames(
+        buffer, GROWN_FRAMES - BASE_FRAMES - REPEATS * READ_FRAMES, next_index
+    )
+    grown_read, next_index = timed_frame_read(buffer, next_index)
+    grown_size = len(buffer)
+
+    ratio = grown_read / base_read
+    table = ResultTable(
+        "E18b - frame reads: resumable cursor cost vs retained history",
+        ["retained frames", "cursor read (us)", "ratio"],
+    )
+    table.add_row(base_size, round(base_read * 1e6, 1), 1.0)
+    table.add_row(grown_size, round(grown_read * 1e6, 1), round(ratio, 2))
+    record_table("e18b_view_frame_cursor", table)
+    record_view_metric(
+        "frame_cursor_read_cost_ratio_10x_history",
+        ratio,
+        unit="x",
+        detail={
+            "base_history_frames": base_size,
+            "grown_history_frames": grown_size,
+            "base_read_seconds": base_read,
+            "grown_read_seconds": grown_read,
+            "read_frames": READ_FRAMES,
+        },
+    )
+    assert ratio < MAX_READ_RATIO, (
+        f"frame cursor reads grew {ratio:.2f}x when history grew 10x "
+        f"(bar: {MAX_READ_RATIO}x)"
+    )

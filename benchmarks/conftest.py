@@ -9,7 +9,10 @@ Scalar performance metrics recorded through the ``record_metric`` fixture
 are additionally aggregated into ``BENCH_columnar.json`` at the repository
 root at the end of the session, so the perf trajectory (e.g. the columnar
 fast path's speedup) is tracked across PRs; metrics from the sensing-world
-benchmarks go through ``record_world_metric`` into ``BENCH_world.json``.
+benchmarks go through ``record_world_metric`` into ``BENCH_world.json``,
+session-surface metrics through ``record_session_metric`` into
+``BENCH_session.json`` and continuous-view metrics through
+``record_view_metric`` into ``BENCH_views.json``.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_columnar.json"
 BENCH_WORLD_JSON = pathlib.Path(__file__).parent.parent / "BENCH_world.json"
 BENCH_SESSION_JSON = pathlib.Path(__file__).parent.parent / "BENCH_session.json"
+BENCH_VIEWS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_views.json"
 
 
 @pytest.fixture(scope="session")
@@ -50,6 +54,7 @@ def record_table(results_dir):
 _METRIC_STORE: Dict[str, dict] = {}
 _WORLD_METRIC_STORE: Dict[str, dict] = {}
 _SESSION_METRIC_STORE: Dict[str, dict] = {}
+_VIEWS_METRIC_STORE: Dict[str, dict] = {}
 
 
 def _make_recorder(store: Dict[str, dict]):
@@ -95,6 +100,17 @@ def record_session_metric():
     return _make_recorder(_SESSION_METRIC_STORE)
 
 
+@pytest.fixture
+def record_view_metric():
+    """Like ``record_metric`` but routed to ``BENCH_views.json``.
+
+    Used by the continuous-view benchmarks (``bench_views.py``) so the
+    serving-surface perf trajectory (incremental maintenance speedup,
+    frame-cursor read cost) is tracked separately.
+    """
+    return _make_recorder(_VIEWS_METRIC_STORE)
+
+
 def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
     if path.exists():
@@ -124,3 +140,5 @@ def pytest_sessionfinish(session, exitstatus):
         _persist(BENCH_WORLD_JSON, _WORLD_METRIC_STORE)
     if _SESSION_METRIC_STORE:
         _persist(BENCH_SESSION_JSON, _SESSION_METRIC_STORE)
+    if _VIEWS_METRIC_STORE:
+        _persist(BENCH_VIEWS_JSON, _VIEWS_METRIC_STORE)

@@ -1,0 +1,101 @@
+"""Continuous views: serve dashboards from frames, not raw tuples.
+
+A rain query runs over a simulated city while three continuous views are
+maintained incrementally on its delivery stream:
+
+* a per-cell average rain intensity over a tumbling 5-unit window (the
+  "map tiles" a dashboard would colour),
+* a whole-region P90 over a sliding 10-unit window emitting every 2 units
+  (the "headline percentile" ticker), and
+* a per-cell tuple count (coverage monitoring).
+
+The script then exercises the session lifecycle the frames must survive:
+an ``ALTER SET REGION`` (vacated cells stop appearing, new ones appear),
+a pause/resume (windows covering the pause close as empty frames), and a
+``DROP VIEW``.
+
+Run with::
+
+    PYTHONPATH=src python examples/continuous_views_demo.py
+"""
+
+from repro import CraqrEngine
+from repro.metrics import ResultTable
+from repro.workloads import build_rain_temperature_world, default_engine_config
+
+
+def frame_line(frame) -> str:
+    cells = ", ".join(
+        f"{key}={value:.2f}"
+        for key, value in zip(frame.keys, frame.values)
+    )
+    return (
+        f"  [{frame.window_start:4.0f}, {frame.window_end:4.0f})  "
+        f"{frame.tuples:4d} tuples  {cells if cells else '(empty window)'}"
+    )
+
+
+def main() -> None:
+    engine = CraqrEngine(
+        default_engine_config(seed=21), build_rain_temperature_world(seed=19)
+    )
+    engine.execute(
+        "ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 15 PER KM2 PER MIN AS Storm"
+    )
+    tiles = engine.execute(
+        "CREATE VIEW RainTiles ON Storm AS AVG(value) GROUP BY CELL WINDOW 5"
+    )
+    headline = engine.execute(
+        "CREATE VIEW RainP90 ON Storm AS P90(value) WINDOW 10 SLIDE 2"
+    )
+    engine.execute("CREATE VIEW Coverage ON Storm AS COUNT(*) GROUP BY CELL WINDOW 5")
+
+    tile_cursor = tiles.frame_cursor()
+    headline_cursor = headline.frame_cursor()
+
+    print("== warm-up: 10 batches ==")
+    engine.run(10)
+    for frame in tile_cursor.fetch():
+        print("tiles ", frame_line(frame))
+    for frame in headline_cursor.fetch():
+        print("P90   ", frame_line(frame))
+
+    print("\n== ALTER Storm SET REGION RECT(1, 1, 3, 3); 10 more batches ==")
+    engine.execute("ALTER Storm SET REGION RECT(1, 1, 3, 3)")
+    engine.run(10)
+    for frame in tile_cursor.fetch():
+        print("tiles ", frame_line(frame))
+
+    print("\n== pause 5 batches (windows close empty), resume 5 ==")
+    storm = engine.query("Storm")
+    storm.pause()
+    engine.run(5)
+    storm.resume()
+    engine.run(5)
+    for frame in tile_cursor.fetch():
+        print("tiles ", frame_line(frame))
+
+    print("\n== SHOW VIEWS ==")
+    table = ResultTable(
+        "views", ["view", "aggregate", "frames", "tuples", "last close"]
+    )
+    for info in engine.execute("SHOW VIEWS"):
+        table.add_row(
+            info.name,
+            f"{info.aggregate} / {info.group_by}",
+            info.frames_emitted,
+            info.tuples_total,
+            info.last_window_end,
+        )
+    print(table.render())
+
+    dropped = engine.execute("DROP VIEW Coverage")
+    print(
+        f"\ndropped {dropped.name}: {dropped.buffer.frames_emitted} frames "
+        f"remain readable; views left: "
+        f"{[info.name for info in engine.execute('SHOW VIEWS')]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,8 @@ The library provides
 * a crowdsensing simulator standing in for a real deployment
   (:mod:`repro.sensing`),
 * a declarative acquisitional query language (:mod:`repro.query`),
+* continuous views — incrementally maintained windowed aggregates, the
+  serving API over live query sessions (:mod:`repro.views`),
 * baselines, metrics, storage and workload generators used by the
   benchmark harness.
 
@@ -44,6 +46,7 @@ from .errors import (
     BudgetError,
     AcquisitionError,
     StorageError,
+    ViewError,
     WorkloadError,
 )
 from .core import (
@@ -62,6 +65,7 @@ from .geometry import Rectangle, RectRegion, CompositeRegion, Grid
 from .pointprocess import HomogeneousMDPP, InhomogeneousMDPP, LinearIntensity
 from .sensing import SensingWorld, WorldConfig
 from .query import parse_query, parse_queries, parse_statements, AttributeCatalog
+from .views import ViewFrame, ViewHandle, ViewSessionInfo, ViewSpec
 
 __version__ = "1.0.0"
 
@@ -80,6 +84,7 @@ __all__ = [
     "BudgetError",
     "AcquisitionError",
     "StorageError",
+    "ViewError",
     "WorkloadError",
     "AcquisitionalQuery",
     "RateSpec",
@@ -104,4 +109,8 @@ __all__ = [
     "parse_queries",
     "parse_statements",
     "AttributeCatalog",
+    "ViewFrame",
+    "ViewHandle",
+    "ViewSessionInfo",
+    "ViewSpec",
 ]

@@ -17,8 +17,11 @@ and (optionally, ``--show-samples``) the first tuples of each fabricated
 stream.  The ``repl`` sub-command keeps one engine alive and feeds it
 statements line by line — ``ACQUIRE`` to register, ``run N`` to advance
 batch windows, ``ALTER <name> SET RATE ...`` / ``SET REGION ...`` to
-replan in flight, ``SHOW QUERIES`` for the session table and ``STOP
-<name>`` to deregister.
+replan in flight, ``SHOW QUERIES`` for the session table, ``STOP <name>``
+to deregister, and the continuous-view surface: ``CREATE VIEW Rainfall ON
+Storm AS AVG(value) GROUP BY CELL WINDOW 5``, ``SHOW VIEWS``, ``frames
+Rainfall`` to render the latest closed windows as a table, and ``DROP
+VIEW Rainfall``.
 """
 
 from __future__ import annotations
@@ -30,8 +33,15 @@ from typing import Callable, Dict, List, Optional, Sequence, TextIO
 from .core import CraqrEngine, QueryHandle, QuerySessionInfo
 from .errors import CraqrError
 from .metrics import ResultTable
-from .query import AttributeCatalog, ParsedQuery, parse_queries, parse_statements
+from .query import (
+    AttributeCatalog,
+    ParsedQuery,
+    ShowViewsStatement,
+    parse_queries,
+    parse_statements,
+)
 from .sensing import SensingWorld
+from .views import ViewFrame, ViewHandle, ViewSessionInfo
 from .workloads import (
     build_hotspot_world,
     build_rain_temperature_world,
@@ -188,16 +198,20 @@ statements (case-insensitive keywords, ';'-separable):
   ALTER <name> SET REGION RECT(x0,y0,x1,y1)
   STOP <name>
   SHOW QUERIES
+  CREATE VIEW <name> ON <query> AS <AGG>(value) [GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]
+  DROP VIEW <name>
+  SHOW VIEWS
 repl commands:
-  run [N]     advance N batch windows (default 1)
-  help        this text
-  quit/exit   leave the repl"""
+  run [N]          advance N batch windows (default 1)
+  frames <view> [N]  show the last N frames of a view (default 5)
+  help             this text
+  quit/exit        leave the repl"""
 
 
 def _sessions_table(sessions: List[QuerySessionInfo]) -> ResultTable:
     table = ResultTable(
         "query sessions",
-        ["query", "attribute", "area", "rate", "achieved", "tuples", "batches", "state"],
+        ["query", "attribute", "area", "rate", "achieved", "tuples", "batches", "views", "state"],
     )
     for info in sessions:
         table.add_row(
@@ -208,8 +222,54 @@ def _sessions_table(sessions: List[QuerySessionInfo]) -> ResultTable:
             "-" if info.achieved_rate is None else round(info.achieved_rate, 2),
             info.total_tuples,
             info.batches_completed,
+            info.views,
             "paused" if info.paused else "live",
         )
+    return table
+
+
+def _views_table(views: List[ViewSessionInfo]) -> ResultTable:
+    table = ResultTable(
+        "continuous views",
+        ["view", "on", "aggregate", "group by", "window", "slide", "frames", "tuples", "last close", "state"],
+    )
+    for info in views:
+        table.add_row(
+            info.name,
+            info.query_label,
+            info.aggregate,
+            info.group_by,
+            round(info.window, 4),
+            round(info.slide, 4),
+            info.frames_emitted,
+            info.tuples_total,
+            "-" if info.last_window_end is None else round(info.last_window_end, 4),
+            "live" if info.active else f"failed: {info.error}",
+        )
+    return table
+
+
+def _frames_table(view: ViewHandle, frames: List[ViewFrame]) -> ResultTable:
+    """The last frames of a view rendered one row per (frame, group)."""
+    table = ResultTable(
+        f"view {view.name}: {view.spec.describe()}",
+        ["frame", "window", "group", view.spec.aggregate.upper(), "tuples"],
+    )
+    for frame in frames:
+        window = f"[{frame.window_start:g}, {frame.window_end:g})"
+        if frame.is_empty:
+            table.add_row(frame.frame_index, window, "-", "-", 0)
+            continue
+        for i in range(frame.groups):
+            key = frame.keys[i]
+            label = f"({key[0]}, {key[1]})" if isinstance(key, tuple) else str(key)
+            table.add_row(
+                frame.frame_index,
+                window,
+                label,
+                round(float(frame.values[i]), 4),
+                int(frame.counts[i]),
+            )
     return table
 
 
@@ -223,8 +283,25 @@ def _execute_repl_statement(
     if isinstance(statement, ParsedQuery):
         catalog.validate_attribute(statement.attribute)
     result = engine.execute(statement)
-    if isinstance(result, list):  # SHOW QUERIES
-        out(_sessions_table(result).render())
+    if isinstance(result, list):  # SHOW QUERIES / SHOW VIEWS
+        if isinstance(statement, ShowViewsStatement):
+            out(_views_table(result).render())
+        else:
+            out(_sessions_table(result).render())
+    elif isinstance(result, ViewHandle):
+        if result.is_active():
+            out(
+                f"created view {result.name} on {result.query_label}: "
+                f"{result.spec.describe()}"
+            )
+        else:
+            # Frames stay readable through Python-level handles, but the
+            # repl's `frames` command resolves registered names only — so
+            # don't promise readability the repl can no longer deliver.
+            out(
+                f"dropped view {result.name} "
+                f"after {result.buffer.frames_emitted} frames"
+            )
     elif isinstance(result, QueryHandle):
         if isinstance(statement, ParsedQuery):
             out(
@@ -283,6 +360,25 @@ def _command_repl(
                 out(f"ran {batches} batch(es); {engine.batches_run} total")
             except ValueError:
                 out(f"error: 'run' takes a batch count, got {line[4:].strip()!r}")
+            except CraqrError as exc:
+                out(f"error: {exc}")
+            continue
+        if lowered == "frames" or lowered.startswith("frames "):
+            parts = line.split()
+            try:
+                if len(parts) < 2 or len(parts) > 3:
+                    raise CraqrError("'frames' takes a view name and an optional count")
+                count = int(parts[2]) if len(parts) == 3 else 5
+                if count <= 0:
+                    raise CraqrError("the frame count must be positive")
+                handle = engine.view(parts[1])
+                frames = handle.frames()[-count:]
+                if not frames:
+                    out(f"view {handle.name}: no frames closed yet")
+                else:
+                    out(_frames_table(handle, frames).render())
+            except ValueError:
+                out(f"error: 'frames' takes a count, got {parts[2]!r}")
             except CraqrError as exc:
                 out(f"error: {exc}")
             continue

@@ -13,9 +13,17 @@ The engine's public surface is organised around *live query sessions*: a
 :class:`QueryHandle` is not just a window onto a finished run but the
 control point of a continuously executing query —
 
-* **incremental consumption** — :meth:`QueryHandle.cursor` returns a
-  resumable cursor whose reads cost O(new tuples) regardless of history,
-  and :meth:`QueryHandle.subscribe` registers push callbacks fired once per
+* **continuous views** — the primary serving API:
+  :meth:`QueryHandle.view` (or a ``CREATE VIEW`` statement) attaches a
+  declaratively specified windowed aggregate
+  (:class:`~repro.views.ViewSpec`) that is maintained incrementally off
+  the subscription path and read as immutable
+  :class:`~repro.views.ViewFrame`\\ s through resumable frame cursors —
+  a dashboard fan-out never rescans (or even sees) raw tuples;
+* **incremental consumption** — the power-user path:
+  :meth:`QueryHandle.cursor` returns a resumable cursor over the raw
+  stream whose reads cost O(new tuples) regardless of history, and
+  :meth:`QueryHandle.subscribe` registers push callbacks fired once per
   batch with the delivered :class:`~repro.streams.TupleBatch`;
 * **in-flight mutation** — :meth:`QueryHandle.set_rate` /
   :meth:`QueryHandle.set_region` replan the per-cell PMAT topology in place
@@ -23,9 +31,10 @@ control point of a continuously executing query —
   :meth:`QueryHandle.pause` / :meth:`QueryHandle.resume` detach and
   reattach acquisition without tearing the topology down;
 * **statements** — :meth:`CraqrEngine.execute` runs parsed (or textual)
-  ``ACQUIRE`` / ``ALTER`` / ``STOP`` / ``SHOW QUERIES`` statements against
-  the same session API, and :meth:`CraqrEngine.query` resolves the ``AS
-  <name>`` labels to handles;
+  ``ACQUIRE`` / ``ALTER`` / ``STOP`` / ``SHOW QUERIES`` / ``CREATE VIEW``
+  / ``DROP VIEW`` / ``SHOW VIEWS`` statements against the same session
+  API, and :meth:`CraqrEngine.query` resolves the ``AS <name>`` labels to
+  handles;
 * **bounded retention** — with
   :attr:`~repro.config.EngineConfig.retention_batches` set, buffers,
   engine reports and tuner history are evicted past the window while the
@@ -38,12 +47,16 @@ A typical session::
     handle = engine.execute(
         "ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 10 PER KM2 PER MIN AS Storm"
     )
-    cursor = handle.cursor()
+    rainfall = engine.execute(
+        "CREATE VIEW Rainfall ON Storm AS AVG(value) GROUP BY CELL WINDOW 5"
+    )
+    frames = rainfall.frame_cursor()
     for _ in range(30):
         engine.run_batch()
-        for item in cursor.fetch():
-            ...                       # only the new tuples, O(new)
+        for frame in frames.fetch():
+            ...                       # only the newly closed windows
     engine.execute("ALTER Storm SET RATE 5")
+    engine.execute("DROP VIEW Rainfall")
     engine.execute("STOP Storm")
 
 Each :meth:`run_batch` call acquires one batch window of crowdsensed tuples
@@ -60,7 +73,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import EngineConfig
-from ..errors import PlanningError, QueryError
+from ..errors import PlanningError, QueryError, ViewError
 from ..geometry import Grid
 from ..sensing import HandlerReport, IncentiveScheme, RequestResponseHandler, SensingWorld
 from ..storage import (
@@ -71,6 +84,7 @@ from ..storage import (
     Subscription,
 )
 from ..streams import SensorTuple, TupleBatch
+from ..views import ContinuousView, ViewHandle, ViewSessionInfo, ViewSpec
 from .budget import BudgetDecision, BudgetTuner
 from .fabricator import BatchResult, StreamFabricator
 from .planner import PlannerStats, QueryPlanner
@@ -101,7 +115,13 @@ class EngineReport:
 
 @dataclass(frozen=True)
 class QuerySessionInfo:
-    """One row of :meth:`CraqrEngine.sessions` (the ``SHOW QUERIES`` output)."""
+    """One row of :meth:`CraqrEngine.sessions` (the ``SHOW QUERIES`` output).
+
+    ``paused`` reflects the live pause/resume state and ``total_tuples``
+    the *lifetime* delivered count (exact across retention eviction);
+    ``views`` counts the continuous views currently maintained on the
+    session.
+    """
 
     label: str
     query_id: int
@@ -112,6 +132,7 @@ class QuerySessionInfo:
     total_tuples: int
     batches_completed: int
     achieved_rate: Optional[float]
+    views: int = 0
 
 
 class _ReportsView(Sequence):
@@ -200,6 +221,25 @@ class QueryHandle:
         cancel it to detach.
         """
         return self._buffer.subscribe(fn)
+
+    def view(self, spec: ViewSpec, *, name: Optional[str] = None) -> ViewHandle:
+        """Attach a continuous view to this query's delivery stream.
+
+        The primary serving API: instead of polling raw tuples, declare a
+        windowed aggregate (:class:`~repro.views.ViewSpec`) and read the
+        emitted :class:`~repro.views.ViewFrame`\\ s through
+        :meth:`~repro.views.ViewHandle.frames` or a resumable
+        :meth:`~repro.views.ViewHandle.frame_cursor` (O(new frames) per
+        read).  Maintenance is incremental off the subscription path —
+        each delivered batch is folded into per-group partials, history is
+        never rescanned.  ``name`` (or ``spec.name``) must be unique
+        across the engine; omitted names are auto-assigned ``V<n>``.
+        """
+        return self._engine.create_view(self._query.query_id, spec, name=name)
+
+    def views(self) -> List[ViewHandle]:
+        """Handles of the views currently maintained on this query."""
+        return self._engine.views_of(self._query.query_id)
 
     def achieved_rate(self, last_batches: Optional[int] = None) -> RateEstimate:
         """Achieved spatio-temporal rate (over all or the last N batches).
@@ -304,9 +344,17 @@ class CraqrEngine:
         )
         self._buffers: Dict[int, QueryResultBuffer] = {}
         self._handles: Dict[int, QueryHandle] = {}
+        #: continuous views by name, plus their user-facing handles.
+        self._views: Dict[str, ContinuousView] = {}
+        self._view_handles: Dict[str, ViewHandle] = {}
+        self._view_counter = 0
         self._reports: List[EngineReport] = []
         self._reports_view = _ReportsView(self._reports)
         self._batch_index = 0
+        #: true while run_batch is dispatching end-of-batch notifications;
+        #: a view created from inside a subscriber callback must not claim
+        #: to have observed the batch being dispatched.
+        self._ending_batch = False
         #: tuples delivered to queries whose buffers were since dropped by
         #: delete_query; keeps total_tuples_delivered exact.
         self._delivered_dropped = 0
@@ -502,11 +550,127 @@ class CraqrEngine:
         """
         if query_id not in self._handles:
             raise PlanningError(f"query id {query_id} is not registered")
+        # Views of a stopped query stop being maintained (their frames stay
+        # readable through surviving ViewHandles), mirroring the buffer.
+        for name in [
+            name for name, view in self._views.items() if view.query_id == query_id
+        ]:
+            self.drop_view(name)
         self._planner.delete_query(query_id)
         del self._handles[query_id]
         buffer = self._buffers.pop(query_id, None)
         if buffer is not None:
             self._delivered_dropped += buffer.total_tuples
+
+    # ------------------------------------------------------------------
+    # Continuous views (the serving API over query sessions)
+    # ------------------------------------------------------------------
+    def create_view(
+        self, query_id: int, spec: ViewSpec, *, name: Optional[str] = None
+    ) -> ViewHandle:
+        """Attach a continuous view to a registered query's stream.
+
+        The view subscribes to the query's delivery stream (so only
+        batches completed after creation are folded in), its frame
+        boundaries are validated against the engine's batch duration, and
+        its frame buffer inherits the engine's
+        :attr:`~repro.config.EngineConfig.retention_batches` bound.  The
+        view name (explicit, from ``spec.name``, or auto-assigned
+        ``V<n>``) must be unique across the engine — ``DROP VIEW`` and
+        ``SHOW VIEWS`` address views by it.
+        """
+        handle = self._handles.get(query_id)
+        if handle is None:
+            raise PlanningError(f"query id {query_id} is not registered")
+        view_name = name or spec.name
+        if view_name is None:
+            # Auto-assignment skips names the user already took: an unnamed
+            # request must never fail over a collision it didn't choose.
+            while True:
+                self._view_counter += 1
+                view_name = f"V{self._view_counter}"
+                if view_name not in self._views:
+                    break
+        if view_name in self._views:
+            raise ViewError(
+                f"a view named {view_name!r} already exists "
+                f"(on query {self._views[view_name].query_label!r}); "
+                f"DROP VIEW it first or pick another name"
+            )
+        # A view only observes deliveries subscribed *before* a batch's
+        # end_batch notifications fire; when create_view runs from inside
+        # one of those callbacks, the in-flight batch is already partially
+        # dispatched, so the view's origin moves past it — every emitted
+        # frame must cover a fully observed window.
+        observed_from = self._batch_index + (1 if self._ending_batch else 0)
+        view = ContinuousView(
+            spec,
+            name=view_name,
+            query_id=query_id,
+            query_label=handle.query.label,
+            grid=self._grid,
+            batch_duration=self._config.batch_duration,
+            retention_batches=self._config.retention_batches,
+            start_time=observed_from * self._config.batch_duration,
+        )
+
+        def deliver(batch: TupleBatch, _view: ContinuousView = view) -> None:
+            # Maintenance runs inside run_batch's end-of-batch loop; a view
+            # whose fold raises (e.g. AVG over a non-numeric stream) is
+            # quarantined — detached with the error recorded on its handle
+            # — rather than aborting the batch for every other session.
+            try:
+                _view.on_delivery(batch)
+            except Exception as exc:  # noqa: BLE001 - quarantine any fold error
+                _view.fail(exc)
+
+        view.attach(handle.subscribe(deliver))
+        self._views[view_name] = view
+        view_handle = ViewHandle(view, self)
+        self._view_handles[view_name] = view_handle
+        return view_handle
+
+    def has_view(self, name: str) -> bool:
+        """Whether a view with this name is currently maintained."""
+        return name in self._views
+
+    def view(self, name: str) -> ViewHandle:
+        """Resolve a maintained view by name."""
+        handle = self._view_handles.get(name)
+        if handle is None:
+            raise ViewError(f"no view is named {name!r}")
+        return handle
+
+    def view_handles(self) -> List[ViewHandle]:
+        """Handles of every maintained view."""
+        return list(self._view_handles.values())
+
+    def views_of(self, query_id: int) -> List[ViewHandle]:
+        """Handles of the views maintained on one query."""
+        return [
+            self._view_handles[name]
+            for name, view in self._views.items()
+            if view.query_id == query_id
+        ]
+
+    def drop_view(self, name: str) -> ViewHandle:
+        """Stop maintaining a view (its frames stay readable).
+
+        The delivery subscription is cancelled and the view is removed
+        from the registry; the returned (now inactive) handle keeps the
+        frame buffer readable, mirroring how ``STOP`` leaves a query's
+        result buffer readable.
+        """
+        view = self._views.pop(name, None)
+        if view is None:
+            raise ViewError(f"no view is named {name!r}")
+        view.detach()
+        return self._view_handles.pop(name)
+
+    def views(self) -> List[ViewSessionInfo]:
+        """One :class:`~repro.views.ViewSessionInfo` row per maintained view
+        (the ``SHOW VIEWS`` output)."""
+        return [view.info() for view in self._views.values()]
 
     # ------------------------------------------------------------------
     # Statement execution (the query language's session surface)
@@ -522,11 +686,24 @@ class CraqrEngine:
           ``ALTER`` (the updated session),
         * the deleted query's :class:`QueryHandle` for ``STOP`` (its buffer
           stays readable),
-        * a list of :class:`QuerySessionInfo` rows for ``SHOW QUERIES``.
+        * a list of :class:`QuerySessionInfo` rows for ``SHOW QUERIES``,
+        * :class:`~repro.views.ViewHandle` for ``CREATE VIEW`` (the live
+          view) and ``DROP VIEW`` (the detached view, frames still
+          readable),
+        * a list of :class:`~repro.views.ViewSessionInfo` rows for ``SHOW
+          VIEWS``.
         """
         # Imported lazily: repro.query imports repro.core.query, so a
         # module-level import would be order-sensitive during package init.
-        from ..query.ast import AlterStatement, ParsedQuery, ShowQueriesStatement, StopStatement
+        from ..query.ast import (
+            AlterStatement,
+            CreateViewStatement,
+            DropViewStatement,
+            ParsedQuery,
+            ShowQueriesStatement,
+            ShowViewsStatement,
+            StopStatement,
+        )
         from ..query.parser import parse_statements
 
         if isinstance(statement, str):
@@ -550,9 +727,19 @@ class CraqrEngine:
             return handle
         if isinstance(statement, ShowQueriesStatement):
             return self.sessions()
+        if isinstance(statement, CreateViewStatement):
+            handle = self.query(statement.query_name)
+            return self.create_view(
+                handle.query_id, statement.to_spec(), name=statement.name
+            )
+        if isinstance(statement, DropViewStatement):
+            return self.drop_view(statement.name)
+        if isinstance(statement, ShowViewsStatement):
+            return self.views()
         raise QueryError(
             f"cannot execute a {type(statement).__name__}; expected a parsed "
-            f"ACQUIRE/ALTER/STOP/SHOW QUERIES statement or its text"
+            f"ACQUIRE/ALTER/STOP/SHOW QUERIES/CREATE VIEW/DROP VIEW/SHOW "
+            f"VIEWS statement or its text"
         )
 
     def sessions(self) -> List[QuerySessionInfo]:
@@ -574,6 +761,11 @@ class CraqrEngine:
                     total_tuples=buffer.total_tuples,
                     batches_completed=buffer.batches_completed,
                     achieved_rate=achieved,
+                    views=sum(
+                        1
+                        for view in self._views.values()
+                        if view.query_id == handle.query_id
+                    ),
                 )
             )
         return rows
@@ -613,11 +805,15 @@ class CraqrEngine:
         decisions = self._tuner.tune(fabrication.violations)
         # Snapshot: a subscriber callback firing inside end_batch may
         # register or delete queries, mutating the buffer dict.
-        for query_id, buffer in list(self._buffers.items()):
-            # Paused queries freeze their batch accounting: the pause
-            # window neither counts batches nor dilutes the achieved rate.
-            if not self._planner.is_paused(query_id):
-                buffer.end_batch()
+        self._ending_batch = True
+        try:
+            for query_id, buffer in list(self._buffers.items()):
+                # Paused queries freeze their batch accounting: the pause
+                # window neither counts batches nor dilutes the achieved rate.
+                if not self._planner.is_paused(query_id):
+                    buffer.end_batch()
+        finally:
+            self._ending_batch = False
         report = EngineReport(
             batch_index=self._batch_index,
             handler=handler_report,
@@ -629,6 +825,16 @@ class CraqrEngine:
         if retention is not None and len(self._reports) > retention:
             del self._reports[: len(self._reports) - retention]
         self._batch_index += 1
+        # Advance the continuous views' window clocks.  Deliveries already
+        # arrived through the subscription path inside end_batch above;
+        # this closes every window whose end the sim clock just passed —
+        # including windows of paused or quiet queries, which emit empty
+        # frames so the frame sequence stays gap-free in sim time.
+        if self._views:
+            now = self._batch_index * duration
+            for view in list(self._views.values()):
+                if view.is_active:  # failed views are quarantined, not advanced
+                    view.advance_to(now)
         return report
 
     def run(self, batches: int) -> List[EngineReport]:

@@ -61,5 +61,9 @@ class StorageError(CraqrError):
     """Raised by tuple stores and result buffers on invalid operations."""
 
 
+class ViewError(CraqrError):
+    """Raised by the continuous-view subsystem on invalid view specs or reads."""
+
+
 class WorkloadError(CraqrError):
     """Raised by workload and scenario generators on invalid parameters."""

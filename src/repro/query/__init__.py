@@ -9,7 +9,9 @@ example Q1::
 
 plus the session DDL — ``ALTER <name> SET RATE 5 PER KM2 PER MIN``,
 ``ALTER <name> SET REGION RECT(...)``, ``STOP <name>`` and ``SHOW
-QUERIES`` — executed against a live engine by
+QUERIES`` — and the continuous-view DDL — ``CREATE VIEW <name> ON <query>
+AS AGG(value) [GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]``,
+``DROP VIEW <name>``, ``SHOW VIEWS`` — executed against a live engine by
 :meth:`repro.core.engine.CraqrEngine.execute`, and an attribute catalog
 that records which attributes exist and whether they are human- or
 sensor-sensed.
@@ -17,9 +19,12 @@ sensor-sensed.
 
 from .ast import (
     AlterStatement,
+    CreateViewStatement,
+    DropViewStatement,
     ParsedQuery,
     RegionLiteral,
     ShowQueriesStatement,
+    ShowViewsStatement,
     Statement,
     StopStatement,
 )
@@ -29,6 +34,9 @@ from .catalog import AttributeCatalog, AttributeInfo, AttributeKind
 
 __all__ = [
     "AlterStatement",
+    "CreateViewStatement",
+    "DropViewStatement",
+    "ShowViewsStatement",
     "ParsedQuery",
     "RegionLiteral",
     "ShowQueriesStatement",

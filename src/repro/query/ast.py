@@ -9,6 +9,11 @@ Two families of statement:
   SET REGION ...``), :class:`StopStatement` (``STOP <name>``) and
   :class:`ShowQueriesStatement` (``SHOW QUERIES``), executed against a live
   engine's session API by :meth:`repro.core.engine.CraqrEngine.execute`.
+* View DDL — :class:`CreateViewStatement` (``CREATE VIEW <name> ON <query>
+  AS AGG(value) [GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]``),
+  :class:`DropViewStatement` (``DROP VIEW <name>``) and
+  :class:`ShowViewsStatement` (``SHOW VIEWS``), the serving surface of the
+  continuous-view subsystem (:mod:`repro.views`).
 
 ``Statement`` is the union of all of them, as produced by
 :func:`repro.query.parse_statements`.
@@ -96,5 +101,63 @@ class ShowQueriesStatement:
     """The AST of one ``SHOW QUERIES`` statement."""
 
 
+@dataclass(frozen=True)
+class CreateViewStatement:
+    """The AST of one ``CREATE VIEW`` statement.
+
+    ``CREATE VIEW <name> ON <query> AS AGG(value | *) [GROUP BY
+    CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]`` — the view is attached to
+    the named live query session and maintained incrementally (see
+    :mod:`repro.views`).  ``slide=None`` means a tumbling window; the
+    grouping defaults to one whole-region row per frame.
+    """
+
+    name: str
+    query_name: str
+    aggregate: str
+    window: float
+    slide: Optional[float] = None
+    group_by: str = "region"
+
+    def to_spec(self):
+        """Materialise the AST as a :class:`~repro.views.ViewSpec`.
+
+        Spec-level validation (aggregate registry lookup, window/slide
+        arithmetic) surfaces as :class:`~repro.errors.ViewError` from the
+        spec's own constructor.
+        """
+        # Imported lazily: repro.views is independent of the query
+        # language, and keeping it that way avoids import-order coupling.
+        from ..views import ViewSpec
+
+        return ViewSpec(
+            aggregate=self.aggregate,
+            window=self.window,
+            slide=self.slide,
+            group_by=self.group_by,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class DropViewStatement:
+    """The AST of one ``DROP VIEW <name>`` statement."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ShowViewsStatement:
+    """The AST of one ``SHOW VIEWS`` statement."""
+
+
 #: Any statement :func:`repro.query.parse_statements` can produce.
-Statement = Union[ParsedQuery, AlterStatement, StopStatement, ShowQueriesStatement]
+Statement = Union[
+    ParsedQuery,
+    AlterStatement,
+    StopStatement,
+    ShowQueriesStatement,
+    CreateViewStatement,
+    DropViewStatement,
+    ShowViewsStatement,
+]

@@ -26,6 +26,19 @@ KEYWORDS = {
     "STOP",
     "SHOW",
     "QUERIES",
+    # Continuous views (CREATE VIEW ... ON <query> AS AGG(...)
+    # [GROUP BY ...] WINDOW <dur> [SLIDE <dur>], DROP VIEW, SHOW VIEWS).
+    "CREATE",
+    "VIEW",
+    "VIEWS",
+    "ON",
+    "GROUP",
+    "BY",
+    "CELL",
+    "ATTRIBUTE",
+    "WINDOW",
+    "SLIDE",
+    "DROP",
 }
 
 
@@ -39,20 +52,27 @@ class TokenType(Enum):
     RPAREN = auto()
     COMMA = auto()
     SEMICOLON = auto()
+    STAR = auto()
     END = auto()
 
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token with its source position (for error messages)."""
+    """One lexical token with its source position (for error messages).
+
+    Keyword tokens keep their *original* spelling in ``value`` (match with
+    :meth:`is_keyword`, which is case-insensitive): the parser accepts
+    keywords contextually as names — ``ACQUIRE window ...`` or ``AS Cell``
+    stay valid even though WINDOW and CELL are keywords of the view DDL.
+    """
 
     type: TokenType
     value: str
     position: int
 
     def is_keyword(self, word: str) -> bool:
-        """Whether this token is the given keyword."""
-        return self.type is TokenType.KEYWORD and self.value == word.upper()
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value.upper() == word.upper()
 
 
 _TOKEN_RE = re.compile(
@@ -64,6 +84,7 @@ _TOKEN_RE = re.compile(
   | (?P<rparen>\))
   | (?P<comma>,)
   | (?P<semicolon>;)
+  | (?P<star>\*)
     """,
     re.VERBOSE,
 )
@@ -87,9 +108,8 @@ def tokenize(text: str) -> List[Token]:
         if match.lastgroup == "number":
             tokens.append(Token(TokenType.NUMBER, value, position))
         elif match.lastgroup == "word":
-            upper = value.upper()
-            if upper in KEYWORDS:
-                tokens.append(Token(TokenType.KEYWORD, upper, position))
+            if value.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, value, position))
             else:
                 tokens.append(Token(TokenType.IDENTIFIER, value, position))
         elif match.lastgroup == "lparen":
@@ -100,6 +120,8 @@ def tokenize(text: str) -> List[Token]:
             tokens.append(Token(TokenType.COMMA, value, position))
         elif match.lastgroup == "semicolon":
             tokens.append(Token(TokenType.SEMICOLON, value, position))
+        elif match.lastgroup == "star":
+            tokens.append(Token(TokenType.STAR, value, position))
         position = match.end()
     tokens.append(Token(TokenType.END, "", length))
     return tokens

@@ -2,18 +2,25 @@
 
 Grammar (keywords are case-insensitive)::
 
-    statement  := acquire | alter | stop | show
+    statement  := acquire | alter | stop | show | create_view | drop_view
     acquire    := ACQUIRE attribute FROM region [AT] RATE number
                   [PER area_unit [PER time_unit]] [AS identifier]
     alter      := ALTER name SET ( RATE number [PER area_unit [PER time_unit]]
                                  | REGION region )
     stop       := STOP name
-    show       := SHOW QUERIES
+    show       := SHOW ( QUERIES | VIEWS )
+    create_view:= CREATE VIEW name ON name AS aggregate '(' [ value | '*' ] ')'
+                  [GROUP BY ( CELL | ATTRIBUTE )] WINDOW number [SLIDE number]
+    drop_view  := DROP VIEW name
     region     := RECT '(' number ',' number ',' number ',' number ')'
     attribute  := identifier
     name       := identifier
+    aggregate  := identifier        (COUNT, SUM, AVG, MIN, MAX, P50..P99)
     area_unit  := identifier        (e.g. KM2, M2, UNIT2)
     time_unit  := identifier        (e.g. MIN, SEC, HOUR)
+
+Window and slide durations are in sim-time units (the engine validates
+their alignment to its batch duration when the view is created).
 
 Multiple statements may be separated by semicolons.
 :func:`parse_statements` accepts the full grammar; :func:`parse_queries` /
@@ -28,9 +35,12 @@ from typing import List, Optional
 from ..errors import QueryParseError
 from .ast import (
     AlterStatement,
+    CreateViewStatement,
+    DropViewStatement,
     ParsedQuery,
     RegionLiteral,
     ShowQueriesStatement,
+    ShowViewsStatement,
     Statement,
     StopStatement,
 )
@@ -108,6 +118,24 @@ def _parse_number(cursor: _TokenCursor, description: str) -> float:
     return float(token.value)
 
 
+def _parse_name(cursor: _TokenCursor, description: str) -> str:
+    """An attribute/query/view name: an identifier, or a keyword used as one.
+
+    Every name position in the grammar is unambiguous (the next clause is
+    introduced by a specific keyword), so language keywords — including the
+    view DDL's WINDOW, CELL, GROUP, … — stay usable as names:
+    ``ACQUIRE window FROM ... AS Cell`` keeps parsing.  Keyword tokens
+    preserve their original spelling, so the name round-trips exactly.
+    """
+    token = cursor.peek()
+    if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+        raise QueryParseError(
+            f"expected {description} at position {token.position}, got {token.value!r}"
+        )
+    cursor.advance()
+    return token.value
+
+
 def _parse_region(cursor: _TokenCursor) -> RegionLiteral:
     token = cursor.peek()
     if not (token.is_keyword("RECT") or token.is_keyword("REGION")):
@@ -161,7 +189,7 @@ def _parse_rate_with_units(cursor: _TokenCursor):
 
 def _parse_acquire(cursor: _TokenCursor) -> ParsedQuery:
     cursor.expect_keyword("ACQUIRE")
-    attribute_token = cursor.expect(TokenType.IDENTIFIER, "an attribute name")
+    attribute = _parse_name(cursor, "an attribute name")
     cursor.expect_keyword("FROM")
     region = _parse_region(cursor)
     cursor.match_keyword("AT")
@@ -169,10 +197,9 @@ def _parse_acquire(cursor: _TokenCursor) -> ParsedQuery:
     rate_value, area_unit, time_unit = _parse_rate_with_units(cursor)
     name: Optional[str] = None
     if cursor.match_keyword("AS"):
-        name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
-        name = name_token.value
+        name = _parse_name(cursor, "a query name")
     return ParsedQuery(
-        attribute=attribute_token.value,
+        attribute=attribute,
         region=region,
         rate_value=rate_value,
         area_unit=area_unit,
@@ -183,12 +210,12 @@ def _parse_acquire(cursor: _TokenCursor) -> ParsedQuery:
 
 def _parse_alter(cursor: _TokenCursor) -> AlterStatement:
     cursor.expect_keyword("ALTER")
-    name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
+    name = _parse_name(cursor, "a query name")
     cursor.expect_keyword("SET")
     if cursor.match_keyword("RATE"):
         rate_value, area_unit, time_unit = _parse_rate_with_units(cursor)
         return AlterStatement(
-            name=name_token.value,
+            name=name,
             rate_value=rate_value,
             area_unit=area_unit,
             time_unit=time_unit,
@@ -200,7 +227,7 @@ def _parse_alter(cursor: _TokenCursor) -> AlterStatement:
             after = cursor.peek_ahead()
             if after.is_keyword("RECT") or after.is_keyword("REGION"):
                 cursor.advance()
-        return AlterStatement(name=name_token.value, region=_parse_region(cursor))
+        return AlterStatement(name=name, region=_parse_region(cursor))
     token = cursor.peek()
     raise QueryParseError(
         f"expected RATE or REGION after SET at position {token.position}, "
@@ -210,14 +237,99 @@ def _parse_alter(cursor: _TokenCursor) -> AlterStatement:
 
 def _parse_stop(cursor: _TokenCursor) -> StopStatement:
     cursor.expect_keyword("STOP")
-    name_token = cursor.expect(TokenType.IDENTIFIER, "a query name")
-    return StopStatement(name=name_token.value)
+    return StopStatement(name=_parse_name(cursor, "a query name"))
 
 
-def _parse_show(cursor: _TokenCursor) -> ShowQueriesStatement:
+def _parse_show(cursor: _TokenCursor):
     cursor.expect_keyword("SHOW")
-    cursor.expect_keyword("QUERIES")
-    return ShowQueriesStatement()
+    if cursor.match_keyword("VIEWS"):
+        return ShowViewsStatement()
+    if cursor.match_keyword("QUERIES"):
+        return ShowQueriesStatement()
+    token = cursor.peek()
+    raise QueryParseError(
+        f"expected QUERIES or VIEWS after SHOW at position {token.position}, "
+        f"got {token.value!r}"
+    )
+
+
+def _parse_aggregate_call(cursor: _TokenCursor) -> str:
+    """``<AGG> '(' [value | *] ')'`` after the AS keyword of CREATE VIEW.
+
+    The aggregate name is validated later, against the live registry
+    (:func:`repro.views.get_aggregate`), when the statement executes; the
+    parser only checks the call shape.  The optional argument names the
+    tuples' value column — ``value`` and ``*`` are accepted spellings of
+    the only column a stream carries.
+    """
+    token = cursor.peek()
+    if token.type is not TokenType.IDENTIFIER:
+        raise QueryParseError(
+            f"expected an aggregate name (COUNT, SUM, AVG, MIN, MAX, "
+            f"P50...P99) at position {token.position}, got {token.value!r}"
+        )
+    cursor.advance()
+    aggregate = token.value.upper()
+    cursor.expect(TokenType.LPAREN, "'('")
+    argument = cursor.peek()
+    if argument.type is TokenType.STAR:
+        cursor.advance()
+    elif argument.type is TokenType.IDENTIFIER:
+        if argument.value.lower() != "value":
+            raise QueryParseError(
+                f"aggregates operate on the tuple value column: expected "
+                f"'value' or '*' at position {argument.position}, got "
+                f"{argument.value!r}"
+            )
+        cursor.advance()
+    cursor.expect(TokenType.RPAREN, "')'")
+    return aggregate
+
+
+def _parse_create_view(cursor: _TokenCursor) -> CreateViewStatement:
+    cursor.expect_keyword("CREATE")
+    cursor.expect_keyword("VIEW")
+    name = _parse_name(cursor, "a view name")
+    cursor.expect_keyword("ON")
+    query_name = _parse_name(cursor, "a query name")
+    cursor.expect_keyword("AS")
+    aggregate = _parse_aggregate_call(cursor)
+    group_by = "region"
+    if cursor.match_keyword("GROUP"):
+        cursor.expect_keyword("BY")
+        if cursor.match_keyword("CELL"):
+            group_by = "cell"
+        elif cursor.match_keyword("ATTRIBUTE"):
+            group_by = "attribute"
+        else:
+            token = cursor.peek()
+            raise QueryParseError(
+                f"expected CELL or ATTRIBUTE after GROUP BY at position "
+                f"{token.position}, got {token.value!r}"
+            )
+    cursor.expect_keyword("WINDOW")
+    window = _parse_number(cursor, "a window duration")
+    slide: Optional[float] = None
+    if cursor.match_keyword("SLIDE"):
+        slide = _parse_number(cursor, "a slide duration")
+    if window <= 0:
+        raise QueryParseError(f"the window duration must be positive, got {window}")
+    if slide is not None and slide <= 0:
+        raise QueryParseError(f"the slide duration must be positive, got {slide}")
+    return CreateViewStatement(
+        name=name,
+        query_name=query_name,
+        aggregate=aggregate,
+        window=window,
+        slide=slide,
+        group_by=group_by,
+    )
+
+
+def _parse_drop(cursor: _TokenCursor) -> DropViewStatement:
+    cursor.expect_keyword("DROP")
+    cursor.expect_keyword("VIEW")
+    return DropViewStatement(name=_parse_name(cursor, "a view name"))
 
 
 def _parse_statement(cursor: _TokenCursor) -> Statement:
@@ -230,9 +342,13 @@ def _parse_statement(cursor: _TokenCursor) -> Statement:
         return _parse_stop(cursor)
     if token.is_keyword("SHOW"):
         return _parse_show(cursor)
+    if token.is_keyword("CREATE"):
+        return _parse_create_view(cursor)
+    if token.is_keyword("DROP"):
+        return _parse_drop(cursor)
     raise QueryParseError(
-        f"expected a statement keyword (ACQUIRE, ALTER, STOP or SHOW) at "
-        f"position {token.position}, got {token.value!r}"
+        f"expected a statement keyword (ACQUIRE, ALTER, STOP, SHOW, CREATE "
+        f"or DROP) at position {token.position}, got {token.value!r}"
     )
 
 
@@ -265,10 +381,12 @@ def parse_queries(text: str) -> List[ParsedQuery]:
 def parse_statements(text: str) -> List[Statement]:
     """Parse one or more semicolon-separated statements (full grammar).
 
-    Accepts ``ACQUIRE`` registrations and the session DDL statements
+    Accepts ``ACQUIRE`` registrations, the session DDL statements
     (``ALTER <name> SET RATE ... | SET REGION ...``, ``STOP <name>``,
-    ``SHOW QUERIES``); the resulting AST nodes execute against a live
-    engine via :meth:`repro.core.engine.CraqrEngine.execute`.
+    ``SHOW QUERIES``) and the view DDL (``CREATE VIEW ... ON <query> AS
+    AGG(value) [GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]``,
+    ``DROP VIEW <name>``, ``SHOW VIEWS``); the resulting AST nodes execute
+    against a live engine via :meth:`repro.core.engine.CraqrEngine.execute`.
     """
     if not text or not text.strip():
         raise QueryParseError("the query text is empty")

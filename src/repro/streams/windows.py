@@ -42,8 +42,15 @@ class BatchWindow:
             return self.flush()
         return None
 
-    def flush(self) -> List[SensorTuple]:
-        """Emit whatever is buffered (possibly fewer than ``batch_size`` tuples)."""
+    def flush(self) -> Optional[List[SensorTuple]]:
+        """Emit whatever is buffered (possibly fewer than ``batch_size`` tuples).
+
+        Flushing an empty window returns ``None`` instead of an empty
+        list, so a periodic flusher never emits spurious empty batches
+        downstream.
+        """
+        if not self._buffer:
+            return None
         batch, self._buffer = self._buffer, []
         return batch
 
@@ -87,12 +94,22 @@ class TumblingWindow:
             gap = item.t - self._window_start
             skipped = int(gap // self._duration)
             self._window_start += skipped * self._duration
-            return emitted
+            # A closed-but-empty window emits nothing rather than a
+            # spurious empty batch.
+            return emitted if emitted else None
         self._buffer.append(item)
         return None
 
-    def flush(self) -> List[SensorTuple]:
-        """Emit the open window's tuples and start a fresh window."""
+    def flush(self) -> Optional[List[SensorTuple]]:
+        """Emit the open window's tuples and start a fresh window.
+
+        Flushing an *empty* open window is a no-op: it returns ``None``
+        and leaves the window start untouched, so a periodic flusher
+        neither emits spurious empty batches downstream nor drifts the
+        window ahead of data that has not arrived yet.
+        """
+        if not self._buffer:
+            return None
         batch, self._buffer = self._buffer, []
         self._window_start += self._duration
         return batch

@@ -1,0 +1,131 @@
+"""Declarative specification of a continuous view.
+
+A :class:`ViewSpec` describes a windowed aggregate over one live query's
+delivered stream — the ``CREATE VIEW <name> ON <query> AS AGG(value)
+[GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]`` statement of the
+query language, in object form:
+
+* **aggregate** — a registered streaming aggregate name (``COUNT``,
+  ``SUM``, ``AVG``, ``MIN``, ``MAX``, ``P1`` … ``P99``; see
+  :mod:`repro.views.aggregates`);
+* **grouping** — ``cell`` (one row per grid cell the window's tuples fall
+  in), ``attribute`` (one row per attribute — a single-attribute query
+  yields one row, but the grouping survives future multi-attribute
+  streams) or ``region`` (one whole-region row);
+* **window** — the frame length in sim-time units, and ``slide`` the
+  emission period.  ``slide=None`` means tumbling (slide == window);
+  sliding windows require ``window`` to be a whole multiple of ``slide``
+  (the classic *panes* decomposition: every pane is folded once and a
+  frame is the merge of ``window/slide`` panes, so maintenance stays
+  incremental).  When the view is attached to an engine, both durations
+  must additionally be whole multiples of the engine's batch duration —
+  frame boundaries are aligned to batch boundaries, which is what makes a
+  closed frame immutable (a tuple acquired in a later batch can never be
+  timestamped before that batch's window start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ViewError
+from .aggregates import get_aggregate
+
+#: Valid ``group_by`` values.
+GROUPINGS = ("cell", "attribute", "region")
+
+#: Relative tolerance for the "whole multiple" duration checks.
+_REL_TOL = 1e-9
+
+
+def _is_multiple(value: float, base: float) -> bool:
+    """Whether ``value`` is a whole positive multiple of ``base``."""
+    if base <= 0 or value <= 0:
+        return False
+    ratio = value / base
+    return abs(ratio - round(ratio)) <= _REL_TOL * max(1.0, ratio)
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """Declarative description of one continuous view (validated on creation)."""
+
+    aggregate: str
+    window: float
+    slide: Optional[float] = None
+    group_by: str = "region"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        get_aggregate(self.aggregate)  # raises ViewError on unknown names
+        if self.window <= 0:
+            raise ViewError("view window duration must be positive")
+        if self.slide is not None:
+            if self.slide <= 0:
+                raise ViewError("view slide duration must be positive")
+            if self.slide > self.window:
+                raise ViewError(
+                    f"slide ({self.slide}) must not exceed the window "
+                    f"({self.window}); gaps between frames would drop tuples"
+                )
+            if not _is_multiple(self.window, self.slide):
+                raise ViewError(
+                    f"window ({self.window}) must be a whole multiple of the "
+                    f"slide ({self.slide}) so sliding frames decompose into "
+                    f"panes"
+                )
+        if self.group_by not in GROUPINGS:
+            raise ViewError(
+                f"unknown grouping {self.group_by!r}; expected one of {GROUPINGS}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def slide_duration(self) -> float:
+        """The effective emission period (== window for tumbling views)."""
+        return self.window if self.slide is None else self.slide
+
+    @property
+    def is_sliding(self) -> bool:
+        """Whether frames overlap (slide < window)."""
+        return self.slide is not None and self.slide < self.window
+
+    @property
+    def panes_per_window(self) -> int:
+        """Number of slide-sized panes one frame merges (1 for tumbling)."""
+        return int(round(self.window / self.slide_duration))
+
+    def validate_alignment(self, batch_duration: float) -> Tuple[int, int]:
+        """Check frame boundaries align to engine batch boundaries.
+
+        Returns ``(slide_batches, window_batches)`` — the durations in
+        whole engine batches — or raises :class:`ViewError` when either
+        duration is not a whole multiple of ``batch_duration``.
+        """
+        if not _is_multiple(self.slide_duration, batch_duration):
+            raise ViewError(
+                f"view slide ({self.slide_duration}) must be a whole multiple "
+                f"of the engine batch duration ({batch_duration}): frame "
+                f"boundaries are aligned to batch boundaries"
+            )
+        if not _is_multiple(self.window, batch_duration):
+            raise ViewError(
+                f"view window ({self.window}) must be a whole multiple of the "
+                f"engine batch duration ({batch_duration}): frame boundaries "
+                f"are aligned to batch boundaries"
+            )
+        return (
+            int(round(self.slide_duration / batch_duration)),
+            int(round(self.window / batch_duration)),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable form (used by SHOW VIEWS and the repl)."""
+        parts = [f"{self.aggregate.upper()}(value)"]
+        if self.group_by != "region":
+            parts.append(f"GROUP BY {self.group_by.upper()}")
+        parts.append(f"WINDOW {self.window:g}")
+        if self.is_sliding:
+            parts.append(f"SLIDE {self.slide:g}")
+        return " ".join(parts)

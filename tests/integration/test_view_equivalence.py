@@ -1,0 +1,222 @@
+"""Equivalence tests for continuous views (ISSUE 5 acceptance).
+
+Three guarantees are pinned down here:
+
+* **incremental == from-scratch** — every view aggregate equals a
+  recomputation from the raw cursor output of the same seeded run (plain
+  numpy for the order-independent aggregates; the declared fold/merge
+  semantics for the order-sensitive ones, applied to the raw tuples);
+* **columnar == object** — the two engine paths produce byte-compatible
+  frames for the same seed;
+* **window boundary semantics** — a tuple timestamped exactly on a
+  tumbling/sliding boundary lands in exactly one frame, whether the
+  delivery chunks are object lists (the object engine path's buffer form)
+  or columnar batches (the columnar path's).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BudgetConfig, EngineConfig
+from repro.core.engine import CraqrEngine
+from repro.core.query import AcquisitionalQuery
+from repro.geometry import Grid, Rectangle, RectRegion
+from repro.storage import QueryResultBuffer
+from repro.streams import SensorTuple, TupleBatch
+from repro.sensing import RainField, SensingWorld, TemperatureField, WorldConfig
+from repro.views import ContinuousView, ViewSpec, get_aggregate
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+AGGREGATES = ["COUNT", "SUM", "AVG", "MIN", "MAX", "P50", "P90"]
+
+
+def make_engine(columnar=True, seed=7):
+    world = SensingWorld(WorldConfig(region=REGION, sensor_count=150, seed=42))
+    world.register_field(RainField(REGION, band_width=1.2, period=40.0))
+    world.register_field(
+        TemperatureField(REGION, heat_islands=[(1.0, 1.0, 3.0, 0.5)])
+    )
+    config = EngineConfig(
+        grid_cells=16,
+        seed=seed,
+        budget=BudgetConfig(initial=30, delta=5, limit=300),
+        columnar=columnar,
+    )
+    return CraqrEngine(config, world)
+
+
+def run_with_views(columnar, batches=6, attribute="temp", spec_kwargs=None):
+    """Run a seeded engine with one view per aggregate; return frames + raw."""
+    engine = make_engine(columnar=columnar)
+    handle = engine.register_query(
+        AcquisitionalQuery(
+            attribute, RectRegion.from_bounds(0.0, 0.0, 2.0, 2.0), rate=20.0
+        )
+    )
+    spec_kwargs = spec_kwargs or {"window": 2.0, "group_by": "cell"}
+    views = {
+        name: handle.view(ViewSpec(aggregate=name, **spec_kwargs))
+        for name in AGGREGATES
+    }
+    cursor = handle.cursor()
+    raw = []
+    for _ in range(batches):
+        engine.run_batch()
+        raw.extend(cursor.fetch())
+    return engine, views, raw
+
+
+def frame_rows(frame):
+    """A frame's rows as comparable (key, value, count) triples."""
+    return [
+        (frame.keys[i], float(frame.values[i]), int(frame.counts[i]))
+        for i in range(frame.groups)
+    ]
+
+
+class TestIncrementalEqualsRecompute:
+    def group_key(self, engine, spec, item):
+        if spec.group_by == "cell":
+            cell = engine.grid.locate(item.x, item.y)
+            return cell.key
+        if spec.group_by == "attribute":
+            return item.attribute
+        return "*"
+
+    @pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "object"])
+    def test_all_aggregates_match_from_scratch_recompute(self, columnar):
+        engine, views, raw = run_with_views(columnar)
+        for name, view in views.items():
+            aggregate = get_aggregate(name)
+            spec = view.spec
+            for frame in view.frames():
+                in_window = [
+                    item
+                    for item in raw
+                    if frame.window_start <= item.t < frame.window_end
+                ]
+                by_group = {}
+                for item in in_window:
+                    by_group.setdefault(
+                        self.group_key(engine, spec, item), []
+                    ).append(item)
+                assert sorted(by_group) == list(frame.keys), (name, frame)
+                for i, key in enumerate(frame.keys):
+                    items = by_group[key]
+                    values = np.array([float(item.value) for item in items])
+                    assert int(frame.counts[i]) == len(items)
+                    got = float(frame.values[i])
+                    if name == "COUNT":
+                        assert got == float(len(items))
+                    elif name == "MIN":
+                        assert got == values.min()
+                    elif name == "MAX":
+                        assert got == values.max()
+                    elif name in ("P50", "P90"):
+                        # Small windows: the sketch never compacted, so the
+                        # frame value is the exact nearest-rank percentile.
+                        q = int(name[1:]) / 100.0
+                        rank = max(1, int(np.ceil(q * len(values))))
+                        assert got == np.sort(values)[rank - 1]
+                    else:  # SUM / AVG: recompute through the declared
+                        # fold/merge semantics in raw delivery order.
+                        state = aggregate.fold(
+                            aggregate.new_state(), values, len(items)
+                        )
+                        assert got == pytest.approx(
+                            aggregate.result(state), rel=1e-12
+                        )
+                        reference = (
+                            values.sum() if name == "SUM" else values.mean()
+                        )
+                        assert got == pytest.approx(reference, rel=1e-9)
+
+    def test_sliding_frames_recompute_over_overlaps(self):
+        engine, views, raw = run_with_views(
+            True, spec_kwargs={"window": 2.0, "slide": 1.0, "group_by": "region"}
+        )
+        count_view = views["COUNT"]
+        frames = count_view.frames()
+        assert len(frames) >= 4
+        for frame in frames:
+            expected = sum(
+                1 for item in raw if frame.window_start <= item.t < frame.window_end
+            )
+            assert frame.tuples == expected
+
+
+class TestColumnarObjectByteCompatibility:
+    def test_frames_identical_across_engine_paths(self):
+        _, columnar_views, _ = run_with_views(True)
+        _, object_views, _ = run_with_views(False)
+        for name in AGGREGATES:
+            a_frames = columnar_views[name].frames()
+            b_frames = object_views[name].frames()
+            assert len(a_frames) == len(b_frames) > 0, name
+            for a, b in zip(a_frames, b_frames):
+                assert (a.window_start, a.window_end) == (b.window_start, b.window_end)
+                assert frame_rows(a) == frame_rows(b), (name, a.frame_index)
+
+
+class TestBoundarySemanticsAcrossDeliveryForms:
+    """A tuple exactly on a window boundary lands in exactly one frame,
+    for both buffer chunk representations the engine paths produce."""
+
+    def make_view(self, spec):
+        return ContinuousView(
+            spec,
+            name="V",
+            query_id=1,
+            query_label="Q",
+            grid=Grid(REGION, 2),
+            batch_duration=1.0,
+        )
+
+    def tuples(self):
+        return [
+            SensorTuple(tuple_id=i, attribute="rain", t=t, x=0.5, y=0.5, value=1.0)
+            for i, t in enumerate([0.5, 1.0, 1.5])  # 1.0 is exactly on the boundary
+        ]
+
+    def deliver(self, buffer, items, *, columnar):
+        if columnar:
+            buffer.extend_batch(TupleBatch.from_tuples(items))
+        else:
+            for item in items:
+                buffer.append(item)
+        buffer.end_batch()
+
+    @pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "object"])
+    @pytest.mark.parametrize(
+        "spec_kwargs",
+        [{"window": 1.0}, {"window": 2.0, "slide": 1.0}],
+        ids=["tumbling", "sliding"],
+    )
+    def test_boundary_tuple_in_exactly_one_pane(self, columnar, spec_kwargs):
+        buffer = QueryResultBuffer(1, requested_rate=10.0, region_area=4.0)
+        view = self.make_view(ViewSpec(aggregate="COUNT", **spec_kwargs))
+        view.attach(buffer.subscribe(view.on_delivery))
+        self.deliver(buffer, self.tuples(), columnar=columnar)
+        frames = view.advance_to(3.0)
+        if "slide" in spec_kwargs:
+            # Sliding [0,2) and [1,3): t=1.0 is in both windows but in
+            # exactly one *pane*; [0,2) holds {0.5, 1.0, 1.5}, [1,3) holds
+            # {1.0, 1.5}.
+            assert [f.tuples for f in frames] == [3, 2]
+        else:
+            # Tumbling [0,1), [1,2), [2,3): t=1.0 only in the second.
+            assert [f.tuples for f in frames] == [1, 2, 0]
+
+    def test_both_forms_produce_identical_frames(self):
+        results = []
+        for columnar in (True, False):
+            buffer = QueryResultBuffer(1, requested_rate=10.0, region_area=4.0)
+            view = self.make_view(
+                ViewSpec(aggregate="AVG", window=1.0, group_by="cell")
+            )
+            view.attach(buffer.subscribe(view.on_delivery))
+            self.deliver(buffer, self.tuples(), columnar=columnar)
+            view.advance_to(2.0)
+            results.append([frame_rows(f) for f in view.buffer.frames()])
+        assert results[0] == results[1]

@@ -21,7 +21,10 @@ class TestLexerKeywords:
         for spelling in (word, word.lower(), word.capitalize()):
             token = tokenize(spelling)[0]
             assert token.type is TokenType.KEYWORD
-            assert token.value == word
+            # Keyword tokens keep their original spelling (so keywords can
+            # double as names); matching is case-insensitive.
+            assert token.value == spelling
+            assert token.is_keyword(word)
 
     def test_query_names_stay_identifiers(self):
         tokens = tokenize("ALTER Storm SET RATE 5")
@@ -60,7 +63,13 @@ class TestAlterParsing:
 
     def test_alter_requires_name(self):
         with pytest.raises(QueryParseError, match="query name"):
-            parse_statements("ALTER SET RATE 5")
+            parse_statements("ALTER")
+
+    def test_alter_accepts_keywords_as_names(self):
+        # Contextual keywords: a query may be named after any language
+        # keyword (here the view DDL's SET-lookalike "Window").
+        (statement,) = parse_statements("ALTER Window SET RATE 5")
+        assert statement.name == "Window"
 
     def test_alter_rejects_bad_region_literal(self):
         with pytest.raises(QueryParseError):
@@ -101,7 +110,7 @@ class TestScripts:
         ]
 
     def test_unknown_leading_keyword_is_a_clear_error(self):
-        with pytest.raises(QueryParseError, match="ACQUIRE, ALTER, STOP or SHOW"):
+        with pytest.raises(QueryParseError, match="ACQUIRE, ALTER, STOP, SHOW, CREATE or DROP"):
             parse_statements("SELECT rain FROM somewhere")
 
     def test_parse_queries_rejects_ddl(self):

@@ -1,0 +1,149 @@
+"""Lexer/parser tests for the view DDL (CREATE VIEW / DROP VIEW / SHOW VIEWS)."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.query import (
+    CreateViewStatement,
+    DropViewStatement,
+    ShowViewsStatement,
+    parse_statements,
+    tokenize,
+)
+from repro.query.lexer import TokenType
+
+
+class TestLexer:
+    @pytest.mark.parametrize(
+        "word",
+        ["CREATE", "VIEW", "VIEWS", "ON", "GROUP", "BY", "CELL", "ATTRIBUTE", "WINDOW", "SLIDE", "DROP"],
+    )
+    def test_view_keywords_tokenise_case_insensitively(self, word):
+        for spelling in (word, word.lower(), word.capitalize()):
+            token = tokenize(spelling)[0]
+            assert token.type is TokenType.KEYWORD
+            # Keyword tokens keep their original spelling (so keywords can
+            # double as names); matching is case-insensitive.
+            assert token.value == spelling
+            assert token.is_keyword(word)
+
+    def test_keywords_stay_usable_as_names(self):
+        # Regression: adding the view-DDL keywords must not break ACQUIRE
+        # statements that use those words as attribute or query names.
+        (statement,) = parse_statements(
+            "ACQUIRE window FROM RECT(0,0,1,1) AT RATE 1 AS Cell"
+        )
+        assert statement.attribute == "window"
+        assert statement.name == "Cell"
+        (view,) = parse_statements("CREATE VIEW Group ON Cell AS COUNT(*) WINDOW 2")
+        assert view.name == "Group" and view.query_name == "Cell"
+        (stop,) = parse_statements("STOP Cell")
+        assert stop.name == "Cell"
+
+    def test_star_tokenises(self):
+        tokens = tokenize("COUNT(*)")
+        assert [t.type for t in tokens[:4]] == [
+            TokenType.IDENTIFIER,
+            TokenType.LPAREN,
+            TokenType.STAR,
+            TokenType.RPAREN,
+        ]
+
+
+class TestCreateView:
+    def test_full_clause(self):
+        (statement,) = parse_statements(
+            "CREATE VIEW Wetness ON Storm AS AVG(value) GROUP BY CELL "
+            "WINDOW 5 SLIDE 1"
+        )
+        assert statement == CreateViewStatement(
+            name="Wetness",
+            query_name="Storm",
+            aggregate="AVG",
+            window=5.0,
+            slide=1.0,
+            group_by="cell",
+        )
+
+    def test_minimal_clause_defaults(self):
+        (statement,) = parse_statements("create view W on Q as count(*) window 2")
+        assert statement.aggregate == "COUNT"
+        assert statement.slide is None
+        assert statement.group_by == "region"
+
+    def test_empty_argument_list_allowed(self):
+        (statement,) = parse_statements("CREATE VIEW W ON Q AS COUNT() WINDOW 2")
+        assert statement.aggregate == "COUNT"
+
+    def test_group_by_attribute(self):
+        (statement,) = parse_statements(
+            "CREATE VIEW W ON Q AS P95(value) GROUP BY ATTRIBUTE WINDOW 4"
+        )
+        assert statement.aggregate == "P95"
+        assert statement.group_by == "attribute"
+
+    def test_to_spec_round_trips(self):
+        (statement,) = parse_statements(
+            "CREATE VIEW W ON Q AS MAX(value) GROUP BY CELL WINDOW 6 SLIDE 2"
+        )
+        spec = statement.to_spec()
+        assert spec.aggregate == "MAX"
+        assert spec.window == 6.0 and spec.slide == 2.0
+        assert spec.panes_per_window == 3
+        assert spec.name == "W"
+
+    def test_unknown_aggregate_surfaces_at_spec_time(self):
+        from repro.errors import ViewError
+
+        (statement,) = parse_statements("CREATE VIEW W ON Q AS MEDIAN(value) WINDOW 2")
+        with pytest.raises(ViewError, match="unknown aggregate"):
+            statement.to_spec()
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("CREATE VIEW W ON Q AS AVG(pressure) WINDOW 2", "value"),
+            ("CREATE VIEW W ON Q AS AVG(value WINDOW 2", r"\)"),
+            ("CREATE VIEW W ON Q AS WINDOW(value) WINDOW 2", "aggregate name"),
+            ("CREATE VIEW W ON Q AS AVG(value)", "WINDOW"),
+            ("CREATE VIEW W ON Q AS AVG(value) WINDOW 0", "positive"),
+            ("CREATE VIEW W ON Q AS AVG(value) WINDOW 2 SLIDE -1", "positive"),
+            ("CREATE VIEW W ON Q AS AVG(value) GROUP BY SENSOR WINDOW 2", "CELL or ATTRIBUTE"),
+            ("CREATE VIEW W Q AS AVG(value) WINDOW 2", "ON"),
+        ],
+    )
+    def test_malformed_statements_raise(self, text, message):
+        with pytest.raises(QueryParseError, match=message):
+            parse_statements(text)
+
+
+class TestDropAndShow:
+    def test_drop_view(self):
+        (statement,) = parse_statements("DROP VIEW Wetness")
+        assert statement == DropViewStatement(name="Wetness")
+
+    def test_drop_needs_view_keyword(self):
+        with pytest.raises(QueryParseError, match="VIEW"):
+            parse_statements("DROP Wetness")
+
+    def test_show_views(self):
+        (statement,) = parse_statements("show views")
+        assert statement == ShowViewsStatement()
+
+    def test_show_still_needs_a_subject(self):
+        with pytest.raises(QueryParseError, match="QUERIES or VIEWS"):
+            parse_statements("SHOW TABLES")
+
+    def test_scripts_mix_session_and_view_ddl(self):
+        statements = parse_statements(
+            "ACQUIRE rain FROM RECT(0,0,2,2) RATE 10 AS Storm; "
+            "CREATE VIEW W ON Storm AS COUNT(*) WINDOW 2; "
+            "SHOW VIEWS; DROP VIEW W; STOP Storm"
+        )
+        assert [type(s).__name__ for s in statements] == [
+            "ParsedQuery",
+            "CreateViewStatement",
+            "ShowViewsStatement",
+            "DropViewStatement",
+            "StopStatement",
+        ]

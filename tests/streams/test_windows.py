@@ -30,8 +30,14 @@ class TestBatchWindow:
         assert len(window.flush()) == 2
         assert window.pending == 0
 
-    def test_flush_empty(self):
-        assert BatchWindow(2).flush() == []
+    def test_flush_empty_emits_nothing(self):
+        # Regression: an empty flush used to emit a spurious empty batch.
+        window = BatchWindow(2)
+        assert window.flush() is None
+        window.add(make_tuple(1.0))
+        emitted = window.flush()
+        assert emitted is not None and len(emitted) == 1
+        assert window.flush() is None
 
 
 class TestTumblingWindow:
@@ -59,6 +65,38 @@ class TestTumblingWindow:
         batch = window.flush()
         assert len(batch) == 1
         assert window.window_start == pytest.approx(2.0)
+
+    def test_empty_flush_emits_nothing_and_does_not_drift(self):
+        # Regression: flushing an empty window used to emit a spurious
+        # empty batch and advance the window past data yet to arrive.
+        window = TumblingWindow(2.0)
+        assert window.flush() is None
+        assert window.window_start == pytest.approx(0.0)
+        window.add(make_tuple(0.5))
+        assert len(window.flush()) == 1
+        assert window.flush() is None
+        assert window.window_start == pytest.approx(2.0)
+
+    def test_gap_over_empty_window_emits_nothing(self):
+        # Regression: a tuple arriving after an empty window used to
+        # emit that window as a spurious empty batch.
+        window = TumblingWindow(1.0)
+        window.add(make_tuple(0.5))
+        emitted = window.add(make_tuple(1.5))
+        assert emitted is not None and len(emitted) == 1
+        assert len(window.flush()) == 1  # close [1, 2); [2, 3) is now open, empty
+        assert window.add(make_tuple(3.5)) is None  # [2, 3) closes empty: no emission
+        assert window.window_start == pytest.approx(3.0)
+
+    def test_boundary_tuple_lands_in_exactly_one_window(self):
+        # A tuple timestamped exactly on a boundary opens the next
+        # window; it is never also counted in the closing one.
+        window = TumblingWindow(1.0)
+        window.add(make_tuple(0.5))
+        emitted = window.add(make_tuple(1.0))
+        assert emitted is not None and [item.t for item in emitted] == [0.5]
+        assert window.pending == 1
+        assert window.window_start == pytest.approx(1.0)
 
     def test_late_tuple_joins_open_window(self):
         window = TumblingWindow(1.0)

@@ -177,3 +177,39 @@ class TestRepl:
         assert "ran 6 batch(es)" in capture.text
         # The session row survives retention eviction with exact totals.
         assert "Bounded" in capture.text.split("query sessions")[1]
+
+    def test_repl_continuous_views_round_trip(self):
+        script = """
+        ACQUIRE rain FROM RECT(0,0,2,2) AT RATE 8 PER KM2 PER MIN AS Storm
+        CREATE VIEW Tiles ON Storm AS AVG(value) GROUP BY CELL WINDOW 2
+        run 4
+        SHOW VIEWS
+        SHOW QUERIES
+        frames Tiles 2
+        DROP VIEW Tiles
+        frames Tiles
+        """
+        code, capture = run_repl(script)
+        assert code == 0
+        assert "created view Tiles on Storm" in capture.text
+        views_table = capture.text.split("continuous views")[1]
+        assert "Tiles" in views_table and "live" in views_table
+        # The extended session row reflects the attached view count.
+        sessions_table = capture.text.split("query sessions")[1]
+        assert "views" in sessions_table
+        assert "view Tiles: AVG(value) GROUP BY CELL WINDOW 2" in capture.text
+        assert "dropped view Tiles after 2 frames" in capture.text
+        # After DROP the repl can no longer resolve the name (and says so).
+        assert "error: no view is named 'Tiles'" in capture.text
+
+    def test_repl_frames_command_errors(self):
+        script = """
+        frames
+        frames Ghost
+        frames Ghost nope
+        """
+        code, capture = run_repl(script)
+        assert code == 0
+        assert "'frames' takes a view name" in capture.text
+        assert "no view is named 'Ghost'" in capture.text
+        assert "'frames' takes a count" in capture.text

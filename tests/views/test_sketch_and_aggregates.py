@@ -1,0 +1,179 @@
+"""Unit tests for the quantile sketch, the aggregate registry and ViewSpec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ViewError
+from repro.views import QuantileSketch, ViewSpec, get_aggregate, register_aggregate
+from repro.views.aggregates import Aggregate
+
+
+class TestQuantileSketch:
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ViewError):
+            QuantileSketch(1)
+
+    def test_exact_before_compaction(self):
+        sketch = QuantileSketch(64)
+        values = np.array([5.0, 1.0, 9.0, 3.0, 7.0])
+        sketch.extend(values)
+        assert sketch.is_exact
+        assert sketch.count == 5
+        # Nearest-rank quantiles of {1,3,5,7,9}.
+        assert sketch.quantile(0.5) == 5.0
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 9.0
+        assert sketch.quantile(0.2) == 1.0
+        assert sketch.quantile(0.21) == 3.0
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ViewError):
+            QuantileSketch().quantile(0.5)
+
+    def test_bad_fraction_raises(self):
+        sketch = QuantileSketch()
+        sketch.extend(np.ones(3))
+        with pytest.raises(ViewError):
+            sketch.quantile(1.5)
+
+    def test_compaction_bounds_memory_and_stays_deterministic(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=10_000)
+        a = QuantileSketch(128)
+        b = QuantileSketch(128)
+        for chunk in np.split(values, 50):
+            a.extend(chunk)
+            b.extend(chunk)
+        assert not a.is_exact
+        assert a.retained <= 128
+        assert a.count == 10_000
+        # Deterministic: same values in the same chunks -> same answers.
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == b.quantile(q)
+        # And close to the exact quantile.
+        assert a.quantile(0.5) == pytest.approx(np.quantile(values, 0.5), abs=0.1)
+
+    def test_merge_matches_single_stream_when_exact(self):
+        left, right, whole = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        first = np.arange(10.0)
+        second = np.arange(100.0, 120.0)
+        left.extend(first)
+        right.extend(second)
+        whole.extend(np.concatenate([first, second]))
+        left.merge(right)
+        assert left.count == whole.count
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_copy_is_independent(self):
+        sketch = QuantileSketch()
+        sketch.extend(np.array([1.0, 2.0]))
+        clone = sketch.copy()
+        clone.extend(np.array([100.0]))
+        assert sketch.count == 2
+        assert clone.count == 3
+
+
+class TestAggregateRegistry:
+    def test_builtins_resolve(self):
+        for name in ("COUNT", "SUM", "AVG", "MIN", "MAX", "count", "Avg"):
+            assert isinstance(get_aggregate(name), Aggregate)
+
+    def test_percentiles_resolve_dynamically(self):
+        agg = get_aggregate("P95")
+        state = agg.new_state()
+        state = agg.fold(state, np.arange(100.0), 100)
+        assert agg.result(state) == 94.0  # nearest-rank P95 of 0..99
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(ViewError, match="unknown aggregate"):
+            get_aggregate("MEDIAN")
+        with pytest.raises(ViewError):
+            get_aggregate("P0")
+        with pytest.raises(ViewError):
+            get_aggregate("P100")
+
+    def test_fold_merge_result_roundtrip(self):
+        values = np.array([2.0, 4.0, 6.0, 8.0])
+        expectations = {
+            "COUNT": 4.0,
+            "SUM": 20.0,
+            "AVG": 5.0,
+            "MIN": 2.0,
+            "MAX": 8.0,
+            "P50": 4.0,
+        }
+        for name, expected in expectations.items():
+            agg = get_aggregate(name)
+            # Fold in two halves, then merge — must equal one-shot folding.
+            a = agg.fold(agg.new_state(), values[:2], 2)
+            b = agg.fold(agg.new_state(), values[2:], 2)
+            merged = agg.merge(a, b)
+            assert agg.result(merged) == pytest.approx(expected), name
+
+    def test_custom_aggregates_register(self):
+        class SpreadAggregate(Aggregate):
+            name = "SPREAD"
+
+            def new_state(self):
+                return (float("inf"), float("-inf"))
+
+            def fold(self, state, values, count):
+                return (min(state[0], float(values.min())),
+                        max(state[1], float(values.max())))
+
+            def merge(self, state, other):
+                return (min(state[0], other[0]), max(state[1], other[1]))
+
+            def result(self, state):
+                return state[1] - state[0]
+
+        register_aggregate("SPREAD", SpreadAggregate)
+        agg = get_aggregate("spread")
+        state = agg.fold(agg.new_state(), np.array([3.0, 9.0, 5.0]), 3)
+        assert agg.result(state) == 6.0
+        # Usable from a ViewSpec immediately.
+        ViewSpec(aggregate="SPREAD", window=2.0)
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ViewError):
+            register_aggregate("BAD NAME", Aggregate)
+
+
+class TestViewSpec:
+    def test_defaults_are_tumbling_region(self):
+        spec = ViewSpec(aggregate="COUNT", window=4.0)
+        assert spec.slide_duration == 4.0
+        assert not spec.is_sliding
+        assert spec.panes_per_window == 1
+        assert spec.group_by == "region"
+
+    def test_sliding_panes(self):
+        spec = ViewSpec(aggregate="AVG", window=6.0, slide=2.0, group_by="cell")
+        assert spec.is_sliding
+        assert spec.panes_per_window == 3
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ViewError):
+            ViewSpec(aggregate="NOPE", window=2.0)
+        with pytest.raises(ViewError):
+            ViewSpec(aggregate="COUNT", window=0.0)
+        with pytest.raises(ViewError):
+            ViewSpec(aggregate="COUNT", window=2.0, slide=0.0)
+        with pytest.raises(ViewError, match="must not exceed"):
+            ViewSpec(aggregate="COUNT", window=2.0, slide=3.0)
+        with pytest.raises(ViewError, match="whole multiple"):
+            ViewSpec(aggregate="COUNT", window=5.0, slide=2.0)
+        with pytest.raises(ViewError, match="unknown grouping"):
+            ViewSpec(aggregate="COUNT", window=2.0, group_by="sensor")
+
+    def test_alignment_validation(self):
+        spec = ViewSpec(aggregate="COUNT", window=3.0, slide=1.0)
+        assert spec.validate_alignment(1.0) == (1, 3)
+        with pytest.raises(ViewError, match="batch duration"):
+            spec.validate_alignment(2.0)
+
+    def test_describe_mentions_the_clauses(self):
+        text = ViewSpec(aggregate="P90", window=4.0, slide=2.0, group_by="cell").describe()
+        assert "P90" in text and "GROUP BY CELL" in text
+        assert "WINDOW 4" in text and "SLIDE 2" in text
