@@ -1,0 +1,152 @@
+"""E-faults: zero-fault overhead gate + fault-scenario throughput.
+
+Two claims from ISSUE 6 are asserted here:
+
+* **Zero-fault overhead <= 5%.**  With no :class:`FaultPlan` configured the
+  fused fast-sim acquisition round must run within 5% of a build without
+  the fault subsystem.  The plain-path body is shared verbatim and only a
+  three-attribute ``_plain`` gate was added, so the baseline is recovered
+  in-process by patching that gate to a constant — the measured delta IS
+  the subsystem's entire cost on healthy runs.
+* **Fault scenarios stay usable.**  The flaky-crowd and cell-outage
+  scenarios (retries, quarantine bookkeeping, degradation tracking all
+  active) must sustain a sane batch rate; their throughput is recorded to
+  ``BENCH_scenarios.json`` so the mitigation stack's cost is tracked
+  across PRs.
+"""
+
+import time
+
+import pytest
+
+from repro.core import CraqrEngine
+from repro.geometry import Grid, Rectangle
+from repro.metrics import ResultTable
+from repro.sensing import (
+    BernoulliParticipation,
+    RainField,
+    RandomWaypointMobility,
+    RequestResponseHandler,
+    SensingWorld,
+    TemperatureField,
+    WorldConfig,
+)
+from repro.workloads import cell_outage_scenario, flaky_crowd_scenario
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+#: Maximum tolerated slowdown of zero-fault fused rounds vs the patched-out
+#: baseline (the ISSUE 6 acceptance bar).
+MAX_ZERO_FAULT_OVERHEAD = 0.05
+
+SENSORS = 10_000
+ROUNDS = 30
+REPEATS = 5
+
+
+def make_fused_world(seed=1601):
+    world = SensingWorld(
+        WorldConfig(
+            region=REGION, sensor_count=SENSORS, seed=seed, vectorized_rng=True
+        ),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.4),
+        participation_factory=lambda i: BernoulliParticipation(
+            0.7, mean_latency=0.05
+        ),
+    )
+    world.register_field(RainField(REGION))
+    world.register_field(TemperatureField(REGION))
+    return world
+
+
+def run_fused_rounds(seed=1601):
+    world = make_fused_world(seed)
+    grid = Grid(REGION, side=8)
+    handler = RequestResponseHandler(world, grid, default_budget=40)
+    cells = list(grid.cells())
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        handler.acquire_batches({"rain": cells, "temp": cells}, duration=1.0)
+        world.advance(1.0)
+    return time.perf_counter() - start
+
+
+class TestZeroFaultOverhead:
+    def test_fused_round_overhead_within_five_percent(
+        self, monkeypatch, record_scenario_metric, record_table
+    ):
+        # Remove the fault subsystem's only hot-path addition — the
+        # `_plain` gate — to recover the pre-fault baseline in-process.
+        # Measurements are interleaved (baseline, gated, baseline, ...) so
+        # cache warm-up and machine drift hit both variants equally, and
+        # each variant keeps its best time.
+        plain_gate = RequestResponseHandler._plain
+        patched_gate = property(lambda self: True)
+        gated = baseline = float("inf")
+        run_fused_rounds()  # warm-up, discarded
+        for _ in range(REPEATS):
+            monkeypatch.setattr(RequestResponseHandler, "_plain", patched_gate)
+            baseline = min(baseline, run_fused_rounds())
+            monkeypatch.setattr(RequestResponseHandler, "_plain", plain_gate)
+            gated = min(gated, run_fused_rounds())
+        overhead = gated / baseline - 1.0
+        table = ResultTable(
+            "zero-fault fused overhead",
+            ["variant", "seconds", "rounds/s"],
+        )
+        table.add_row("with fault gate", round(gated, 4), round(ROUNDS / gated, 1))
+        table.add_row("gate patched out", round(baseline, 4), round(ROUNDS / baseline, 1))
+        record_table("fault_zero_overhead", table)
+        record_scenario_metric(
+            "zero_fault_fused_overhead",
+            overhead,
+            unit="fraction",
+            detail={"sensors": SENSORS, "rounds": ROUNDS, "cells": 64},
+        )
+        assert overhead <= MAX_ZERO_FAULT_OVERHEAD
+
+
+class TestFaultScenarioThroughput:
+    @pytest.mark.parametrize(
+        "name, factory, query, batches",
+        [
+            (
+                "flaky_crowd",
+                flaky_crowd_scenario,
+                "ACQUIRE temp FROM RECT(0,0,4,4) AT RATE 8 PER KM2 PER MIN AS Heat",
+                10,
+            ),
+            (
+                "cell_outage",
+                cell_outage_scenario,
+                "ACQUIRE temp FROM RECT(0,0,2,2) AT RATE 10 PER KM2 PER MIN AS Quad",
+                16,
+            ),
+        ],
+    )
+    def test_scenario_batch_throughput(
+        self, name, factory, query, batches, record_scenario_metric
+    ):
+        scenario = factory()
+        engine = CraqrEngine(scenario.config, scenario.world)
+        engine.execute(query)
+        start = time.perf_counter()
+        engine.run(batches)
+        elapsed = time.perf_counter() - start
+        per_second = batches / elapsed
+        delivered = engine.total_tuples_delivered()
+        record_scenario_metric(
+            f"{name}_batches_per_s",
+            per_second,
+            unit="batches/s",
+            detail={
+                "batches": batches,
+                "tuples_delivered": delivered,
+                "retries": sum(r.handler.retries_sent for r in engine.reports),
+                "timeouts": sum(r.handler.timeouts for r in engine.reports),
+                "quarantined": engine.health_monitor.summary().quarantined,
+            },
+        )
+        # The mitigation stack must not make interactive use impossible.
+        assert per_second > 2.0
+        assert delivered > 0

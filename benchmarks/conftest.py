@@ -11,8 +11,9 @@ root at the end of the session, so the perf trajectory (e.g. the columnar
 fast path's speedup) is tracked across PRs; metrics from the sensing-world
 benchmarks go through ``record_world_metric`` into ``BENCH_world.json``,
 session-surface metrics through ``record_session_metric`` into
-``BENCH_session.json`` and continuous-view metrics through
-``record_view_metric`` into ``BENCH_views.json``.
+``BENCH_session.json``, continuous-view metrics through
+``record_view_metric`` into ``BENCH_views.json`` and fault-scenario
+metrics through ``record_scenario_metric`` into ``BENCH_scenarios.json``.
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_columnar.json"
 BENCH_WORLD_JSON = pathlib.Path(__file__).parent.parent / "BENCH_world.json"
 BENCH_SESSION_JSON = pathlib.Path(__file__).parent.parent / "BENCH_session.json"
 BENCH_VIEWS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_views.json"
+BENCH_SCENARIOS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_scenarios.json"
 
 
 @pytest.fixture(scope="session")
@@ -55,6 +57,7 @@ _METRIC_STORE: Dict[str, dict] = {}
 _WORLD_METRIC_STORE: Dict[str, dict] = {}
 _SESSION_METRIC_STORE: Dict[str, dict] = {}
 _VIEWS_METRIC_STORE: Dict[str, dict] = {}
+_SCENARIO_METRIC_STORE: Dict[str, dict] = {}
 
 
 def _make_recorder(store: Dict[str, dict]):
@@ -111,6 +114,18 @@ def record_view_metric():
     return _make_recorder(_VIEWS_METRIC_STORE)
 
 
+@pytest.fixture
+def record_scenario_metric():
+    """Like ``record_metric`` but routed to ``BENCH_scenarios.json``.
+
+    Used by the fault-injection benchmarks (``bench_faults.py``) so the
+    fault-scenario throughput and the zero-fault overhead of the
+    resilience stack are tracked separately from the healthy-path
+    trajectories.
+    """
+    return _make_recorder(_SCENARIO_METRIC_STORE)
+
+
 def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
     if path.exists():
@@ -142,3 +157,5 @@ def pytest_sessionfinish(session, exitstatus):
         _persist(BENCH_SESSION_JSON, _SESSION_METRIC_STORE)
     if _VIEWS_METRIC_STORE:
         _persist(BENCH_VIEWS_JSON, _VIEWS_METRIC_STORE)
+    if _SCENARIO_METRIC_STORE:
+        _persist(BENCH_SCENARIOS_JSON, _SCENARIO_METRIC_STORE)

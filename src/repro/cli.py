@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, TextIO
 
+from .config import EngineConfig
 from .core import CraqrEngine, QueryHandle, QuerySessionInfo
 from .errors import CraqrError
 from .metrics import ResultTable
@@ -45,8 +47,12 @@ from .views import ViewFrame, ViewHandle, ViewSessionInfo
 from .workloads import (
     build_hotspot_world,
     build_rain_temperature_world,
+    build_stationary_world,
     build_uniform_world,
+    cell_outage_plan,
     default_engine_config,
+    default_resilience_config,
+    flaky_crowd_plan,
 )
 
 #: Scenario name -> (description, world builder).
@@ -63,7 +69,48 @@ SCENARIOS: Dict[str, tuple] = {
         "4x4 km city with sensors clustered around two hotspots (skew stress case)",
         build_hotspot_world,
     ),
+    "flaky-crowd": (
+        "rain + temperature city with an unreliable crowd (drops, stuck "
+        "sensors, outliers, latency spikes) answered by retries + quarantine",
+        build_rain_temperature_world,
+    ),
+    "cell-outage": (
+        "stationary crowd whose lower-left cells go dark for a window; "
+        "quarantine + probation re-admission drive post-outage recovery",
+        build_stationary_world,
+    ),
 }
+
+
+def _scenario_engine_config(
+    scenario: str,
+    *,
+    grid_cells: int,
+    seed: int,
+    retention_batches: Optional[int] = None,
+) -> EngineConfig:
+    """The engine config for a named CLI scenario.
+
+    The fault scenarios attach their :class:`~repro.faults.FaultPlan` and
+    mitigation bundle on top of the shared defaults; the stock scenarios
+    run fault-free (and therefore byte-identical to pre-fault builds).
+    """
+    config = default_engine_config(
+        grid_cells=grid_cells, seed=seed, retention_batches=retention_batches
+    )
+    if scenario == "flaky-crowd":
+        return dataclass_replace(
+            config,
+            faults=flaky_crowd_plan(),
+            resilience=default_resilience_config(),
+        )
+    if scenario == "cell-outage":
+        return dataclass_replace(
+            config,
+            faults=cell_outage_plan(),
+            resilience=default_resilience_config(),
+        )
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,7 +195,9 @@ def _command_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     description, builder = SCENARIOS[args.scenario]
     out(f"scenario '{args.scenario}': {description}")
     world: SensingWorld = builder(sensor_count=args.sensors, seed=args.seed)
-    config = default_engine_config(grid_cells=args.grid_cells, seed=args.seed + 1)
+    config = _scenario_engine_config(
+        args.scenario, grid_cells=args.grid_cells, seed=args.seed + 1
+    )
     engine = CraqrEngine(config, world)
     catalog = AttributeCatalog.default()
 
@@ -204,6 +253,7 @@ statements (case-insensitive keywords, ';'-separable):
 repl commands:
   run [N]          advance N batch windows (default 1)
   frames <view> [N]  show the last N frames of a view (default 5)
+  health <query>   per-cell timeout/drop/retry stats + quarantined sensors
   help             this text
   quit/exit        leave the repl"""
 
@@ -211,9 +261,21 @@ repl commands:
 def _sessions_table(sessions: List[QuerySessionInfo]) -> ResultTable:
     table = ResultTable(
         "query sessions",
-        ["query", "attribute", "area", "rate", "achieved", "tuples", "batches", "views", "state"],
+        [
+            "query",
+            "attribute",
+            "area",
+            "rate",
+            "achieved",
+            "tuples",
+            "batches",
+            "views",
+            "health",
+            "state",
+        ],
     )
     for info in sessions:
+        degraded = len(info.degraded_pairs)
         table.add_row(
             info.label,
             info.attribute,
@@ -223,7 +285,34 @@ def _sessions_table(sessions: List[QuerySessionInfo]) -> ResultTable:
             info.total_tuples,
             info.batches_completed,
             info.views,
+            "ok" if degraded == 0 else f"{degraded} degraded",
             "paused" if info.paused else "live",
+        )
+    return table
+
+
+def _health_table(engine: CraqrEngine, handle: QueryHandle) -> ResultTable:
+    """Per-cell acquisition health of one query, from the last batch report."""
+    attribute = handle.query.attribute
+    report = engine.reports[-1].handler if engine.reports else None
+    tracker = engine.degradation
+    table = ResultTable(
+        f"health of {handle.query.label} ({attribute}), last batch",
+        ["cell", "requests", "responses", "timeouts", "drops", "retries", "rate ewma", "state"],
+    )
+    for cell in engine.planner.cells_for_query(handle.query_id):
+        pair = (attribute, cell)
+        ewma = tracker.response_rate_for(attribute, cell) if tracker is not None else None
+        degraded = tracker is not None and tracker.is_degraded(attribute, cell)
+        table.add_row(
+            f"({cell[0]}, {cell[1]})",
+            report.per_cell_requests.get(pair, 0) if report is not None else 0,
+            report.per_cell_responses.get(pair, 0) if report is not None else 0,
+            report.per_cell_timeouts.get(pair, 0) if report is not None else 0,
+            report.per_cell_drops.get(pair, 0) if report is not None else 0,
+            report.per_cell_retries.get(pair, 0) if report is not None else 0,
+            "-" if ewma is None else round(ewma, 3),
+            "degraded" if degraded else "ok",
         )
     return table
 
@@ -327,7 +416,8 @@ def _command_repl(
 ) -> int:
     description, builder = SCENARIOS[args.scenario]
     world: SensingWorld = builder(sensor_count=args.sensors, seed=args.seed)
-    config = default_engine_config(
+    config = _scenario_engine_config(
+        args.scenario,
         grid_cells=args.grid_cells,
         seed=args.seed + 1,
         retention_batches=args.retention_batches,
@@ -379,6 +469,30 @@ def _command_repl(
                     out(_frames_table(handle, frames).render())
             except ValueError:
                 out(f"error: 'frames' takes a count, got {parts[2]!r}")
+            except CraqrError as exc:
+                out(f"error: {exc}")
+            continue
+        if lowered == "health" or lowered.startswith("health "):
+            parts = line.split()
+            try:
+                if len(parts) != 2:
+                    raise CraqrError("'health' takes exactly one query name")
+                handle = engine.query(parts[1])
+                out(_health_table(engine, handle).render())
+                monitor = engine.health_monitor
+                if monitor is None:
+                    out("sensor health monitoring is off (no ResilienceConfig)")
+                else:
+                    summary = monitor.summary()
+                    ids = ", ".join(str(i) for i in summary.quarantined_sensor_ids[:12])
+                    if summary.quarantined > 12:
+                        ids += f", ... ({summary.quarantined - 12} more)"
+                    out(
+                        f"quarantined sensors: {summary.quarantined} "
+                        f"({summary.on_probation} on probation, "
+                        f"{summary.released} released so far)"
+                        + (f" — ids: {ids}" if ids else "")
+                    )
             except CraqrError as exc:
                 out(f"error: {exc}")
             continue

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .errors import CraqrError
+from .faults import FaultPlan, ResilienceConfig
 
 #: Default number of grid cells (a 4 x 4 grid).
 DEFAULT_GRID_CELLS = 16
@@ -140,6 +141,19 @@ class EngineConfig:
         ``k`` beyond the window) raise
         :class:`~repro.errors.StorageError`.  ``None`` (the default)
         retains everything, as before.
+    faults:
+        Optional declarative :class:`~repro.faults.FaultPlan` injected into
+        the acquisition path (drops, outages, stuck-at sensors, outliers,
+        latency inflation, clock skew).  The injector draws from its own
+        seeded stream, so ``None`` (the default) leaves every engine run
+        byte-identical to a fault-free build.
+    resilience:
+        Optional :class:`~repro.faults.ResilienceConfig` switching on the
+        mitigation stack: response deadlines, budget-aware retries,
+        sensor-health quarantine and per-(attribute, cell) degradation
+        tracking that redirects budget tuning away from fault-attributed
+        shortfalls.  Independent of ``faults`` — mitigation also reacts to
+        organic non-response.
     """
 
     grid_cells: int = DEFAULT_GRID_CELLS
@@ -150,6 +164,8 @@ class EngineConfig:
     online_estimation: bool = False
     columnar: bool = True
     retention_batches: Optional[int] = None
+    faults: Optional[FaultPlan] = None
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.retention_batches is not None and self.retention_batches <= 0:

@@ -33,7 +33,13 @@ from .topology import AttributeChain, CellTopology, RateLevel
 from .planner import QueryPlanner, PlannerStats, QueryUpdate
 from .budget import BudgetTuner, BudgetDecision
 from .fabricator import StreamFabricator, BatchResult
-from .engine import CraqrEngine, EngineReport, QueryHandle, QuerySessionInfo
+from .engine import (
+    CraqrEngine,
+    EngineReport,
+    QueryHandle,
+    QuerySessionInfo,
+    ViolationInfo,
+)
 from .optimizer import (
     TopologyCostModel,
     QueryCostEstimate,
@@ -73,6 +79,7 @@ __all__ = [
     "EngineReport",
     "QueryHandle",
     "QuerySessionInfo",
+    "ViolationInfo",
     "TopologyCostModel",
     "QueryCostEstimate",
     "estimate_query_cost",

@@ -15,8 +15,8 @@ decision to the user, e.g. by switching on incentives).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..config import BudgetConfig
 from ..errors import BudgetError
@@ -28,7 +28,13 @@ PairKey = Tuple[str, CellKey]
 
 @dataclass(frozen=True)
 class BudgetDecision:
-    """The tuner's decision for one (attribute, cell) pair in one batch."""
+    """The tuner's decision for one (attribute, cell) pair in one batch.
+
+    ``fault_attributed`` marks pairs whose rate shortfall the degradation
+    tracker classified as fault-caused: their budgets are frozen (raising a
+    dead cell's budget buys nothing) and the withheld increase is
+    redistributed to healthy violating pairs.
+    """
 
     attribute: str
     cell: CellKey
@@ -36,6 +42,7 @@ class BudgetDecision:
     old_budget: int
     new_budget: int
     saturated: bool
+    fault_attributed: bool = False
 
     @property
     def changed(self) -> bool:
@@ -108,7 +115,12 @@ class BudgetTuner:
             self._handler.set_budget(attribute, cell, self._config.initial)
             self._saturated[pair] = False
 
-    def tune(self, violations: Dict[PairKey, float]) -> List[BudgetDecision]:
+    def tune(
+        self,
+        violations: Dict[PairKey, float],
+        *,
+        degraded: FrozenSet[PairKey] = frozenset(),
+    ) -> List[BudgetDecision]:
         """Apply one round of budget adjustments.
 
         Parameters
@@ -117,18 +129,35 @@ class BudgetTuner:
             Last-batch percent rate violation ``N_v`` per (attribute, cell)
             pair, as produced by
             :meth:`repro.core.planner.QueryPlanner.violations`.
+        degraded:
+            Pairs whose shortfall the degradation tracker attributes to
+            faults.  A degraded *violating* pair's budget is frozen instead
+            of increased — its population is not answering, so more requests
+            only burn cost — and every frozen ``delta`` is pooled and
+            redistributed to the healthy violating pairs (worst violation
+            first, still capped at the limit): the engine self-heals by
+            spending where requests still buy tuples.
         """
         decisions: List[BudgetDecision] = []
+        withheld = 0
+        redistributable: List[int] = []
         for (attribute, cell), violation in violations.items():
             if violation < 0:
                 raise BudgetError("a rate violation percentage cannot be negative")
             pair = (attribute, cell)
             self.ensure_initial_budget(attribute, cell)
             old_budget = self._handler.budget_for(attribute, cell)
+            fault_attributed = pair in degraded
             if violation > self._config.violation_threshold:
-                desired = old_budget + self._config.delta
-                new_budget = min(desired, self._config.limit)
-                saturated = desired > self._config.limit or new_budget == self._config.limit
+                if fault_attributed:
+                    new_budget = old_budget
+                    saturated = False
+                    withheld += self._config.delta
+                else:
+                    desired = old_budget + self._config.delta
+                    new_budget = min(desired, self._config.limit)
+                    saturated = desired > self._config.limit or new_budget == self._config.limit
+                    redistributable.append(len(decisions))
             else:
                 new_budget = max(old_budget - self._config.delta, self._config.floor)
                 saturated = False
@@ -142,8 +171,34 @@ class BudgetTuner:
                 old_budget=old_budget,
                 new_budget=new_budget,
                 saturated=saturated,
+                fault_attributed=fault_attributed,
             )
             decisions.append(decision)
+        if withheld and redistributable:
+            # Worst healthy violation first; each grant is one delta quantum.
+            redistributable.sort(
+                key=lambda i: decisions[i].violation_percent, reverse=True
+            )
+            for i in redistributable:
+                if withheld < self._config.delta:
+                    break
+                decision = decisions[i]
+                if decision.new_budget >= self._config.limit:
+                    continue
+                boosted = min(
+                    decision.new_budget + self._config.delta, self._config.limit
+                )
+                withheld -= self._config.delta
+                self._handler.set_budget(decision.attribute, decision.cell, boosted)
+                saturated = boosted == self._config.limit
+                decisions[i] = replace(
+                    decision,
+                    new_budget=boosted,
+                    saturated=decision.saturated or saturated,
+                )
+                self._saturated[(decision.attribute, decision.cell)] = (
+                    decisions[i].saturated
+                )
         self._history.append(decisions)
         if (
             self._history_batches is not None

@@ -68,12 +68,13 @@ keep their original behaviour, so pre-session code keeps working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import EngineConfig
 from ..errors import PlanningError, QueryError, ViewError
+from ..faults import DegradationTracker, FaultInjector, SensorHealthMonitor
 from ..geometry import Grid
 from ..sensing import HandlerReport, IncentiveScheme, RequestResponseHandler, SensingWorld
 from ..storage import (
@@ -101,6 +102,9 @@ class EngineReport:
     handler: HandlerReport
     fabrication: BatchResult
     budget_decisions: List[BudgetDecision] = field(default_factory=list)
+    #: (attribute, cell) pairs the degradation tracker classified as
+    #: fault-degraded after this batch (empty without a ResilienceConfig).
+    degraded_pairs: FrozenSet[Tuple[str, CellKey]] = frozenset()
 
     @property
     def tuples_acquired(self) -> int:
@@ -111,6 +115,24 @@ class EngineReport:
     def tuples_delivered(self) -> int:
         """Tuples delivered to query result streams this batch."""
         return self.fabrication.tuples_delivered
+
+
+@dataclass(frozen=True)
+class ViolationInfo:
+    """One pair's rate violation of the last batch, fault-attributed.
+
+    ``fault_attributed`` separates shortfalls the degradation tracker pins
+    on faults (collapsed response rate — outage, quarantined population)
+    from planner error (budget still converging); ``response_rate`` is the
+    tracker's smoothed accepted-response rate for the pair (``None`` when
+    no resilience config is attached or the pair was never requested).
+    """
+
+    attribute: str
+    cell: CellKey
+    violation_percent: float
+    fault_attributed: bool
+    response_rate: Optional[float]
 
 
 @dataclass(frozen=True)
@@ -133,6 +155,9 @@ class QuerySessionInfo:
     batches_completed: int
     achieved_rate: Optional[float]
     views: int = 0
+    #: cells of this query currently classified as fault-degraded (empty
+    #: without a ResilienceConfig).
+    degraded_pairs: Tuple[CellKey, ...] = ()
 
 
 class _ReportsView(Sequence):
@@ -324,11 +349,33 @@ class CraqrEngine:
         self._world = world
         self._rng = np.random.default_rng(config.seed)
         self._grid = Grid(world.region, config.grid_side)
+        faults = (
+            FaultInjector(config.faults, world.state_arrays)
+            if config.faults is not None
+            else None
+        )
+        resilience = config.resilience
+        health = (
+            SensorHealthMonitor(resilience.health, world.state_arrays)
+            if resilience is not None and resilience.health is not None
+            else None
+        )
         self._handler = RequestResponseHandler(
             world,
             self._grid,
             default_budget=config.budget.initial,
             incentive=incentive,
+            faults=faults,
+            resilience=resilience,
+            health=health,
+        )
+        self._degradation = (
+            DegradationTracker(
+                threshold=resilience.degraded_response_rate,
+                alpha=resilience.degraded_alpha,
+            )
+            if resilience is not None
+            else None
         )
         self._discarded = DiscardedStore() if config.store_discarded else None
         self._planner = QueryPlanner(
@@ -412,6 +459,58 @@ class CraqrEngine:
     def discarded_store(self) -> Optional[DiscardedStore]:
         """The store of discarded tuples, when enabled."""
         return self._discarded
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The configured fault injector, if any."""
+        return self._handler.faults
+
+    @property
+    def health_monitor(self) -> Optional[SensorHealthMonitor]:
+        """The sensor-health monitor, if a resilience config attached one."""
+        return self._handler.health_monitor
+
+    @property
+    def degradation(self) -> Optional[DegradationTracker]:
+        """The per-(attribute, cell) degradation tracker, if any."""
+        return self._degradation
+
+    def degraded_pairs(self) -> FrozenSet[Tuple[str, CellKey]]:
+        """Pairs currently classified as fault-degraded (empty without
+        a :class:`~repro.faults.ResilienceConfig`)."""
+        if self._degradation is None:
+            return frozenset()
+        return self._degradation.degraded
+
+    def violations(self) -> List[ViolationInfo]:
+        """The last batch's rate violations with fault attribution.
+
+        One :class:`ViolationInfo` row per (attribute, cell) pair the
+        F-operators reported on, separating fault-attributed shortfalls
+        (degraded response rate — the tuner froze these budgets) from
+        planner error (budget still converging — the tuner acts on these).
+        Empty before the first batch.
+        """
+        if not self._reports:
+            return []
+        report = self._reports[-1]
+        rows: List[ViolationInfo] = []
+        for (attribute, cell), violation in report.fabrication.violations.items():
+            response_rate = (
+                self._degradation.response_rate_for(attribute, cell)
+                if self._degradation is not None
+                else None
+            )
+            rows.append(
+                ViolationInfo(
+                    attribute=attribute,
+                    cell=cell,
+                    violation_percent=violation,
+                    fault_attributed=(attribute, cell) in report.degraded_pairs,
+                    response_rate=response_rate,
+                )
+            )
+        return rows
 
     @property
     def reports(self) -> Sequence[EngineReport]:
@@ -745,11 +844,20 @@ class CraqrEngine:
     def sessions(self) -> List[QuerySessionInfo]:
         """One :class:`QuerySessionInfo` row per registered query."""
         rows: List[QuerySessionInfo] = []
+        degraded = self.degraded_pairs()
         for handle in self._handles.values():
             buffer = handle.buffer
             achieved: Optional[float] = None
             if buffer.batches_completed > 0:
                 achieved = handle.achieved_rate().achieved_rate
+            degraded_cells: Tuple[CellKey, ...] = ()
+            if degraded:
+                attribute = handle.query.attribute
+                degraded_cells = tuple(
+                    cell
+                    for cell in self._planner.cells_for_query(handle.query_id)
+                    if (attribute, cell) in degraded
+                )
             rows.append(
                 QuerySessionInfo(
                     label=handle.query.label,
@@ -766,6 +874,7 @@ class CraqrEngine:
                         for view in self._views.values()
                         if view.query_id == handle.query_id
                     ),
+                    degraded_pairs=degraded_cells,
                 )
             )
         return rows
@@ -802,7 +911,10 @@ class CraqrEngine:
             # Move the world forward to the end of the batch window.
             self._world.advance(duration)
             fabrication = self._fabricator.process_batch(tuples_by_cell)
-        decisions = self._tuner.tune(fabrication.violations)
+        degraded: FrozenSet[Tuple[str, CellKey]] = frozenset()
+        if self._degradation is not None:
+            degraded = self._degradation.update(handler_report)
+        decisions = self._tuner.tune(fabrication.violations, degraded=degraded)
         # Snapshot: a subscriber callback firing inside end_batch may
         # register or delete queries, mutating the buffer dict.
         self._ending_batch = True
@@ -819,6 +931,7 @@ class CraqrEngine:
             handler=handler_report,
             fabrication=fabrication,
             budget_decisions=decisions,
+            degraded_pairs=degraded,
         )
         self._reports.append(report)
         retention = self._config.retention_batches

@@ -1,0 +1,72 @@
+"""Per-(attribute, cell) degradation tracking.
+
+The :class:`DegradationTracker` is the engine-level bridge between fault
+symptoms and mitigation: it maintains an EWMA of each pair's *effective
+response rate* from the handler reports and classifies pairs whose EWMA
+collapses below a threshold as **degraded**.  Degraded pairs are the ones
+whose rate shortfall is fault-attributed rather than planner error — the
+budget tuner freezes their budgets (raising a dead cell's budget buys
+nothing) and redistributes the withheld deltas to healthy violating pairs,
+and the query surface (``violations()``, ``SHOW QUERIES``, ``health``)
+renders them distinctly.
+
+A pair that stops receiving requests altogether (for example because its
+entire population is quarantined) keeps its last EWMA: silence is not
+recovery.  Recovery requires observed responses pushing the EWMA back over
+the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+CellKey = Tuple[int, int]
+PairKey = Tuple[str, CellKey]
+
+
+class DegradationTracker:
+    """EWMA response-rate classifier over (attribute, cell) pairs."""
+
+    def __init__(self, *, threshold: float, alpha: float) -> None:
+        self._threshold = threshold
+        self._alpha = alpha
+        self._ewma: Dict[PairKey, float] = {}
+        self._degraded: FrozenSet[PairKey] = frozenset()
+
+    @property
+    def threshold(self) -> float:
+        """The response-rate EWMA below which a pair counts as degraded."""
+        return self._threshold
+
+    @property
+    def degraded(self) -> FrozenSet[PairKey]:
+        """The pairs currently classified as degraded."""
+        return self._degraded
+
+    def is_degraded(self, attribute: str, cell: CellKey) -> bool:
+        """Whether one pair is currently degraded."""
+        return (attribute, cell) in self._degraded
+
+    def response_rate_for(self, attribute: str, cell: CellKey) -> Optional[float]:
+        """The pair's smoothed response rate (``None`` before any requests)."""
+        return self._ewma.get((attribute, cell))
+
+    def update(self, report) -> FrozenSet[PairKey]:
+        """Fold one batch's :class:`~repro.sensing.HandlerReport` in.
+
+        Returns the post-update degraded set.  Pairs absent from the report
+        (or with zero requests) keep their previous EWMA and classification.
+        """
+        alpha = self._alpha
+        for pair, requests in report.per_cell_requests.items():
+            if requests <= 0:
+                continue
+            rate = report.per_cell_responses.get(pair, 0) / requests
+            previous = self._ewma.get(pair)
+            self._ewma[pair] = (
+                rate if previous is None else alpha * rate + (1.0 - alpha) * previous
+            )
+        self._degraded = frozenset(
+            pair for pair, ewma in self._ewma.items() if ewma < self._threshold
+        )
+        return self._degraded

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import AcquisitionError, BudgetError, GeometryError
+from ..faults import FaultInjector, ResilienceConfig, SensorHealthMonitor
 from ..geometry import Grid, GridCell
 from ..streams import SensorTuple, TupleBatch, make_tuple_id_allocator
 from .incentives import FlatIncentive, IncentiveScheme
@@ -55,13 +56,22 @@ class HandlerReport:
     Attributes
     ----------
     requests_sent:
-        Total requests dispatched this round.
+        Total requests dispatched this round (retry waves included).
     responses_received:
-        Total responses collected this round.
+        Total responses *accepted* this round — injected transit drops and
+        deadline timeouts are not received.
     per_cell_requests / per_cell_responses:
         Breakdown per ``(attribute, cell)`` pair.
     incentive_spent:
-        Total incentive paid this round.
+        Total incentive paid this round.  With a retry policy configured
+        incentives are paid per accepted response; otherwise per request.
+    timeouts / per_cell_timeouts:
+        Responses dropped for missing the configured response deadline.
+    drops_injected / per_cell_drops:
+        Responses lost in transit by the fault injector (simulator-side
+        ground truth, enabling fault attribution of rate shortfalls).
+    retries_sent / per_cell_retries:
+        Requests dispatched by retry waves (a subset of ``requests_sent``).
     """
 
     requests_sent: int = 0
@@ -69,6 +79,12 @@ class HandlerReport:
     per_cell_requests: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
     per_cell_responses: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
     incentive_spent: float = 0.0
+    timeouts: int = 0
+    drops_injected: int = 0
+    retries_sent: int = 0
+    per_cell_timeouts: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
+    per_cell_drops: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
+    per_cell_retries: Dict[Tuple[str, CellKey], int] = field(default_factory=dict)
 
     @property
     def response_rate(self) -> float:
@@ -76,6 +92,21 @@ class HandlerReport:
         if self.requests_sent == 0:
             return 0.0
         return self.responses_received / self.requests_sent
+
+    def response_rate_for(
+        self, attribute: str, cell: CellKey
+    ) -> Optional[float]:
+        """One pair's accepted-response rate, or ``None`` without requests.
+
+        ``None`` keeps "no requests were sent" (an empty or fully
+        quarantined cell) distinguishable from "requests were sent and none
+        were answered" (0.0) — conflating the two would make a silent cell
+        look like a total outage and vice versa.
+        """
+        sent = self.per_cell_requests.get((attribute, cell), 0)
+        if sent == 0:
+            return None
+        return self.per_cell_responses.get((attribute, cell), 0) / sent
 
 
 class RequestResponseHandler:
@@ -93,6 +124,22 @@ class RequestResponseHandler:
     incentive:
         Optional incentive scheme attached to every request; ``None`` means
         no payment (multiplier 1).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` corrupting responses
+        in transit (drops, stuck-at replay, outliers, latency inflation,
+        clock skew).  The injector draws from its own seeded stream, so
+        ``None`` leaves every path byte-identical to a fault-free build.
+    resilience:
+        Optional :class:`~repro.faults.ResilienceConfig`: response deadline
+        (late responses dropped as timeouts) and retry policy (failed
+        requests retried from a withheld per-cell reserve with replacement
+        draws; budgets are never exceeded and incentives are then paid per
+        accepted response only).
+    health:
+        Optional :class:`~repro.faults.SensorHealthMonitor`; when attached,
+        every wave's per-sensor outcome is reported to it and quarantined
+        rows are masked out of candidate populations (one extra mask AND in
+        the bucketing pass — it stays one pass).
     """
 
     def __init__(
@@ -102,6 +149,9 @@ class RequestResponseHandler:
         *,
         default_budget: int = 50,
         incentive: Optional[IncentiveScheme] = None,
+        faults: Optional[FaultInjector] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        health: Optional[SensorHealthMonitor] = None,
     ) -> None:
         if default_budget <= 0:
             raise BudgetError("default_budget must be positive")
@@ -110,6 +160,11 @@ class RequestResponseHandler:
         self._default_budget = default_budget
         self._budgets: Dict[Tuple[str, CellKey], int] = {}
         self._incentive = incentive
+        self._faults = faults
+        self._resilience = resilience
+        self._health = health
+        self._retry = resilience.retry if resilience is not None else None
+        self._deadline = resilience.deadline if resilience is not None else None
         self._allocate_tuple_id = make_tuple_id_allocator()
         self._total_requests = 0
         self._total_responses = 0
@@ -160,6 +215,35 @@ class RequestResponseHandler:
         """Number of acquisition rounds executed."""
         return self._rounds
 
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The attached fault injector, if any."""
+        return self._faults
+
+    @property
+    def resilience(self) -> Optional[ResilienceConfig]:
+        """The attached resilience configuration, if any."""
+        return self._resilience
+
+    @property
+    def health_monitor(self) -> Optional[SensorHealthMonitor]:
+        """The attached sensor-health monitor, if any."""
+        return self._health
+
+    @property
+    def _plain(self) -> bool:
+        """Whether the strict paths may run their pre-fault legacy bodies.
+
+        With no injector, no resilience and no health monitor the legacy
+        bodies execute byte-for-byte the pre-fault code, which is what pins
+        the "no FaultPlan -> byte-identical" contract.
+        """
+        return (
+            self._faults is None
+            and self._resilience is None
+            and self._health is None
+        )
+
     # ------------------------------------------------------------------
     # Acquisition
     # ------------------------------------------------------------------
@@ -184,6 +268,11 @@ class RequestResponseHandler:
         (sampling without replacement when enough sensors are available,
         with replacement otherwise, per the paper) spread uniformly over the
         batch window, and returns the tuples for the responses received.
+
+        With faults, resilience or health attached the round runs through
+        the shared strict wave implementation (:meth:`_acquire_cell_strict`)
+        and materialises its batch; otherwise the pre-fault body below runs
+        byte-for-byte.
         """
         field_model, budget, indices, key = self._start_round(
             attribute, cell, duration=duration
@@ -191,6 +280,12 @@ class RequestResponseHandler:
         report = report if report is not None else HandlerReport()
         if indices.size == 0:
             return []
+        if not self._plain:
+            batch = self._acquire_cell_strict(
+                attribute, field_model, budget, indices, key, cell,
+                duration=duration, report=report,
+            )
+            return [] if batch is None else batch.to_tuples()
         sensors = self._world.sensors_at(indices)
 
         # A round always dispatches exactly `budget` requests: count them
@@ -236,6 +331,8 @@ class RequestResponseHandler:
         field_model = self._world.field_for(attribute)
         budget = self.budget_for(attribute, cell.key)
         indices = self._world.sensor_indices_in_rectangle(cell.rect)
+        if self._health is not None and indices.size:
+            indices = indices[~self._world.state_arrays.quarantined[indices]]
         return field_model, budget, indices, (attribute, cell.key)
 
     def _round_payments(self, budget: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -283,6 +380,114 @@ class RequestResponseHandler:
         report.responses_received += count
         report.per_cell_responses[key] = report.per_cell_responses.get(key, 0) + count
 
+    @staticmethod
+    def _count_retries(report: HandlerReport, key, count: int) -> None:
+        report.retries_sent += count
+        report.per_cell_retries[key] = report.per_cell_retries.get(key, 0) + count
+
+    def _finalize_wave(
+        self,
+        attribute: str,
+        rows: np.ndarray,
+        request_times: np.ndarray,
+        segments: np.ndarray,
+        cell_keys: Tuple[CellKey, ...],
+        responded: np.ndarray,
+        latencies: np.ndarray,
+        values: np.ndarray,
+        report: HandlerReport,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Apply faults and the response deadline to one assembled wave.
+
+        Every acquisition path funnels its wave through here with the same
+        column layout — ``rows`` / ``request_times`` / ``segments`` per
+        request (``segments`` indexing ``cell_keys``), ``latencies`` /
+        ``values`` per response — so the injector consumes its private
+        stream identically regardless of the path, and drop/timeout
+        accounting lives in exactly one place.
+
+        Returns ``(accepted, response_times, accepted_values)``:
+        ``accepted`` is a boolean per request, the other two align with the
+        accepted responses in request order.  Response timestamps include
+        injected clock skew, clamped to the batch-window start so no tuple
+        predates its window (the views layer's frame contract).
+        """
+        resp_index = np.nonzero(responded)[0]
+        dropped = np.zeros(resp_index.size, dtype=bool)
+        skew = None
+        if self._faults is not None:
+            outcome = self._faults.apply_round(
+                attribute,
+                rows=rows,
+                request_times=request_times,
+                segments=segments,
+                cell_keys=cell_keys,
+                responded=responded,
+                latencies=latencies,
+                values=values,
+            )
+            dropped = outcome.dropped
+            latencies = outcome.latencies
+            values = outcome.values
+            skew = outcome.skew
+            if dropped.any():
+                counts = np.bincount(
+                    segments[resp_index[dropped]], minlength=len(cell_keys)
+                )
+                for key, count in zip(cell_keys, counts):
+                    if count:
+                        pair = (attribute, key)
+                        report.per_cell_drops[pair] = (
+                            report.per_cell_drops.get(pair, 0) + int(count)
+                        )
+                report.drops_injected += int(dropped.sum())
+        if self._deadline is not None and resp_index.size:
+            timed_out = ~dropped & (np.asarray(latencies) > self._deadline)
+            if timed_out.any():
+                counts = np.bincount(
+                    segments[resp_index[timed_out]], minlength=len(cell_keys)
+                )
+                for key, count in zip(cell_keys, counts):
+                    if count:
+                        pair = (attribute, key)
+                        report.per_cell_timeouts[pair] = (
+                            report.per_cell_timeouts.get(pair, 0) + int(count)
+                        )
+                report.timeouts += int(timed_out.sum())
+                dropped = dropped | timed_out
+        accepted = responded.copy()
+        keep = ~dropped
+        if dropped.any():
+            accepted[resp_index[dropped]] = False
+        times = request_times[resp_index[keep]] + np.asarray(latencies)[keep]
+        if skew is not None:
+            times = np.maximum(times + skew[keep], self._world.now)
+        accepted_values = np.asarray(values)[keep]
+        if self._health is not None:
+            self._health.observe(rows, accepted)
+            self._health.observe_values(attribute, rows[accepted], accepted_values)
+        return accepted, times, accepted_values
+
+    def _settle_wave_payments(
+        self, payments: np.ndarray, accepted: np.ndarray, report: HandlerReport
+    ) -> np.ndarray:
+        """Pay-on-accept settlement of one retry-mode wave.
+
+        Payments were drawn (and recorded by the scheme) per request; the
+        unaccepted requests' share is refunded so only accepted responses
+        cost anything.  Returns the accepted responses' payments (the
+        batch's ``incentive`` extra column).
+        """
+        accepted_payments = payments[accepted]
+        report.incentive_spent += float(accepted_payments.sum())
+        if self._incentive is not None:
+            rejected = ~accepted
+            refund = float(payments[rejected].sum())
+            count = int(rejected.sum())
+            if count:
+                self._incentive.refund(refund, count)
+        return accepted_payments
+
     def acquire_cell_batch(
         self,
         attribute: str,
@@ -304,9 +509,11 @@ class RequestResponseHandler:
         In fast-sim mode (``WorldConfig.vectorized_rng``) the round instead
         samples the whole cell population at once from the world's shared
         stream: participation decisions, latencies and phenomenon values are
-        single vectorised draws over the SoA columns (see
-        :meth:`_acquire_cell_batch_fast`).  Stateful models that implement
-        the vector-state protocol (fatigue, distance decay) are decided
+        single vectorised draws over the SoA columns, served by the fused
+        round (:meth:`_acquire_fused_round`) with this cell as its only
+        segment — so fault injection, deadlines and retries exist in exactly
+        one fast-sim implementation.  Stateful models that implement the
+        vector-state protocol (fatigue, distance decay) are decided
         vectorially through their participation group; only cells containing
         a sensor whose model supports neither stationary ``vector_params``
         nor vector state fall back to the exact per-sensor round.
@@ -321,7 +528,12 @@ class RequestResponseHandler:
         if world.vectorized and bool(
             np.all(world.state_arrays.vector_participation[indices])
         ):
-            return self._acquire_cell_batch_fast(
+            return self._acquire_fused_round(
+                attribute, field_model, [cell], [indices],
+                duration=duration, report=report,
+            )
+        if not self._plain:
+            return self._acquire_cell_strict(
                 attribute, field_model, budget, indices, key, cell,
                 duration=duration, report=report,
             )
@@ -383,7 +595,7 @@ class RequestResponseHandler:
             },
         )
 
-    def _acquire_cell_batch_fast(
+    def _acquire_cell_strict(
         self,
         attribute: str,
         field_model,
@@ -394,78 +606,164 @@ class RequestResponseHandler:
         *,
         duration: float,
         report: HandlerReport,
-    ):
-        """One fast-sim acquisition round, vectorised across the cell population.
+    ) -> Optional[TupleBatch]:
+        """Exact per-sensor acquisition with faults, deadline and retries.
 
-        Instead of answering each chosen sensor from its private stream, the
-        whole round draws from the world's shared generator: one uniform
-        draw decides every participation outcome against the per-row
-        response probabilities (stationary SoA parameter columns, or the
-        vector-state protocol for stateful participation groups — see
-        :meth:`_vector_response_probabilities`), one exponential draw
-        produces every latency, and one ``field.values`` call senses every
-        response at the responders' current SoA positions.
-        :meth:`acquire_cell_batch` dispatches here only when every sensor in
-        the cell exposes vectorisable participation (``indices`` is the
-        non-empty cell population it already resolved).
-
-        Note: unlike the per-sensor paths, fast-sim does not journal
-        observations into each sensor's local memory — at fast-sim scale the
-        per-sensor journals are dead weight; request/response counters are
-        still maintained (vectorially) in the SoA.
+        The shared strict implementation behind both :meth:`acquire_cell`
+        and :meth:`acquire_cell_batch` whenever faults, resilience or health
+        are attached: waves of requests are answered per sensor from the
+        sensors' private streams (grouped exactly like the plain columnar
+        body, so for a given seed both public paths produce identical
+        observations and tuple ids), assembled into request-order columns
+        and funnelled through :meth:`_finalize_wave`.  With a retry policy
+        configured, a reserve of the cell budget is withheld from the first
+        wave and failed requests are retried with replacement draws from the
+        not-yet-contacted population; the cell budget is never exceeded.
         """
         world = self._world
-        soa = world.state_arrays
-        self._count_requests(report, key, budget)
-        chosen_indices, request_times = self._sample_requests(
-            indices.size, budget, duration
-        )
-        payments, multipliers = self._round_payments(budget)
-        report.incentive_spent += float(payments.sum())
-
-        rows = indices[np.asarray(chosen_indices)]
-        probabilities = self._vector_response_probabilities(
-            rows, request_times, multipliers
-        )
-        self._vector_commit_round(rows, request_times)
         rng = world.rng
-        responds = rng.random(budget) < probabilities
-        # Rows repeat only when the cell held fewer sensors than the budget
-        # (sampling with replacement); repeats need the unbuffered
-        # scatter-add, unique rows take the cheaper fancy-index increment.
-        unique_rows = indices.size >= budget
-        if unique_rows:
-            soa.requests_received[rows] += 1
+        sensors = world.sensors_at(indices)
+        population = len(sensors)
+        retry = self._retry
+        if retry is None:
+            reserve = 0
+            wave_budget = budget
+            attempts = 1
         else:
-            np.add.at(soa.requests_received, rows, 1)
-        count = int(responds.sum())
-        self._count_responses(report, key, count)
-        if count == 0:
+            reserve = min(int(budget * retry.reserve_fraction), budget - 1)
+            reserve = max(reserve, 0)
+            wave_budget = budget - reserve
+            attempts = retry.max_attempts
+        contacted = np.zeros(population, dtype=bool)
+        cell_keys = (cell.key,)
+        t_parts: List[np.ndarray] = []
+        x_parts: List[np.ndarray] = []
+        y_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        sensor_parts: List[np.ndarray] = []
+        payment_parts: List[np.ndarray] = []
+        failures = 0
+        for wave in range(attempts):
+            if wave == 0:
+                chosen, request_times = self._sample_requests(
+                    population, wave_budget, duration
+                )
+            else:
+                size = min(failures, reserve)
+                if size <= 0:
+                    break
+                reserve -= size
+                fresh = np.nonzero(~contacted)[0]
+                # Replacement draws from the not-yet-contacted population;
+                # an exhausted population falls back to with-replacement
+                # over everyone (matching the paper's undersized-cell rule).
+                if fresh.size >= size:
+                    chosen = fresh[rng.choice(fresh.size, size=size, replace=False)]
+                else:
+                    chosen = rng.choice(population, size=size, replace=True)
+                t_start = world.now
+                request_times = np.sort(
+                    rng.uniform(t_start, t_start + duration, size=size)
+                )
+                self._count_retries(report, key, size)
+            chosen = np.asarray(chosen)
+            contacted[chosen] = True
+            n = chosen.shape[0]
+            self._count_requests(report, key, n)
+            payments, multipliers = self._round_payments(n)
+            if retry is None:
+                report.incentive_spent += float(payments.sum())
+
+            positions: List[np.ndarray] = []
+            wave_t: List[np.ndarray] = []
+            wave_x: List[np.ndarray] = []
+            wave_y: List[np.ndarray] = []
+            wave_v: List[np.ndarray] = []
+            wave_sid: List[np.ndarray] = []
+            for index in np.unique(chosen):
+                mask = chosen == index
+                sensor = sensors[int(index)]
+                answered, response_times, xs, ys, values = sensor.handle_requests(
+                    field_model,
+                    request_times[mask],
+                    incentive_multiplier=multipliers[mask],
+                )
+                if response_times.shape[0] == 0:
+                    continue
+                positions.append(np.nonzero(mask)[0][answered])
+                wave_t.append(response_times)
+                wave_x.append(xs)
+                wave_y.append(ys)
+                wave_v.append(np.asarray(values))
+                wave_sid.append(
+                    np.full(response_times.shape[0], sensor.sensor_id, dtype=np.int64)
+                )
+
+            responded = np.zeros(n, dtype=bool)
+            if positions:
+                all_positions = np.concatenate(positions)
+                order = np.argsort(all_positions, kind="stable")
+                ordered_positions = all_positions[order]
+                responded[ordered_positions] = True
+                latencies = (
+                    np.concatenate(wave_t)[order] - request_times[ordered_positions]
+                )
+                values_arr = np.concatenate(wave_v)[order]
+                xs_arr = np.concatenate(wave_x)[order]
+                ys_arr = np.concatenate(wave_y)[order]
+                sid_arr = np.concatenate(wave_sid)[order]
+            else:
+                latencies = np.empty(0)
+                values_arr = np.empty(0, dtype=object)
+                xs_arr = ys_arr = np.empty(0)
+                sid_arr = np.empty(0, dtype=np.int64)
+
+            accepted, times, accepted_values = self._finalize_wave(
+                attribute,
+                indices[chosen],
+                request_times,
+                np.zeros(n, dtype=np.int64),
+                cell_keys,
+                responded,
+                latencies,
+                values_arr,
+                report,
+            )
+            if retry is None:
+                accepted_payments = payments[accepted]
+            else:
+                accepted_payments = self._settle_wave_payments(
+                    payments, accepted, report
+                )
+            accepted_count = int(accepted.sum())
+            self._count_responses(report, key, accepted_count)
+            if accepted_count:
+                # Accepted responses, filtered in request order.
+                resp_keep = accepted[np.nonzero(responded)[0]]
+                t_parts.append(times)
+                x_parts.append(xs_arr[resp_keep])
+                y_parts.append(ys_arr[resp_keep])
+                value_parts.append(accepted_values)
+                sensor_parts.append(sid_arr[resp_keep])
+                payment_parts.append(accepted_payments)
+            failures = n - accepted_count
+            if failures == 0:
+                break
+
+        if not t_parts:
             return None
-        respond_rows = rows[responds]
-        if unique_rows:
-            soa.responses_sent[respond_rows] += 1
-        else:
-            np.add.at(soa.responses_sent, respond_rows, 1)
-        latency_means = soa.latency_mean[respond_rows]
-        # Exp(scale m) == m * Exp(1): one draw serves every per-sensor mean
-        # (zero means yield zero latency).
-        latencies = rng.exponential(1.0, count) * latency_means
-        respond_times = request_times[responds]
-        xs = soa.x[respond_rows]
-        ys = soa.y[respond_rows]
-        values = field_model.values(respond_times, xs, ys, rng=rng)
+        count = sum(part.shape[0] for part in t_parts)
         return TupleBatch(
             attribute,
-            respond_times + latencies,
-            xs,
-            ys,
-            np.asarray(values),
-            soa.sensor_ids[respond_rows],
+            np.concatenate(t_parts),
+            np.concatenate(x_parts),
+            np.concatenate(y_parts),
+            np.concatenate(value_parts),
+            np.concatenate(sensor_parts),
             self._allocate_tuple_ids(count),
             extra={
                 "cell": self._cell_column(cell, count),
-                "incentive": payments[responds],
+                "incentive": np.concatenate(payment_parts),
             },
         )
 
@@ -535,6 +833,8 @@ class RequestResponseHandler:
             (region.x_min <= xs) & (xs <= region.x_max)
             & (region.y_min <= ys) & (ys <= region.y_max)
         )
+        if self._health is not None and soa.quarantined.any():
+            inside = inside & ~soa.quarantined
         if inside.all():
             # The common case (no mobility model escapes the region): work
             # on the columns directly, and the argsort result doubles as
@@ -633,10 +933,10 @@ class RequestResponseHandler:
     ) -> Optional[TupleBatch]:
         """Fused fast-sim acquisition: all of one attribute's cells in one round.
 
-        The population-level :meth:`_acquire_cell_batch_fast` still ran once
-        per ``(attribute, cell)`` pair — one containment mask, one
-        participation draw, one latency draw, one ``field.values`` call and
-        one :class:`TupleBatch` per cell.  This round fuses all requested
+        A population-level fast round still ran once per ``(attribute,
+        cell)`` pair — one containment mask, one participation draw, one
+        latency draw, one ``field.values`` call and one :class:`TupleBatch`
+        per cell.  This round fuses all requested
         cells of an attribute: every cell population is resolved by a single
         bucketing pass (:meth:`_resolve_cell_populations`), the chosen rows
         of all cells are concatenated, and the whole attribute is served
@@ -864,6 +1164,13 @@ class RequestResponseHandler:
         order-statistics draw (:meth:`_fused_request_times`), and
         participation, latencies and sensing are single vectorised draws
         over the concatenated rows.
+
+        With faults, resilience or health attached every wave funnels
+        through :meth:`_run_fused_wave` / :meth:`_finalize_wave` (the same
+        column protocol as the strict path, still one vectorised pass per
+        wave) and a retry policy withholds a per-cell reserve from the
+        first wave exactly as in :meth:`_acquire_cell_strict`; without any
+        of them, the single-wave body below runs unchanged.
         """
         if not cells:
             return None
@@ -875,6 +1182,11 @@ class RequestResponseHandler:
         budgets = np.array(
             [self.budget_for(attribute, key) for key in fused_key], dtype=np.int64
         )
+        if not self._plain:
+            return self._acquire_fused_resilient(
+                attribute, field_model, cells, populations, fused_key, budgets,
+                duration=duration, report=report, round_cache=round_cache,
+            )
         total = int(budgets.sum())
         rows, replacement_used = self._fused_sensor_choices(
             populations,
@@ -939,6 +1251,226 @@ class RequestResponseHandler:
             },
         )
 
+    def _run_fused_wave(
+        self,
+        attribute: str,
+        field_model,
+        fused_key: Tuple[CellKey, ...],
+        rows: np.ndarray,
+        request_times: np.ndarray,
+        segments: np.ndarray,
+        replacement_used: bool,
+        report: HandlerReport,
+    ):
+        """Serve one fused wave under faults/resilience, fully vectorised.
+
+        Draws participation, latencies and phenomenon values exactly like
+        the plain fused round, then funnels the wave through
+        :meth:`_finalize_wave` for fault injection, the response deadline
+        and health observation.  Returns the accepted columns (in request
+        order) plus the per-cell accepted counts the retry loop needs.
+        """
+        world = self._world
+        soa = world.state_arrays
+        rng = world.rng
+        n = rows.size
+        payments, multipliers = self._round_payments(n)
+        probabilities = self._vector_response_probabilities(
+            rows, request_times, multipliers
+        )
+        self._vector_commit_round(rows, request_times)
+        responds = rng.random(n) < probabilities
+        if replacement_used:
+            np.add.at(soa.requests_received, rows, 1)
+        else:
+            soa.requests_received[rows] += 1
+        count = int(responds.sum())
+        respond_rows = rows[responds]
+        if replacement_used:
+            np.add.at(soa.responses_sent, respond_rows, 1)
+        else:
+            soa.responses_sent[respond_rows] += 1
+        latencies = rng.exponential(1.0, count) * soa.latency_mean[respond_rows]
+        respond_times = request_times[responds]
+        xs = soa.x[respond_rows]
+        ys = soa.y[respond_rows]
+        if count:
+            values = np.asarray(field_model.values(respond_times, xs, ys, rng=rng))
+        else:
+            values = np.empty(0)
+
+        accepted, times, accepted_values = self._finalize_wave(
+            attribute,
+            rows,
+            request_times,
+            segments,
+            fused_key,
+            responds,
+            latencies,
+            values,
+            report,
+        )
+        if self._retry is None:
+            report.incentive_spent += float(payments.sum())
+            accepted_payments = payments[accepted]
+        else:
+            accepted_payments = self._settle_wave_payments(
+                payments, accepted, report
+            )
+        accepted_counts = np.bincount(segments[accepted], minlength=len(fused_key))
+        for key, cell_count in zip(fused_key, accepted_counts):
+            self._count_responses(report, (attribute, key), int(cell_count))
+        resp_keep = accepted[np.nonzero(responds)[0]]
+        return (
+            times,
+            xs[resp_keep],
+            ys[resp_keep],
+            accepted_values,
+            soa.sensor_ids[respond_rows[resp_keep]],
+            accepted_payments,
+            segments[accepted],
+            accepted_counts,
+        )
+
+    def _acquire_fused_resilient(
+        self,
+        attribute: str,
+        field_model,
+        cells: List[GridCell],
+        populations: List[np.ndarray],
+        fused_key: Tuple[CellKey, ...],
+        budgets_full: np.ndarray,
+        *,
+        duration: float,
+        report: HandlerReport,
+        round_cache: Optional[dict] = None,
+    ) -> Optional[TupleBatch]:
+        """The fused round's fault/resilience wave loop.
+
+        Wave 0 serves every cell with its budget minus the retry reserve;
+        each later wave retries the failed requests of every cell from its
+        withheld reserve with replacement draws from the not-yet-contacted
+        population (falling back to with-replacement over the whole cell
+        when exhausted).  Per-cell budgets are never exceeded.
+        """
+        world = self._world
+        rng = world.rng
+        m = len(cells)
+        retry = self._retry
+        if retry is None:
+            reserves = np.zeros(m, dtype=np.int64)
+            wave_budgets = budgets_full
+            attempts = 1
+        else:
+            reserves = np.minimum(
+                (budgets_full * retry.reserve_fraction).astype(np.int64),
+                budgets_full - 1,
+            )
+            np.maximum(reserves, 0, out=reserves)
+            wave_budgets = budgets_full - reserves
+            attempts = retry.max_attempts
+
+        contacted: List[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(m)
+        ]
+        t_parts: List[np.ndarray] = []
+        x_parts: List[np.ndarray] = []
+        y_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        sensor_parts: List[np.ndarray] = []
+        payment_parts: List[np.ndarray] = []
+        segment_parts: List[np.ndarray] = []
+        failures = np.zeros(m, dtype=np.int64)
+        for wave in range(attempts):
+            if wave == 0:
+                rows, replacement_used = self._fused_sensor_choices(
+                    populations,
+                    wave_budgets,
+                    rng,
+                    round_cache=round_cache,
+                    cache_key=("choices", fused_key),
+                )
+                sizes = wave_budgets
+            else:
+                want = np.minimum(failures, reserves)
+                if not want.any():
+                    break
+                reserves = reserves - want
+                replacement_used = False
+                retry_parts: List[np.ndarray] = []
+                for i in range(m):
+                    k = int(want[i])
+                    if k == 0:
+                        continue
+                    population = populations[i]
+                    fresh = np.setdiff1d(population, contacted[i])
+                    # Replacement draws: fresh sensors first, falling back
+                    # to with-replacement over the whole cell population.
+                    if fresh.size >= k:
+                        retry_parts.append(
+                            fresh[rng.choice(fresh.size, size=k, replace=False)]
+                        )
+                    else:
+                        retry_parts.append(
+                            population[
+                                rng.choice(population.size, size=k, replace=True)
+                            ]
+                        )
+                        replacement_used = True
+                    key = (attribute, fused_key[i])
+                    self._count_retries(report, key, k)
+                rows = np.concatenate(retry_parts)
+                sizes = want
+            segments = np.repeat(np.arange(m), sizes)
+            request_times = world.now + self._fused_request_times(
+                sizes, duration, rng
+            )
+            for key, size in zip(fused_key, sizes):
+                if size:
+                    self._count_requests(report, (attribute, key), int(size))
+            # Record who was contacted before serving: retry draws of the
+            # next wave must exclude this wave's rows.
+            bounds = np.cumsum(sizes)[:-1]
+            for i, part in enumerate(np.split(rows, bounds)):
+                if part.size:
+                    contacted[i] = np.concatenate((contacted[i], part))
+            (
+                times, xs, ys, values, sensor_ids, payments, seg_accepted,
+                accepted_counts,
+            ) = self._run_fused_wave(
+                attribute, field_model, fused_key, rows, request_times,
+                segments, replacement_used, report,
+            )
+            if times.size:
+                t_parts.append(times)
+                x_parts.append(xs)
+                y_parts.append(ys)
+                value_parts.append(values)
+                sensor_parts.append(sensor_ids)
+                payment_parts.append(payments)
+                segment_parts.append(seg_accepted)
+            failures = np.asarray(sizes, dtype=np.int64) - accepted_counts
+            if retry is None or not failures.any():
+                break
+
+        if not t_parts:
+            return None
+        count = sum(part.shape[0] for part in t_parts)
+        cell_keys = np.array(fused_key, dtype=np.int64)
+        return TupleBatch(
+            attribute,
+            np.concatenate(t_parts),
+            np.concatenate(x_parts),
+            np.concatenate(y_parts),
+            np.concatenate(value_parts),
+            np.concatenate(sensor_parts),
+            self._allocate_tuple_ids(count),
+            extra={
+                "cell": cell_keys[np.concatenate(segment_parts)],
+                "incentive": np.concatenate(payment_parts),
+            },
+        )
+
     def acquire(
         self,
         attribute_cells: Dict[str, List[GridCell]],
@@ -972,6 +1504,8 @@ class RequestResponseHandler:
                     tuples_by_cell.setdefault(cell.key, []).extend(items)
         for items in tuples_by_cell.values():
             items.sort(key=lambda item: item.t)
+        if self._health is not None:
+            self._health.commit_round()
         self._rounds += 1
         return tuples_by_cell, report
 
@@ -1011,6 +1545,8 @@ class RequestResponseHandler:
                 )
                 if batch is not None and len(batch):
                     batches[attribute] = batch
+            if self._health is not None:
+                self._health.commit_round()
             self._rounds += 1
             return batches, report
         per_attribute: Dict[str, List[TupleBatch]] = {}
@@ -1021,6 +1557,8 @@ class RequestResponseHandler:
                 )
                 if batch is not None and len(batch):
                     per_attribute.setdefault(attribute, []).append(batch)
+        if self._health is not None:
+            self._health.commit_round()
         self._rounds += 1
         return (
             {

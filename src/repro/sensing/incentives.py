@@ -58,6 +58,21 @@ class IncentiveScheme(ABC):
         self._total_spent += amount
         self._payments += 1
 
+    def refund(self, amount: float, count: int) -> None:
+        """Undo payments attached to requests that were never accepted.
+
+        With a retry policy configured the handler pays incentives only for
+        accepted responses: payments are drawn (and recorded) per request as
+        usual, then the unaccepted requests' share is refunded so
+        :attr:`total_spent` / :attr:`payments` count paid responses only.
+        """
+        if amount < 0 or count < 0:
+            raise CraqrError("refund amount and count must be non-negative")
+        if count > self._payments or amount > self._total_spent + 1e-9:
+            raise CraqrError("cannot refund more than was recorded")
+        self._total_spent = max(self._total_spent - amount, 0.0)
+        self._payments -= count
+
     @abstractmethod
     def payment_for_request(self) -> float:
         """Payment attached to the next acquisition request."""

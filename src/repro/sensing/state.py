@@ -141,6 +141,12 @@ class SensorStateArrays:
         whose probabilities come from the vector-state protocol
         (``vector_probabilities`` over the model's state columns);
         ``-1`` for rows decided from the stationary parameter columns.
+    ``reliability, quarantined``
+        Server-side health state maintained by
+        :class:`repro.faults.SensorHealthMonitor`: a reliability EWMA of the
+        sensor's accepted/requested ratio (1.0 until observed) and the
+        quarantine mask the handler ANDs into its candidate populations.
+        Inert (all-ones / all-False) unless a health monitor is attached.
 
     Stateful participation models additionally allocate named *extra*
     columns (e.g. a fatigue level) via :meth:`ensure_column`; they are
@@ -151,7 +157,8 @@ class SensorStateArrays:
         "x", "y", "vx", "vy", "target_x", "target_y", "pause_remaining",
         "sensor_ids", "requests_received", "responses_sent",
         "p_base", "p_max", "latency_mean", "incentive_sensitive",
-        "vector_participation", "participation_group", "_extra_columns",
+        "vector_participation", "participation_group",
+        "reliability", "quarantined", "_extra_columns",
     )
 
     def __init__(self, count: int) -> None:
@@ -173,6 +180,8 @@ class SensorStateArrays:
         self.incentive_sensitive = np.zeros(count, dtype=bool)
         self.vector_participation = np.zeros(count, dtype=bool)
         self.participation_group = np.full(count, -1, dtype=np.int64)
+        self.reliability = np.ones(count, dtype=np.float64)
+        self.quarantined = np.zeros(count, dtype=bool)
         self._extra_columns: Dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:

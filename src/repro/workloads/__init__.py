@@ -4,9 +4,15 @@ from .queries import random_query_workload, overlapping_query_workload, fig2_que
 from .scenarios import (
     Scenario,
     build_rain_temperature_world,
+    build_stationary_world,
     build_uniform_world,
     build_hotspot_world,
+    cell_outage_plan,
+    cell_outage_scenario,
     default_engine_config,
+    default_resilience_config,
+    flaky_crowd_plan,
+    flaky_crowd_scenario,
 )
 from .generators import synthetic_inhomogeneous_batch, synthetic_homogeneous_batch
 
@@ -16,9 +22,15 @@ __all__ = [
     "fig2_queries",
     "Scenario",
     "build_rain_temperature_world",
+    "build_stationary_world",
     "build_uniform_world",
     "build_hotspot_world",
+    "cell_outage_plan",
+    "cell_outage_scenario",
     "default_engine_config",
+    "default_resilience_config",
+    "flaky_crowd_plan",
+    "flaky_crowd_scenario",
     "synthetic_inhomogeneous_batch",
     "synthetic_homogeneous_batch",
 ]

@@ -8,10 +8,18 @@ identical, reproducible setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from ..config import BudgetConfig, EngineConfig
+from ..faults import (
+    BurstDropModel,
+    CellOutage,
+    FaultPlan,
+    HealthConfig,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from ..geometry import Rectangle
 from ..sensing import (
     BernoulliParticipation,
@@ -19,6 +27,7 @@ from ..sensing import (
     RainField,
     RandomWaypointMobility,
     SensingWorld,
+    StationaryMobility,
     TemperatureField,
     WorldConfig,
 )
@@ -203,4 +212,184 @@ def hotspot_scenario(**kwargs) -> Scenario:
         ),
         world=build_hotspot_world(**kwargs),
         config=default_engine_config(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-injection scenarios (robustness experiments)
+# ----------------------------------------------------------------------
+
+def default_resilience_config(
+    *,
+    deadline: float = 0.6,
+    max_attempts: int = 3,
+    reserve_fraction: float = 0.25,
+    probation: bool = True,
+    quarantine_batches: int = 3,
+    degraded_response_rate: float = 0.25,
+) -> ResilienceConfig:
+    """The mitigation bundle the fault scenarios switch on.
+
+    ``probation=False`` makes sensor quarantine permanent — the
+    mitigation-disabled baseline of the outage recovery regression, whose
+    delivered rate must *not* recover after the outage ends.
+    """
+    return ResilienceConfig(
+        deadline=deadline,
+        retry=RetryPolicy(
+            max_attempts=max_attempts, reserve_fraction=reserve_fraction
+        ),
+        health=HealthConfig(
+            probation=probation, quarantine_batches=quarantine_batches
+        ),
+        degraded_response_rate=degraded_response_rate,
+    )
+
+
+def flaky_crowd_plan(*, seed: int = 23) -> FaultPlan:
+    """A little of everything going wrong: the general-robustness stress mix.
+
+    i.i.d. and bursty transit drops, a few stuck-at sensors, occasional
+    gross outliers on numeric attributes, latency spikes past the default
+    response deadline, and bounded clock skew.
+    """
+    return FaultPlan(
+        seed=seed,
+        drop_probability=0.12,
+        burst=BurstDropModel(enter_probability=0.04, exit_probability=0.3),
+        stuck_fraction=0.04,
+        outlier_probability=0.05,
+        outlier_scale=30.0,
+        latency_inflation_probability=0.12,
+        latency_inflation_factor=10.0,
+        clock_skew_max=0.02,
+    )
+
+
+def flaky_crowd_scenario(
+    *,
+    sensor_count: int = 300,
+    seed: int = 11,
+    fault_seed: int = 23,
+    mitigation: bool = True,
+) -> Scenario:
+    """The rain + temperature city served by an unreliable crowd.
+
+    Every fault class of the :class:`~repro.faults.FaultPlan` fires at a
+    moderate rate; with ``mitigation`` (the default) the engine answers
+    with deadlines, retries, quarantine and degradation-aware budget
+    tuning.
+    """
+    config = replace(
+        default_engine_config(),
+        faults=flaky_crowd_plan(seed=fault_seed),
+        resilience=default_resilience_config() if mitigation else None,
+    )
+    return Scenario(
+        name="flaky-crowd",
+        description=(
+            "The rain + temperature city with an unreliable crowd: transit "
+            "drops (i.i.d. + bursty), stuck-at sensors, outlier spikes, "
+            "latency inflation and clock skew, answered by deadlines, "
+            "retries and sensor-health quarantine."
+        ),
+        world=build_rain_temperature_world(sensor_count=sensor_count, seed=seed),
+        config=config,
+    )
+
+
+def build_stationary_world(
+    *,
+    sensor_count: int = 240,
+    seed: Optional[int] = 19,
+    region: Rectangle = DEFAULT_REGION,
+    response_probability: float = 0.8,
+) -> SensingWorld:
+    """A traditional-WSN world: sensors never move.
+
+    The outage regression pins recovery on the *same* population that
+    suffered the outage — mobile sensors wandering into a dead cell would
+    mask a failed re-admission, so the outage scenarios hold every sensor
+    still.
+    """
+    world = SensingWorld(
+        WorldConfig(region=region, sensor_count=sensor_count, seed=seed),
+        mobility_factory=lambda r: StationaryMobility(r),
+        participation_factory=lambda sensor_id: BernoulliParticipation(
+            response_probability, mean_latency=0.05
+        ),
+    )
+    world.register_field(TemperatureField(region))
+    return world
+
+
+def cell_outage_plan(
+    *,
+    seed: int = 29,
+    start: float = 4.0,
+    end: float = 10.0,
+    cells: Optional[Tuple[Tuple[int, int], ...]] = ((0, 0), (1, 0), (0, 1), (1, 1)),
+    moving: bool = False,
+    grid_side: int = 4,
+    column_batches: float = 3.0,
+) -> FaultPlan:
+    """A total cell outage window — static, or sweeping across the grid.
+
+    The static form blacks out ``cells`` for ``[start, end)``.  With
+    ``moving`` the outage instead sweeps one grid *column* at a time from
+    left to right, ``column_batches`` time units per column starting at
+    ``start`` (``cells`` is ignored) — the moving-window stress for
+    quarantine/probation churn.
+    """
+    if moving:
+        outages = tuple(
+            CellOutage(
+                start=start + q * column_batches,
+                end=start + (q + 1) * column_batches,
+                cells=tuple((q, r) for r in range(grid_side)),
+            )
+            for q in range(grid_side)
+        )
+    else:
+        outages = (CellOutage(start=start, end=end, cells=cells),)
+    return FaultPlan(seed=seed, outages=outages)
+
+
+def cell_outage_scenario(
+    *,
+    sensor_count: int = 240,
+    seed: int = 19,
+    fault_seed: int = 29,
+    outage_start: float = 4.0,
+    outage_end: float = 10.0,
+    moving: bool = False,
+    mitigation: bool = True,
+) -> Scenario:
+    """A stationary-crowd world whose lower-left quadrant goes dark.
+
+    From ``outage_start`` to ``outage_end`` (sim time; one batch = one
+    unit) every response from the affected cells is lost.  The health
+    monitor quarantines the silent sensors; with ``mitigation`` they are
+    re-admitted on probation after the window and the delivered rate
+    recovers, while the ``mitigation=False`` baseline (permanent
+    quarantine, no degradation-aware tuning) stays dark — the recovery
+    regression of the robustness suite.  ``moving=True`` sweeps the outage
+    across grid columns instead.
+    """
+    config = replace(
+        default_engine_config(),
+        faults=cell_outage_plan(
+            seed=fault_seed, start=outage_start, end=outage_end, moving=moving
+        ),
+        resilience=default_resilience_config(probation=mitigation),
+    )
+    return Scenario(
+        name="cell-outage" + ("-moving" if moving else ""),
+        description=(
+            "A stationary crowd with a total outage window over "
+            + ("a sweep of grid columns" if moving else "the lower-left cells")
+            + "; quarantine + probation re-admission drive post-outage recovery."
+        ),
+        world=build_stationary_world(sensor_count=sensor_count, seed=seed),
+        config=config,
     )

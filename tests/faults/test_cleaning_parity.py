@@ -1,0 +1,94 @@
+"""Cleaning-operator parity on fault-corrupted streams.
+
+The error-mitigation operators are the engine's last line of defence
+against an injected fault plan, so their object and columnar paths must
+agree *exactly* on what they discard or repair when the stream is heavy
+with injected outliers — a drift between the two accounting paths would
+silently skew every downstream rate estimate.
+"""
+
+import numpy as np
+
+from repro.core.pmat import ClampOperator, OutlierFilterOperator
+from repro.faults import FaultPlan
+from repro.geometry import Rectangle
+from repro.streams import CollectingSink, TupleBatch
+from tests.faults.test_retry_health import make_handler, make_world
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+
+def corrupted_stream(*, rounds=3):
+    """Tuples acquired under a plan spiking one response in four."""
+    plan = FaultPlan(seed=13, outlier_probability=0.25, outlier_scale=60.0)
+    world = make_world(vectorized=False, sensor_count=800, seed=37)
+    handler = make_handler(world, budget=50, faults=plan)
+    items = []
+    for _ in range(rounds):
+        tuples_by_cell, _ = handler.acquire(
+            {"temp": list(handler.grid.cells())}, duration=1.0
+        )
+        for cell_items in tuples_by_cell.values():
+            items.extend(cell_items)
+        world.advance(1.0)
+    assert handler.faults.outliers_injected > 100
+    return items
+
+
+def object_path(operator, items):
+    sink = CollectingSink().attach(operator.outputs[0])
+    for item in items:
+        operator.accept(item)
+    operator.flush()
+    return list(sink.items)
+
+
+class TestOutlierFilterParity:
+    def test_discard_accounting_matches_under_heavy_outliers(self):
+        items = corrupted_stream()
+        object_op = OutlierFilterOperator(window=50, z_threshold=4.0)
+        columnar_op = OutlierFilterOperator(window=50, z_threshold=4.0)
+        kept_objects = object_path(object_op, items)
+        kept_batch = columnar_op.process_batch(TupleBatch.from_tuples(items))
+        # The injected spikes actually exercise the filter...
+        assert object_op.dropped > 0
+        # ...and both paths discard the same tuples, not just the same count.
+        assert object_op.dropped == columnar_op.dropped
+        assert [item.tuple_id for item in kept_objects] == [
+            int(i) for i in kept_batch.tuple_id
+        ]
+        assert len(items) - len(kept_objects) == object_op.dropped
+
+
+class TestClampParity:
+    def test_clamp_accounting_matches_on_displaced_tuples(self):
+        items = corrupted_stream(rounds=1)
+        # Displace a deterministic subset out of the region, mimicking the
+        # gross GPS errors the clamp exists for.
+        displaced = [
+            item if i % 3 else type(item)(
+                tuple_id=item.tuple_id,
+                attribute=item.attribute,
+                t=item.t,
+                x=item.x + 10.0,
+                y=item.y - 10.0,
+                value=item.value,
+                sensor_id=item.sensor_id,
+            )
+            for i, item in enumerate(items)
+        ]
+        object_op = ClampOperator(REGION)
+        columnar_op = ClampOperator(REGION)
+        clamped_objects = object_path(object_op, displaced)
+        clamped_batch = columnar_op.process_batch(TupleBatch.from_tuples(displaced))
+        assert object_op.clamped > 0
+        assert object_op.clamped == columnar_op.clamped
+        assert np.allclose(
+            [item.x for item in clamped_objects], clamped_batch.x
+        )
+        assert np.allclose(
+            [item.y for item in clamped_objects], clamped_batch.y
+        )
+        # Every surviving coordinate is back inside the deployment region.
+        assert clamped_batch.x.min() >= REGION.x_min
+        assert clamped_batch.x.max() <= REGION.x_max

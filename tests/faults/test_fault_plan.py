@@ -1,0 +1,93 @@
+"""Validation of the declarative fault / resilience configuration."""
+
+import pytest
+
+from repro.errors import CraqrError
+from repro.faults import (
+    BurstDropModel,
+    CellOutage,
+    FaultPlan,
+    HealthConfig,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+
+class TestFaultPlanValidation:
+    def test_probabilities_must_be_in_unit_interval(self):
+        for name in (
+            "drop_probability",
+            "stuck_fraction",
+            "outlier_probability",
+            "latency_inflation_probability",
+        ):
+            with pytest.raises(CraqrError):
+                FaultPlan(**{name: 1.5})
+            with pytest.raises(CraqrError):
+                FaultPlan(**{name: -0.1})
+
+    def test_scale_and_factor_bounds(self):
+        with pytest.raises(CraqrError):
+            FaultPlan(outlier_scale=-1.0)
+        with pytest.raises(CraqrError):
+            FaultPlan(latency_inflation_factor=0.5)
+        with pytest.raises(CraqrError):
+            FaultPlan(clock_skew_max=-0.01)
+
+    def test_drops_responses_reflects_all_drop_sources(self):
+        assert not FaultPlan().drops_responses
+        assert FaultPlan(drop_probability=0.1).drops_responses
+        assert FaultPlan(
+            burst=BurstDropModel(enter_probability=0.1, exit_probability=0.5)
+        ).drops_responses
+        assert FaultPlan(outages=(CellOutage(start=1.0, end=2.0),)).drops_responses
+        # Corruption-only plans do not drop anything.
+        assert not FaultPlan(outlier_probability=0.5, stuck_fraction=0.2).drops_responses
+
+    def test_burst_model_rejects_never_ending_bursts(self):
+        with pytest.raises(CraqrError):
+            BurstDropModel(enter_probability=0.1, exit_probability=0.0)
+        # An all-zero chain is inert but legal.
+        BurstDropModel(enter_probability=0.0, exit_probability=0.0)
+
+    def test_outage_window_and_coverage(self):
+        with pytest.raises(CraqrError):
+            CellOutage(start=2.0, end=2.0)
+        outage = CellOutage(start=0.0, end=5.0, cells=((0, 0), (1, 1)))
+        assert outage.covers((0, 0))
+        assert not outage.covers((2, 2))
+        assert CellOutage(start=0.0, end=1.0).covers((3, 3))  # None == whole region
+
+
+class TestResilienceValidation:
+    def test_retry_policy_bounds(self):
+        with pytest.raises(CraqrError):
+            RetryPolicy(max_attempts=1)
+        with pytest.raises(CraqrError):
+            RetryPolicy(reserve_fraction=0.0)
+        with pytest.raises(CraqrError):
+            RetryPolicy(reserve_fraction=1.0)
+
+    def test_health_config_bounds(self):
+        with pytest.raises(CraqrError):
+            HealthConfig(ewma_alpha=0.0)
+        with pytest.raises(CraqrError):
+            HealthConfig(failure_threshold=0.0)
+        with pytest.raises(CraqrError):
+            HealthConfig(min_requests=0)
+        with pytest.raises(CraqrError):
+            HealthConfig(stuck_repeats=1)
+        with pytest.raises(CraqrError):
+            # Recovery must sit strictly above failure.
+            HealthConfig(failure_threshold=0.5, recovery_threshold=0.4)
+
+    def test_resilience_config_bounds(self):
+        with pytest.raises(CraqrError):
+            ResilienceConfig(deadline=0.0)
+        with pytest.raises(CraqrError):
+            ResilienceConfig(degraded_response_rate=1.0)
+        with pytest.raises(CraqrError):
+            ResilienceConfig(degraded_alpha=0.0)
+        # Deadline-only mitigation (no retry, no health) is a legal bundle.
+        bundle = ResilienceConfig(deadline=0.5, health=None)
+        assert bundle.retry is None and bundle.health is None

@@ -1,0 +1,224 @@
+"""Fault injection: stream isolation, reproducibility and path parity.
+
+The load-bearing contract is **stream isolation**: the injector owns a
+private generator, so an engine with no :class:`FaultPlan` configured is
+seeded byte-identical to a build where the fault subsystem does not exist
+(pinned here by a golden stream hash), and a given plan seed replays the
+same fault history regardless of the crowd.  Under faults the strict
+object and columnar paths share one wave implementation and therefore stay
+byte-identical to each other.
+"""
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import CraqrEngine
+from repro.faults import FaultInjector, FaultPlan
+from repro.workloads import (
+    build_rain_temperature_world,
+    default_engine_config,
+    default_resilience_config,
+    flaky_crowd_plan,
+)
+
+#: sha256 of the delivered streams of the reference two-query strict run,
+#: computed before the fault subsystem existed.  A fault-free engine must
+#: reproduce it bit for bit on both the object and the columnar path.
+GOLDEN_STREAM_HASH = "e66d8d1a2aa03e095b57e592301f5ba1c88ee75b6112a8bd96c3fadebbe12b5c"
+
+
+def run_reference_engine(*, columnar, faults=None, resilience=None):
+    world = build_rain_temperature_world(sensor_count=120, seed=11)
+    config = replace(
+        default_engine_config(seed=7),
+        columnar=columnar,
+        faults=faults,
+        resilience=resilience,
+    )
+    engine = CraqrEngine(config, world)
+    h1 = engine.execute(
+        "ACQUIRE rain FROM RECT(0,0,2.5,2.5) AT RATE 8 PER KM2 PER MIN AS Storm"
+    )
+    h2 = engine.execute(
+        "ACQUIRE temp FROM RECT(1,1,4,4) AT RATE 6 PER KM2 PER MIN AS Heat"
+    )
+    engine.run(8)
+    return engine, h1, h2
+
+
+def stream_hash(*handles):
+    digest = hashlib.sha256()
+    for handle in handles:
+        for item in handle.results():
+            digest.update(
+                repr(
+                    (
+                        item.tuple_id,
+                        item.attribute,
+                        round(item.t, 9),
+                        round(item.x, 9),
+                        round(item.y, 9),
+                        item.value,
+                        item.sensor_id,
+                    )
+                ).encode()
+            )
+    return digest.hexdigest()
+
+
+class _StateShim:
+    """Just enough of SensorStateArrays for a standalone injector."""
+
+    def __init__(self, count):
+        self._count = count
+
+    def __len__(self):
+        return self._count
+
+
+class TestNoFaultByteIdentity:
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_fault_free_engine_matches_golden_stream(self, columnar):
+        _, h1, h2 = run_reference_engine(columnar=columnar)
+        assert stream_hash(h1, h2) == GOLDEN_STREAM_HASH
+
+
+class TestSeededReproducibility:
+    def test_same_plan_seed_replays_the_same_fault_history(self):
+        plan = flaky_crowd_plan(seed=23)
+        resilience = default_resilience_config()
+        runs = []
+        for _ in range(2):
+            engine, h1, h2 = run_reference_engine(
+                columnar=False, faults=plan, resilience=resilience
+            )
+            injector = engine.fault_injector
+            report = engine.reports[-1].handler
+            runs.append(
+                (
+                    stream_hash(h1, h2),
+                    injector.requests_seen,
+                    injector.drops_injected,
+                    injector.outliers_injected,
+                    injector.stuck_replays,
+                    injector.latencies_inflated,
+                    report.timeouts,
+                    report.retries_sent,
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_faults_actually_fire(self):
+        engine, _, _ = run_reference_engine(
+            columnar=False,
+            faults=flaky_crowd_plan(seed=23),
+            resilience=default_resilience_config(),
+        )
+        injector = engine.fault_injector
+        assert injector.drops_injected > 0
+        assert injector.outliers_injected > 0
+        assert injector.latencies_inflated > 0
+        totals = [r.handler for r in engine.reports]
+        assert sum(r.timeouts for r in totals) > 0
+        assert sum(r.retries_sent for r in totals) > 0
+
+
+class TestObjectColumnarParityUnderFaults:
+    def test_strict_paths_stay_byte_identical_under_faults(self):
+        plan = flaky_crowd_plan(seed=23)
+        resilience = default_resilience_config()
+        object_engine, oh1, oh2 = run_reference_engine(
+            columnar=False, faults=plan, resilience=resilience
+        )
+        columnar_engine, ch1, ch2 = run_reference_engine(
+            columnar=True, faults=plan, resilience=resilience
+        )
+        assert stream_hash(oh1, oh2) == stream_hash(ch1, ch2)
+        for object_report, columnar_report in zip(
+            (r.handler for r in object_engine.reports),
+            (r.handler for r in columnar_engine.reports),
+        ):
+            assert object_report.requests_sent == columnar_report.requests_sent
+            assert object_report.responses_received == columnar_report.responses_received
+            assert object_report.timeouts == columnar_report.timeouts
+            assert object_report.drops_injected == columnar_report.drops_injected
+            assert object_report.retries_sent == columnar_report.retries_sent
+            assert object_report.per_cell_requests == columnar_report.per_cell_requests
+            assert object_report.per_cell_responses == columnar_report.per_cell_responses
+            assert object_report.per_cell_timeouts == columnar_report.per_cell_timeouts
+            assert object_report.per_cell_drops == columnar_report.per_cell_drops
+            assert object_report.per_cell_retries == columnar_report.per_cell_retries
+
+
+class TestInjectorUnits:
+    def _wave(self, injector, attribute, values, *, rows=None, times=None):
+        n = len(values)
+        rows = np.arange(n) if rows is None else np.asarray(rows)
+        times = np.zeros(n) if times is None else np.asarray(times)
+        return injector.apply_round(
+            attribute,
+            rows=rows,
+            request_times=times,
+            segments=np.zeros(n, dtype=np.int64),
+            cell_keys=((0, 0),),
+            responded=np.ones(n, dtype=bool),
+            latencies=np.full(n, 0.1),
+            values=np.asarray(values),
+        )
+
+    def test_stuck_sensor_replays_its_first_value(self):
+        plan = FaultPlan(seed=1, stuck_fraction=1.0)
+        injector = FaultInjector(plan, _StateShim(4))
+        assert injector.stuck_rows.tolist() == [0, 1, 2, 3]
+        first = self._wave(injector, "temp", [1.0, 2.0, 3.0, 4.0])
+        # The first wave only seeds the replay values.
+        assert first.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert injector.stuck_replays == 0
+        second = self._wave(injector, "temp", [9.0, 9.0, 9.0, 9.0])
+        assert second.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert injector.stuck_replays == 4
+        # Replay state is per attribute: a fresh attribute seeds anew.
+        other = self._wave(injector, "rain", [True, False, True, False])
+        assert other.values.tolist() == [True, False, True, False]
+
+    def test_outliers_spike_floats_only(self):
+        plan = FaultPlan(seed=2, outlier_probability=1.0, outlier_scale=100.0)
+        injector = FaultInjector(plan, _StateShim(8))
+        floats = self._wave(injector, "temp", np.full(8, 20.0))
+        assert np.all(np.abs(floats.values - 20.0) == 100.0)
+        assert injector.outliers_injected == 8
+        bools = self._wave(injector, "rain", np.zeros(8, dtype=bool))
+        assert bools.values.dtype.kind == "b"
+        assert injector.outliers_injected == 8  # unchanged
+
+    def test_clock_skew_is_bounded(self):
+        plan = FaultPlan(seed=3, clock_skew_max=0.25)
+        injector = FaultInjector(plan, _StateShim(64))
+        outcome = self._wave(injector, "temp", np.linspace(0.0, 1.0, 64))
+        assert outcome.skew is not None
+        assert np.all(np.abs(outcome.skew) <= 0.25)
+
+    def test_outage_drops_only_inside_window_and_cells(self):
+        from repro.faults import CellOutage
+
+        plan = FaultPlan(
+            seed=4,
+            outages=(CellOutage(start=1.0, end=2.0, cells=((0, 0),)),),
+        )
+        injector = FaultInjector(plan, _StateShim(6))
+        n = 6
+        outcome = injector.apply_round(
+            "temp",
+            rows=np.arange(n),
+            request_times=np.array([0.5, 1.5, 1.5, 1.5, 2.5, 1.5]),
+            segments=np.array([0, 0, 0, 0, 0, 1]),
+            cell_keys=((0, 0), (1, 1)),
+            responded=np.ones(n, dtype=bool),
+            latencies=np.full(n, 0.1),
+            values=np.full(n, 20.0),
+        )
+        # Only requests 1..3 target the dead cell inside the window.
+        assert outcome.dropped.tolist() == [False, True, True, True, False, False]

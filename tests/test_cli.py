@@ -213,3 +213,72 @@ class TestRepl:
         assert "'frames' takes a view name" in capture.text
         assert "no view is named 'Ghost'" in capture.text
         assert "'frames' takes a count" in capture.text
+
+    def test_health_command_without_resilience(self):
+        script = """
+        ACQUIRE rain FROM RECT(0,0,2,2) AT RATE 8 PER KM2 PER MIN AS Storm
+        run 2
+        health Storm
+        health
+        health Ghost
+        """
+        code, capture = run_repl(script)
+        assert code == 0
+        assert "health of Storm (rain)" in capture.text
+        assert "rate ewma" in capture.text
+        assert "sensor health monitoring is off" in capture.text
+        assert "'health' takes exactly one query name" in capture.text
+        assert "no registered query is labelled 'Ghost'" in capture.text
+
+    def test_sessions_table_has_health_column(self):
+        script = """
+        ACQUIRE rain FROM RECT(0,0,2,2) AT RATE 8 PER KM2 PER MIN AS Storm
+        run 2
+        SHOW QUERIES
+        """
+        code, capture = run_repl(script)
+        assert code == 0
+        sessions_table = capture.text.split("query sessions")[1]
+        assert "health" in sessions_table
+        assert "ok" in sessions_table
+
+
+class TestFaultScenarios:
+    def test_run_flaky_crowd_scenario(self):
+        capture = _Capture()
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "flaky-crowd",
+                "--sensors",
+                "200",
+                "--batches",
+                "4",
+                "--query",
+                "ACQUIRE temp FROM RECT(0,0,3,3) AT RATE 6 PER KM2 PER MIN AS Heat",
+            ],
+            out=capture,
+        )
+        assert code == 0
+        assert "unreliable crowd" in capture.text
+        assert "Heat" in capture.text
+
+    def test_repl_health_on_cell_outage_scenario(self):
+        capture = _Capture()
+        script = """
+        ACQUIRE temp FROM RECT(0,0,2,2) AT RATE 10 PER KM2 PER MIN AS Quad
+        run 6
+        health Quad
+        SHOW QUERIES
+        """
+        code = main(
+            ["repl", "--scenario", "cell-outage", "--sensors", "240", "--seed", "19"],
+            out=capture,
+            in_stream=io.StringIO(script),
+        )
+        assert code == 0
+        assert "health of Quad (temp)" in capture.text
+        assert "quarantined sensors:" in capture.text
+        # Six batches in, the outage window is open and responses are lost.
+        assert "degraded" in capture.text or "drops" in capture.text
