@@ -12,8 +12,10 @@ fast path's speedup) is tracked across PRs; metrics from the sensing-world
 benchmarks go through ``record_world_metric`` into ``BENCH_world.json``,
 session-surface metrics through ``record_session_metric`` into
 ``BENCH_session.json``, continuous-view metrics through
-``record_view_metric`` into ``BENCH_views.json`` and fault-scenario
-metrics through ``record_scenario_metric`` into ``BENCH_scenarios.json``.
+``record_view_metric`` into ``BENCH_views.json``, fault-scenario
+metrics through ``record_scenario_metric`` into ``BENCH_scenarios.json``
+and checkpoint/restore metrics through ``record_recovery_metric`` into
+``BENCH_recovery.json``.
 """
 
 from __future__ import annotations
@@ -25,12 +27,15 @@ from typing import Dict
 
 import pytest
 
+from repro.recovery import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_columnar.json"
 BENCH_WORLD_JSON = pathlib.Path(__file__).parent.parent / "BENCH_world.json"
 BENCH_SESSION_JSON = pathlib.Path(__file__).parent.parent / "BENCH_session.json"
 BENCH_VIEWS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_views.json"
 BENCH_SCENARIOS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_scenarios.json"
+BENCH_RECOVERY_JSON = pathlib.Path(__file__).parent.parent / "BENCH_recovery.json"
 
 
 @pytest.fixture(scope="session")
@@ -58,6 +63,7 @@ _WORLD_METRIC_STORE: Dict[str, dict] = {}
 _SESSION_METRIC_STORE: Dict[str, dict] = {}
 _VIEWS_METRIC_STORE: Dict[str, dict] = {}
 _SCENARIO_METRIC_STORE: Dict[str, dict] = {}
+_RECOVERY_METRIC_STORE: Dict[str, dict] = {}
 
 
 def _make_recorder(store: Dict[str, dict]):
@@ -126,6 +132,17 @@ def record_scenario_metric():
     return _make_recorder(_SCENARIO_METRIC_STORE)
 
 
+@pytest.fixture
+def record_recovery_metric():
+    """Like ``record_metric`` but routed to ``BENCH_recovery.json``.
+
+    Used by the checkpoint/restore benchmarks (``bench_checkpoint.py``) so
+    the recovery-path trajectory (snapshot latency, file size, periodic-
+    checkpoint overhead) is tracked separately.
+    """
+    return _make_recorder(_RECOVERY_METRIC_STORE)
+
+
 def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
     if path.exists():
@@ -140,7 +157,10 @@ def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
         "machine": platform.machine(),
         "metrics": metrics,
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # The same temp-file + fsync + rename writer the checkpoint files use:
+    # an interrupted benchmark session can never leave a torn BENCH_*.json
+    # behind for the cross-PR trajectory tooling to choke on.
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.hookimpl(trylast=True)
@@ -159,3 +179,5 @@ def pytest_sessionfinish(session, exitstatus):
         _persist(BENCH_VIEWS_JSON, _VIEWS_METRIC_STORE)
     if _SCENARIO_METRIC_STORE:
         _persist(BENCH_SCENARIOS_JSON, _SCENARIO_METRIC_STORE)
+    if _RECOVERY_METRIC_STORE:
+        _persist(BENCH_RECOVERY_JSON, _RECOVERY_METRIC_STORE)

@@ -11,6 +11,7 @@ scenarios without writing Python::
     python -m repro.cli scenarios           # list available scenarios
     python -m repro.cli attributes          # list the attribute catalog
     python -m repro.cli repl                # interactive live-engine session
+    python -m repro.cli recover --checkpoint-dir ckpts --batches 5
 
 The ``run`` sub-command prints, per query, the requested and achieved rates
 and (optionally, ``--show-samples``) the first tuples of each fabricated
@@ -22,16 +23,23 @@ to deregister, and the continuous-view surface: ``CREATE VIEW Rainfall ON
 Storm AS AVG(value) GROUP BY CELL WINDOW 5``, ``SHOW VIEWS``, ``frames
 Rainfall`` to render the latest closed windows as a table, and ``DROP
 VIEW Rainfall``.
+
+Crash recovery: ``run``/``repl`` take ``--checkpoint-dir`` (plus
+``--checkpoint-every N``) to write periodic crash-consistent checkpoints,
+the repl's ``checkpoint``/``restore`` commands drive the same machinery by
+hand, and ``recover`` restores the newest good checkpoint of an
+interrupted run and continues it.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, List, Optional, Sequence, TextIO
 
-from .config import EngineConfig
+from .config import CheckpointConfig, EngineConfig
 from .core import CraqrEngine, QueryHandle, QuerySessionInfo
 from .errors import CraqrError
 from .metrics import ResultTable
@@ -79,6 +87,11 @@ SCENARIOS: Dict[str, tuple] = {
         "quarantine + probation re-admission drive post-outage recovery",
         build_stationary_world,
     ),
+    "crash-recovery": (
+        "the flaky crowd under periodic crash-consistent checkpoints; pair "
+        "with --checkpoint-dir to survive (and recover from) process kills",
+        build_rain_temperature_world,
+    ),
 }
 
 
@@ -88,27 +101,38 @@ def _scenario_engine_config(
     grid_cells: int,
     seed: int,
     retention_batches: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> EngineConfig:
     """The engine config for a named CLI scenario.
 
     The fault scenarios attach their :class:`~repro.faults.FaultPlan` and
     mitigation bundle on top of the shared defaults; the stock scenarios
     run fault-free (and therefore byte-identical to pre-fault builds).
+    ``checkpoint_dir`` turns on periodic crash-consistent checkpoints for
+    *any* scenario (``crash-recovery`` is the flaky crowd tuned for it).
     """
     config = default_engine_config(
         grid_cells=grid_cells, seed=seed, retention_batches=retention_batches
     )
-    if scenario == "flaky-crowd":
-        return dataclass_replace(
+    if scenario in ("flaky-crowd", "crash-recovery"):
+        config = dataclass_replace(
             config,
             faults=flaky_crowd_plan(),
             resilience=default_resilience_config(),
         )
-    if scenario == "cell-outage":
-        return dataclass_replace(
+    elif scenario == "cell-outage":
+        config = dataclass_replace(
             config,
             faults=cell_outage_plan(),
             resilience=default_resilience_config(),
+        )
+    if checkpoint_dir is not None:
+        config = dataclass_replace(
+            config,
+            checkpoints=CheckpointConfig(
+                directory=checkpoint_dir, every=checkpoint_every
+            ),
         )
     return config
 
@@ -146,6 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="print the first N tuples of each fabricated stream",
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write periodic crash-consistent checkpoints into this directory",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="checkpoint every N batches (with --checkpoint-dir; default 10)",
+    )
 
     repl = subparsers.add_parser(
         "repl",
@@ -166,6 +203,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="bound engine memory to the last N batches (default: keep everything)",
+    )
+    repl.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write periodic crash-consistent checkpoints into this directory",
+    )
+    repl.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N batches (with --checkpoint-dir; "
+        "default: only on the repl's 'checkpoint' command)",
+    )
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="restore the newest good checkpoint and continue the run",
+    )
+    recover.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        metavar="DIR",
+        help="directory holding the checkpoints of the interrupted run",
+    )
+    recover.add_argument(
+        "--batches",
+        type=int,
+        default=0,
+        metavar="N",
+        help="batches to run after restoring (default 0: just report the state)",
     )
 
     subparsers.add_parser("scenarios", help="list the available simulated scenarios")
@@ -196,7 +265,11 @@ def _command_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out(f"scenario '{args.scenario}': {description}")
     world: SensingWorld = builder(sensor_count=args.sensors, seed=args.seed)
     config = _scenario_engine_config(
-        args.scenario, grid_cells=args.grid_cells, seed=args.seed + 1
+        args.scenario,
+        grid_cells=args.grid_cells,
+        seed=args.seed + 1,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every if args.checkpoint_dir else None,
     )
     engine = CraqrEngine(config, world)
     catalog = AttributeCatalog.default()
@@ -237,6 +310,35 @@ def _command_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             out(f"\nfirst tuples of {handle.query.label} (t, x, y, value):")
             for item in handle.results()[: args.show_samples]:
                 out(f"  ({item.t:8.2f}, {item.x:6.2f}, {item.y:6.2f}, {item.value})")
+    store = engine.checkpoint_store
+    if store is not None:
+        latest = store.latest_path()
+        if latest is not None:
+            out(
+                f"checkpoints in {store.directory} (latest: {latest.name}); "
+                f"resume with: python -m repro.cli recover "
+                f"--checkpoint-dir {store.directory}"
+            )
+    return 0
+
+
+def _command_recover(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    engine = CraqrEngine.restore_latest(args.checkpoint_dir)
+    out(
+        f"restored engine at batch {engine.batches_run} "
+        f"({len(engine.query_handles())} queries, "
+        f"{len(engine.view_handles())} views, "
+        f"{engine.total_tuples_delivered()} tuples delivered so far)"
+    )
+    if args.batches > 0:
+        engine.run(args.batches)
+        out(f"ran {args.batches} more batch(es); {engine.batches_run} total")
+    sessions = engine.sessions()
+    if sessions:
+        out(_sessions_table(sessions).render())
+    views = engine.views()
+    if views:
+        out(_views_table(views).render())
     return 0
 
 
@@ -254,6 +356,10 @@ repl commands:
   run [N]          advance N batch windows (default 1)
   frames <view> [N]  show the last N frames of a view (default 5)
   health <query>   per-cell timeout/drop/retry stats + quarantined sensors
+  checkpoint [path]  write a crash-consistent checkpoint (path optional with
+                   --checkpoint-dir)
+  restore <path>   replace the live engine with a checkpointed one
+                   (<path> may be a checkpoint file or a checkpoint dir)
   help             this text
   quit/exit        leave the repl"""
 
@@ -421,6 +527,8 @@ def _command_repl(
         grid_cells=args.grid_cells,
         seed=args.seed + 1,
         retention_batches=args.retention_batches,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     engine = CraqrEngine(config, world)
     catalog = AttributeCatalog.default()
@@ -469,6 +577,39 @@ def _command_repl(
                     out(_frames_table(handle, frames).render())
             except ValueError:
                 out(f"error: 'frames' takes a count, got {parts[2]!r}")
+            except CraqrError as exc:
+                out(f"error: {exc}")
+            continue
+        if lowered == "checkpoint" or lowered.startswith("checkpoint "):
+            parts = line.split()
+            try:
+                if len(parts) > 2:
+                    raise CraqrError("'checkpoint' takes at most one path")
+                path = engine.checkpoint(parts[1] if len(parts) == 2 else None)
+                out(
+                    f"checkpointed batch {engine.batches_run} to {path} "
+                    f"({path.stat().st_size} bytes)"
+                )
+            except CraqrError as exc:
+                out(f"error: {exc}")
+            continue
+        if lowered == "restore" or lowered.startswith("restore "):
+            parts = line.split()
+            try:
+                if len(parts) != 2:
+                    raise CraqrError(
+                        "'restore' takes exactly one checkpoint file or directory"
+                    )
+                target = pathlib.Path(parts[1])
+                if target.is_dir():
+                    engine = CraqrEngine.restore_latest(target)
+                else:
+                    engine = CraqrEngine.restore(target)
+                out(
+                    f"restored engine at batch {engine.batches_run} "
+                    f"({len(engine.query_handles())} queries, "
+                    f"{len(engine.view_handles())} views)"
+                )
             except CraqrError as exc:
                 out(f"error: {exc}")
             continue
@@ -533,10 +674,18 @@ def main(
         if args.command == "run":
             if args.batches <= 0:
                 raise CraqrError("--batches must be positive")
+            if args.checkpoint_every <= 0:
+                raise CraqrError("--checkpoint-every must be positive")
             return _command_run(args, out)
+        if args.command == "recover":
+            if args.batches < 0:
+                raise CraqrError("--batches must be non-negative")
+            return _command_recover(args, out)
         if args.command == "repl":
             if args.retention_batches is not None and args.retention_batches <= 0:
                 raise CraqrError("--retention-batches must be positive")
+            if args.checkpoint_every is not None and args.checkpoint_every <= 0:
+                raise CraqrError("--checkpoint-every must be positive")
             return _command_repl(args, out, in_stream if in_stream is not None else sys.stdin)
         parser.error(f"unknown command {args.command!r}")
         return 2

@@ -85,6 +85,45 @@ class BudgetConfig:
 
 
 @dataclass(frozen=True)
+class CheckpointConfig:
+    """Crash-consistent checkpointing of the complete engine state.
+
+    Attributes
+    ----------
+    directory:
+        Directory the checkpoint files are written to (created on first
+        write).  Filenames embed the batch index
+        (``checkpoint-00000010.ckpt``) so lexicographic order is batch
+        order.
+    every:
+        Automatic checkpoint cadence: a snapshot is taken at the end of
+        every ``every``-th batch.  ``None`` disables automatic snapshots —
+        :meth:`repro.core.engine.CraqrEngine.checkpoint` stays available
+        for manual ones.
+    retain:
+        How many checkpoint files to keep; older ones are deleted after a
+        successful write.  Keeping more than one is what makes the
+        torn-file fallback of
+        :func:`repro.recovery.load_latest` useful: if the newest file is
+        damaged (crash mid-write, disk corruption) recovery falls back to
+        the previous one.
+    """
+
+    directory: str
+    every: Optional[int] = None
+    retain: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise CraqrError("checkpoint directory must be non-empty")
+        object.__setattr__(self, "directory", str(self.directory))
+        if self.every is not None and self.every <= 0:
+            raise CraqrError("checkpoint cadence 'every' must be positive (or None)")
+        if self.retain <= 0:
+            raise CraqrError("checkpoint retain must be positive")
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Top-level configuration of a :class:`repro.core.engine.CraqrEngine`.
 
@@ -154,6 +193,14 @@ class EngineConfig:
         tracking that redirects budget tuning away from fault-attributed
         shortfalls.  Independent of ``faults`` — mitigation also reacts to
         organic non-response.
+    checkpoints:
+        Optional :class:`CheckpointConfig` switching on crash-consistent
+        engine snapshots: the complete engine state (world, RNG streams,
+        buffers, views, tuner/health/degradation state) is written
+        atomically to the configured directory every ``every`` batches and
+        recovered with :meth:`repro.core.engine.CraqrEngine.restore` /
+        ``restore_latest``.  A restored engine's subsequent batches are
+        seeded byte-identical to the uninterrupted run.
     """
 
     grid_cells: int = DEFAULT_GRID_CELLS
@@ -166,6 +213,7 @@ class EngineConfig:
     retention_batches: Optional[int] = None
     faults: Optional[FaultPlan] = None
     resilience: Optional[ResilienceConfig] = None
+    checkpoints: Optional[CheckpointConfig] = None
 
     def __post_init__(self) -> None:
         if self.retention_batches is not None and self.retention_batches <= 0:

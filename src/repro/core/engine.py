@@ -67,14 +67,22 @@ keep their original behaviour, so pre-session code keeps working unchanged.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import EngineConfig
-from ..errors import PlanningError, QueryError, ViewError
-from ..faults import DegradationTracker, FaultInjector, SensorHealthMonitor
+from ..errors import PlanningError, QueryError, RecoveryError, ViewError
+from ..faults import (
+    CrashInjector,
+    CrashPoint,
+    DegradationTracker,
+    FaultInjector,
+    SensorHealthMonitor,
+)
+from ..recovery import CheckpointStore, EngineSnapshot
 from ..geometry import Grid
 from ..sensing import HandlerReport, IncentiveScheme, RequestResponseHandler, SensingWorld
 from ..storage import (
@@ -405,6 +413,16 @@ class CraqrEngine:
         #: tuples delivered to queries whose buffers were since dropped by
         #: delete_query; keeps total_tuples_delivered exact.
         self._delivered_dropped = 0
+        #: periodic checkpoint store, when config.checkpoints is set.
+        self._checkpoints = (
+            CheckpointStore(
+                config.checkpoints.directory, retain=config.checkpoints.retain
+            )
+            if config.checkpoints is not None
+            else None
+        )
+        #: armed crash injector (tests only); never survives a restore.
+        self._crash: Optional[CrashInjector] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -575,23 +593,10 @@ class CraqrEngine:
             retention_batches=self._config.retention_batches,
         )
         self._buffers[query.query_id] = buffer
-
-        def deliver(query_id: int, item: SensorTuple) -> None:
-            target = self._buffers.get(query_id)
-            if target is None:
-                return
-            target.append(item)
-            self._fabricator.register_delivery(query_id)
-
-        def deliver_batch(query_id: int, batch: TupleBatch) -> None:
-            target = self._buffers.get(query_id)
-            if target is None:
-                return
-            target.extend_batch(batch)
-            self._fabricator.register_delivery_batch(query_id, len(batch))
-
         touched = self._planner.insert_query(
-            query, on_result=deliver, on_result_batch=deliver_batch
+            query,
+            on_result=self._deliver_item,
+            on_result_batch=self._deliver_batch,
         )
         # Seed the handler's budget for every (attribute, cell) pair the
         # query activates so the first batch already respects the config.
@@ -600,6 +605,27 @@ class CraqrEngine:
         handle = QueryHandle(query, buffer, self)
         self._handles[query.query_id] = handle
         return handle
+
+    def _deliver_item(self, query_id: int, item: SensorTuple) -> None:
+        """Object-path delivery into a query's result buffer.
+
+        A bound method (not a per-query closure) so the planner's stored
+        handlers — and with them the whole engine — pickle into a
+        checkpoint.
+        """
+        target = self._buffers.get(query_id)
+        if target is None:
+            return
+        target.append(item)
+        self._fabricator.register_delivery(query_id)
+
+    def _deliver_batch(self, query_id: int, batch: TupleBatch) -> None:
+        """Columnar counterpart of :meth:`_deliver_item`."""
+        target = self._buffers.get(query_id)
+        if target is None:
+            return
+        target.extend_batch(batch)
+        self._fabricator.register_delivery_batch(query_id, len(batch))
 
     def update_query(
         self, query_id: int, *, rate=None, region=None
@@ -713,17 +739,7 @@ class CraqrEngine:
             start_time=observed_from * self._config.batch_duration,
         )
 
-        def deliver(batch: TupleBatch, _view: ContinuousView = view) -> None:
-            # Maintenance runs inside run_batch's end-of-batch loop; a view
-            # whose fold raises (e.g. AVG over a non-numeric stream) is
-            # quarantined — detached with the error recorded on its handle
-            # — rather than aborting the batch for every other session.
-            try:
-                _view.on_delivery(batch)
-            except Exception as exc:  # noqa: BLE001 - quarantine any fold error
-                _view.fail(exc)
-
-        view.attach(handle.subscribe(deliver))
+        view.attach(handle.subscribe(view.accept))
         self._views[view_name] = view
         view_handle = ViewHandle(view, self)
         self._view_handles[view_name] = view_handle
@@ -897,12 +913,14 @@ class CraqrEngine:
         still, but statistically rather than bit-for-bit reproducible.
         """
         duration = self._config.batch_duration
+        batch = self._batch_index
         attribute_cells = self._planner.attribute_cells()
         if self._config.columnar:
             batches, handler_report = self._handler.acquire_batches(
                 attribute_cells, duration=duration
             )
             self._world.advance(duration)
+            self._crash_barrier(CrashPoint.POST_ACQUISITION, batch)
             fabrication = self._fabricator.process_batch_columnar(batches)
         else:
             tuples_by_cell, handler_report = self._handler.acquire(
@@ -910,11 +928,14 @@ class CraqrEngine:
             )
             # Move the world forward to the end of the batch window.
             self._world.advance(duration)
+            self._crash_barrier(CrashPoint.POST_ACQUISITION, batch)
             fabrication = self._fabricator.process_batch(tuples_by_cell)
+        self._crash_barrier(CrashPoint.POST_MERGE, batch)
         degraded: FrozenSet[Tuple[str, CellKey]] = frozenset()
         if self._degradation is not None:
             degraded = self._degradation.update(handler_report)
         decisions = self._tuner.tune(fabrication.violations, degraded=degraded)
+        self._crash_barrier(CrashPoint.PRE_VIEW_FOLD, batch)
         # Snapshot: a subscriber callback firing inside end_batch may
         # register or delete queries, mutating the buffer dict.
         self._ending_batch = True
@@ -948,6 +969,13 @@ class CraqrEngine:
             for view in list(self._views.values()):
                 if view.is_active:  # failed views are quarantined, not advanced
                     view.advance_to(now)
+        # The batch is fully committed: acquisition, deliveries, tuning,
+        # dispatch and view folds are all done — the crash-consistent point
+        # where a periodic checkpoint captures the engine.
+        if self._checkpoints is not None:
+            every = self._config.checkpoints.every
+            if every is not None and self._batch_index % every == 0:
+                self._write_checkpoint(batch)
         return report
 
     def run(self, batches: int) -> List[EngineReport]:
@@ -955,6 +983,125 @@ class CraqrEngine:
         if batches <= 0:
             raise QueryError("the number of batches must be positive")
         return [self.run_batch() for _ in range(batches)]
+
+    # ------------------------------------------------------------------
+    # Checkpoints, crash injection and recovery
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_store(self) -> Optional[CheckpointStore]:
+        """The periodic checkpoint store (``None`` without a
+        :class:`~repro.config.CheckpointConfig`)."""
+        return self._checkpoints
+
+    def arm_crash(self, injector: Optional[CrashInjector]) -> None:
+        """Arm (or with ``None`` disarm) a process-crash injection.
+
+        Test plumbing for the recovery harness: the armed
+        :class:`~repro.faults.CrashInjector` fires at its
+        :class:`~repro.faults.CrashPoint` barrier of the batch loop.  An
+        armed injector is never checkpointed — a restored engine does not
+        inherit the crash plan.
+        """
+        self._crash = injector
+
+    def _crash_barrier(self, point: CrashPoint, batch_index: int) -> None:
+        if self._crash is not None:
+            self._crash.barrier(point, batch_index)
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the complete engine state, in memory.
+
+        Only valid at a batch boundary (never from inside a subscriber
+        callback): result buffers have closed their batch and operator
+        scratch buffers are empty, which is what makes the capture
+        crash-consistent.
+        """
+        if self._ending_batch:
+            raise RecoveryError(
+                "cannot snapshot from inside a batch's subscriber dispatch; "
+                "checkpoint at a batch boundary instead"
+            )
+        return EngineSnapshot.capture(self)
+
+    def checkpoint(self, path: Optional[str] = None) -> pathlib.Path:
+        """Write a checkpoint file and return its path.
+
+        With ``path`` the snapshot goes to that exact file; without it the
+        engine's configured :class:`~repro.recovery.CheckpointStore` names
+        the file after the batch index and prunes past the retention cap.
+        Raises :class:`~repro.errors.RecoveryError` when neither is
+        available.
+        """
+        snap = self.snapshot()
+        if path is not None:
+            return snap.write(pathlib.Path(path))
+        if self._checkpoints is None:
+            raise RecoveryError(
+                "no checkpoint directory configured "
+                "(EngineConfig.checkpoints); pass an explicit path"
+            )
+        return self._checkpoints.write(snap)
+
+    def _write_checkpoint(self, batch: int) -> pathlib.Path:
+        """Periodic checkpoint with the mid-write crash barrier threaded in."""
+
+        def mid_write() -> None:
+            self._crash_barrier(CrashPoint.MID_CHECKPOINT_WRITE, batch)
+
+        return self._checkpoints.write(self.snapshot(), pre_replace_hook=mid_write)
+
+    @classmethod
+    def restore(cls, path) -> "CraqrEngine":
+        """Rebuild a live engine from one checkpoint file.
+
+        The restored engine resumes exactly where the checkpoint left off:
+        its next batch is seeded byte-identical to the batch the
+        uninterrupted engine ran next (the contract pinned by
+        ``tests/recovery/``).  Engine-managed view subscriptions are
+        re-attached; user push subscriptions and cursors held by callers do
+        not survive — re-subscribe after restore.
+        """
+        from ..recovery import restore_engine
+
+        return restore_engine(path)
+
+    @classmethod
+    def restore_latest(cls, directory) -> "CraqrEngine":
+        """Rebuild a live engine from the newest good checkpoint in a directory.
+
+        Skips over torn or corrupt files (a crash mid-write leaves the
+        previous checkpoint intact); raises
+        :class:`~repro.errors.RecoveryError` when no file verifies.
+        """
+        from ..recovery import restore_latest
+
+        return restore_latest(directory)
+
+    def __getstate__(self):
+        # An armed crash injector is test plumbing for the run being
+        # captured, not engine state: a restored engine must replay the
+        # crashed batch to completion, not crash again.
+        state = dict(self.__dict__)
+        state["_crash"] = None
+        return state
+
+    def _reattach_after_restore(self) -> None:
+        """Re-wire the subscription plumbing a snapshot deliberately drops.
+
+        Buffers pickle without their subscriber lists, so after a restore
+        every active view is re-subscribed to its query's delivery stream —
+        in ``_views`` insertion order, with the same ``view.accept`` bound
+        method ``create_view`` registered, so dispatch order (and therefore
+        the replayed run) is identical to the captured engine's.
+        Quarantined views stay detached, exactly as they were.
+        """
+        for view in self._views.values():
+            if not view.is_active:
+                continue
+            handle = self._handles.get(view.query_id)
+            if handle is None:  # pragma: no cover - drop_view removes these
+                continue
+            view.attach(handle.subscribe(view.accept))
 
     # ------------------------------------------------------------------
     # Summaries

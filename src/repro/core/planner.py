@@ -25,9 +25,13 @@ from ..geometry import Grid, GridCell, Region
 from ..streams import CallbackSink, SensorTuple, TupleBatch
 from .pmat import UnionOperator
 from .query import AcquisitionalQuery
-from .topology import CellTopology, DeliverBatchFn, DeliverFn
+from .topology import CellTopology, DeliverBatchFn, DeliverFn, QueryDelivery
 
 CellKey = Tuple[int, int]
+
+
+def _drop_delivery(query_id: int, item: SensorTuple) -> None:
+    """Fallback result handler of queries registered without a callback."""
 
 
 @dataclass
@@ -187,9 +191,9 @@ class QueryPlanner:
             name=f"U:{query.label}",
             rng=np.random.default_rng(self._rng.integers(0, 2 ** 63 - 1)),
         )
-        handler = on_result or (lambda query_id, item: None)
+        handler = on_result or _drop_delivery
         union_sink = CallbackSink(
-            lambda item, qid=query.query_id: handler(qid, item),
+            QueryDelivery(handler, query.query_id),
             name=f"result:{query.label}",
         )
         union_sink.attach(union.output)

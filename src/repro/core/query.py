@@ -14,14 +14,49 @@ human-friendly units.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..errors import QueryError
 from ..geometry import RectRegion, Rectangle, Region
 
-_query_ids = itertools.count(1)
+
+class QueryIdAllocator:
+    """Process-wide allocator of query ids.
+
+    Behaves like ``itertools.count(1)`` but is inspectable, so engine
+    snapshots can record the id high-water mark and a restored process can
+    :meth:`advance_to` it — queries registered after recovery then receive
+    the same ids an uninterrupted run would have handed out, and never
+    collide with ids already captured in the snapshot.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """The id the next registration will receive."""
+        return self._next
+
+    def advance_to(self, next_id: int) -> None:
+        """Raise the high-water mark (never lowers it)."""
+        if next_id > self._next:
+            self._next = next_id
+
+
+_query_ids = QueryIdAllocator()
+
+
+def query_id_allocator() -> QueryIdAllocator:
+    """The process-wide query-id allocator (used by snapshot/restore)."""
+    return _query_ids
 
 #: Area unit conversions to the engine's native square unit.
 _AREA_UNITS = {

@@ -54,6 +54,53 @@ DeliverBatchFn = Callable[[int, TupleBatch], None]
 DEFAULT_HEADROOM = 1.25
 
 
+class AttributeRoute:
+    """Routing predicate keeping only one attribute's tuples.
+
+    A plain class (not a lambda) so a built topology — and with it the
+    whole engine — can be pickled into a checkpoint.
+    """
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+
+    def __call__(self, item: SensorTuple) -> bool:
+        return item.attribute == self.attribute
+
+
+class QueryDelivery:
+    """Delivers one query's tuples to a ``(query_id, item)`` handler.
+
+    Binds the query id to a two-argument delivery callable, exactly like
+    the ``lambda item, qid=...: deliver(qid, item)`` closures it replaces —
+    but picklable, so sinks survive engine checkpointing.
+    """
+
+    __slots__ = ("deliver", "query_id")
+
+    def __init__(self, deliver: DeliverFn, query_id: int) -> None:
+        self.deliver = deliver
+        self.query_id = query_id
+
+    def __call__(self, item: SensorTuple) -> None:
+        self.deliver(self.query_id, item)
+
+
+class DiscardRecording:
+    """Forwards one operator's discarded tuples to a discard recorder."""
+
+    __slots__ = ("recorder", "operator_name")
+
+    def __init__(self, recorder: Callable[[str, SensorTuple], None], operator_name: str) -> None:
+        self.recorder = recorder
+        self.operator_name = operator_name
+
+    def __call__(self, item: SensorTuple) -> None:
+        self.recorder(self.operator_name, item)
+
+
 @dataclass
 class QueryTap:
     """Where one query taps the chain.
@@ -219,7 +266,7 @@ class AttributeChain:
         cell_key = self._cell.key
 
         self._router = FilterOperator(
-            lambda item, attr=attribute: item.attribute == attr,
+            AttributeRoute(attribute),
             name=f"route:{attribute}@{cell_key}",
         )
         topology.add_operator(self._router, upstream=topology.entry)
@@ -237,10 +284,8 @@ class AttributeChain:
         topology.add_operator(self._flatten, upstream=self._router.output)
         if self._discard_recorder is not None:
             # "If necessary, the discarded tuples can be stored separately."
-            recorder = self._discard_recorder
-            operator_name = self._flatten.name
             self._flatten.discarded_output.subscribe(
-                lambda item, name=operator_name: recorder(name, item)
+                DiscardRecording(self._discard_recorder, self._flatten.name)
             )
 
         # Distinct requested rates, descending; equal-rate queries share a level.
@@ -281,7 +326,7 @@ class AttributeChain:
     ) -> QueryTap:
         query = entry.query
         sink = CallbackSink(
-            lambda item, qid=query.query_id: deliver(qid, item),
+            QueryDelivery(deliver, query.query_id),
             name=f"deliver:{query.label}@{self._cell.key}",
         )
         partition: Optional[PartitionOperator] = None

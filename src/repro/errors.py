@@ -67,3 +67,12 @@ class ViewError(CraqrError):
 
 class WorkloadError(CraqrError):
     """Raised by workload and scenario generators on invalid parameters."""
+
+
+class RecoveryError(CraqrError):
+    """Raised by the checkpoint/recovery subsystem.
+
+    Covers unreadable, torn or checksum-corrupt snapshot files, unknown
+    snapshot format versions, and restore attempts against incompatible
+    engine builds.
+    """

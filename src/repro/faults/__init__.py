@@ -10,6 +10,12 @@ per-(attribute, cell) degradation tracking (:class:`DegradationTracker`).
 Faults and mitigation are configured on :class:`repro.config.EngineConfig`
 (``faults`` / ``resilience``) and are strictly opt-in: with neither set,
 every acquisition path executes its pre-fault code byte-for-byte.
+
+PR 7 extends the framework from injected *data* faults to injected
+*process* crashes: :class:`CrashInjector` kills a run at a named
+:class:`CrashPoint` barrier of the batch loop (or mid-checkpoint-write),
+and the recovery harness proves the engine converges back to the
+uninterrupted run from its last checkpoint (see :mod:`repro.recovery`).
 """
 
 from .plan import (
@@ -23,6 +29,13 @@ from .plan import (
 from .injector import FaultInjector, FaultOutcome
 from .health import HealthSummary, SensorHealthMonitor
 from .degradation import DegradationTracker
+from .crash import (
+    CrashInjector,
+    CrashPoint,
+    SimulatedCrash,
+    crash_points,
+    parse_crash_point,
+)
 
 __all__ = [
     "BurstDropModel",
@@ -36,4 +49,9 @@ __all__ = [
     "HealthSummary",
     "SensorHealthMonitor",
     "DegradationTracker",
+    "CrashInjector",
+    "CrashPoint",
+    "SimulatedCrash",
+    "crash_points",
+    "parse_crash_point",
 ]

@@ -260,6 +260,19 @@ class QueryResultBuffer:
         self._subscribers: List[SubscriberFn] = []
         self._notify_cursor: Optional[ResultCursor] = None
 
+    def __getstate__(self):
+        # Push subscribers are runtime wiring (user callbacks, view
+        # delivery) that cannot — and must not — survive a checkpoint:
+        # restore re-subscribes the engine-managed view callbacks
+        # deterministically, and user code re-subscribes its own.  The
+        # shared notify cursor is recreated at the tail lazily on the next
+        # subscribe(); checkpoints are taken at batch boundaries, where the
+        # tail cursor carries no pending tuples.
+        state = dict(self.__dict__)
+        state["_subscribers"] = []
+        state["_notify_cursor"] = None
+        return state
+
     # ------------------------------------------------------------------
     @property
     def query_id(self) -> int:
@@ -485,12 +498,22 @@ class QueryResultBuffer:
             if consumed is not None and consumed >= self._evicted:
                 chunk_seq, row = self._chunk_base, self._head_dropped
             else:
+                first_retained = self._batches_completed - len(self._per_batch_counts)
+                behind = (
+                    f"; the cursor is {self._evicted - consumed} tuples behind "
+                    f"the oldest retained row"
+                    if consumed is not None
+                    else ""
+                )
                 raise StorageError(
-                    f"cursor position has been evicted: the buffer retains chunks "
-                    f"from sequence {self._chunk_base} (row {self._head_dropped}) "
-                    f"onwards, cursor was at chunk {chunk_seq} row {row} "
-                    f"(retention_batches={self._retention}, "
-                    f"{self._evicted} tuples evicted so far)"
+                    f"cursor position has been evicted: the cursor was at chunk "
+                    f"{chunk_seq} row {row}, but the buffer retains chunks from "
+                    f"sequence {self._chunk_base} (row {self._head_dropped}) "
+                    f"onwards — batches {first_retained}..{self._batches_completed - 1} "
+                    f"of {self._batches_completed} completed "
+                    f"(retention_batches={self._retention}, {self._evicted} of "
+                    f"{self._total} lifetime tuples evicted){behind}; open a fresh "
+                    f"cursor() to resume from the retained history"
                 )
         local = chunk_seq - self._chunk_base
         if local > len(self._chunks):
@@ -590,10 +613,14 @@ class QueryResultBuffer:
             batches = self._batches_completed
         else:
             if last > len(self._per_batch_counts):
+                first_retained = self._batches_completed - len(self._per_batch_counts)
                 raise StorageError(
-                    f"only the last {len(self._per_batch_counts)} batch counts "
-                    f"are retained (retention_batches={self._retention}); "
-                    f"cannot window over the last {last} batches"
+                    f"cannot window over the last {last} batches: only the last "
+                    f"{len(self._per_batch_counts)} batch counts are retained — "
+                    f"batches {first_retained}..{self._batches_completed - 1} of "
+                    f"{self._batches_completed} completed "
+                    f"(retention_batches={self._retention}); use last=None for "
+                    f"the exact lifetime rate"
                 )
             tuples = sum(self._per_batch_counts[-last:])
             batches = last

@@ -228,13 +228,16 @@ class ViewFrameBuffer:
         if local < 0:
             raise StorageError(
                 f"frame {frame_index} has been evicted: the buffer retains "
-                f"frames from index {self._frame_base} onwards "
-                f"(retention_frames={self._retention})"
+                f"frames {self._frame_base}..{self.frames_emitted - 1} of "
+                f"{self.frames_emitted} emitted — the request is "
+                f"{self._frame_base - frame_index} frames behind the oldest "
+                f"retained one (retention_frames={self._retention})"
             )
         if local >= len(self._frames):
             raise StorageError(
-                f"frame {frame_index} has not been emitted yet "
-                f"(next frame is {self.frames_emitted})"
+                f"frame {frame_index} has not been emitted yet: the buffer "
+                f"retains frames {self._frame_base}..{self.frames_emitted - 1} "
+                f"(next to be emitted is {self.frames_emitted})"
             )
         return self._frames[local]
 
@@ -254,10 +257,13 @@ class ViewFrameBuffer:
         local = next_index - self._frame_base
         if local < 0:
             raise StorageError(
-                f"cursor position has been evicted: the buffer retains frames "
-                f"from index {self._frame_base} onwards, cursor was at frame "
-                f"{next_index} (retention_frames={self._retention}, "
-                f"{self._frame_base} frames evicted so far)"
+                f"cursor position has been evicted: the cursor was at frame "
+                f"{next_index}, but the buffer retains frames "
+                f"{self._frame_base}..{self.frames_emitted - 1} of "
+                f"{self.frames_emitted} emitted — the cursor fell "
+                f"{self._frame_base - next_index} frames behind the oldest "
+                f"retained one (retention_frames={self._retention}); open a "
+                f"fresh frame_cursor() to resume from the retained history"
             )
         if local >= len(self._frames):
             return []

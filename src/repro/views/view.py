@@ -166,6 +166,28 @@ class ContinuousView:
         """Remember the delivery subscription so DROP VIEW can cancel it."""
         self._subscription = subscription
 
+    def accept(self, batch: TupleBatch) -> None:
+        """The delivery-subscription callback: fold one batch, quarantined.
+
+        Maintenance runs inside the engine's end-of-batch loop; a view
+        whose fold raises (e.g. AVG over a non-numeric stream) is
+        quarantined — detached with the error recorded — rather than
+        aborting the batch for every other session.  A bound method so the
+        engine re-attaches it identically after a checkpoint restore.
+        """
+        try:
+            self.on_delivery(batch)
+        except Exception as exc:  # noqa: BLE001 - quarantine any fold error
+            self.fail(exc)
+
+    def __getstate__(self):
+        # The delivery subscription is runtime wiring into the query's
+        # result buffer; checkpoint restore re-subscribes deterministically
+        # (see CraqrEngine.restore), so it is never pickled.
+        state = dict(self.__dict__)
+        state["_subscription"] = None
+        return state
+
     def detach(self) -> None:
         """Stop maintenance (frames stay readable); idempotent."""
         if self._subscription is not None:

@@ -9,6 +9,7 @@ from .scenarios import (
     build_hotspot_world,
     cell_outage_plan,
     cell_outage_scenario,
+    crash_recovery_scenario,
     default_engine_config,
     default_resilience_config,
     flaky_crowd_plan,
@@ -27,6 +28,7 @@ __all__ = [
     "build_hotspot_world",
     "cell_outage_plan",
     "cell_outage_scenario",
+    "crash_recovery_scenario",
     "default_engine_config",
     "default_resilience_config",
     "flaky_crowd_plan",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
-from ..config import BudgetConfig, EngineConfig
+from ..config import BudgetConfig, CheckpointConfig, EngineConfig
 from ..faults import (
     BurstDropModel,
     CellOutage,
@@ -292,6 +292,48 @@ def flaky_crowd_scenario(
             "drops (i.i.d. + bursty), stuck-at sensors, outlier spikes, "
             "latency inflation and clock skew, answered by deadlines, "
             "retries and sensor-health quarantine."
+        ),
+        world=build_rain_temperature_world(sensor_count=sensor_count, seed=seed),
+        config=config,
+    )
+
+
+def crash_recovery_scenario(
+    *,
+    checkpoint_dir: str,
+    checkpoint_every: int = 2,
+    retain: int = 3,
+    sensor_count: int = 300,
+    seed: int = 11,
+    fault_seed: int = 23,
+) -> Scenario:
+    """The flaky crowd with periodic checkpoints: the recovery stress case.
+
+    Everything the :func:`flaky_crowd_scenario` throws at the engine —
+    drops, bursts, stuck sensors, outliers, latency spikes, plus the full
+    mitigation bundle — now runs under a
+    :class:`~repro.config.CheckpointConfig`: every ``checkpoint_every``
+    batches the complete engine state is written atomically to
+    ``checkpoint_dir`` (last ``retain`` kept).  The crash-recovery
+    regression kills this scenario at every :class:`~repro.faults.CrashPoint`,
+    restores from the last good checkpoint, replays, and requires the
+    replayed run to be byte-identical to an uninterrupted one.
+    """
+    config = replace(
+        default_engine_config(),
+        faults=flaky_crowd_plan(seed=fault_seed),
+        resilience=default_resilience_config(),
+        checkpoints=CheckpointConfig(
+            directory=checkpoint_dir, every=checkpoint_every, retain=retain
+        ),
+    )
+    return Scenario(
+        name="crash-recovery",
+        description=(
+            "The flaky-crowd city with periodic crash-consistent checkpoints: "
+            "the engine survives a process kill at any point of the batch "
+            "loop (or mid-checkpoint-write) and replays to the exact stream "
+            "an uninterrupted run delivers."
         ),
         world=build_rain_temperature_world(sensor_count=sensor_count, seed=seed),
         config=config,

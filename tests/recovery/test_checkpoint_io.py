@@ -1,0 +1,212 @@
+"""The checkpoint file format and its crash-consistency guarantees.
+
+Covers the framing (magic/version/length/checksum), atomic writes (temp
+file + fsync + rename; a crash mid-write never leaves a torn target),
+detection of every corruption class, and the :class:`CheckpointStore`'s
+retention and torn-newest fallback behaviour.
+"""
+
+import pickle
+
+import pytest
+
+from recovery_harness import make_engine, restore_latest_fresh, run_to
+from repro.errors import RecoveryError
+from repro.recovery import (
+    CheckpointStore,
+    EngineSnapshot,
+    atomic_write_bytes,
+    atomic_write_text,
+    list_snapshots,
+    load_latest,
+    read_snapshot_file,
+    write_snapshot_file,
+)
+from repro.recovery.io import MAGIC, frame_payload, unframe_payload
+
+
+class TestFraming:
+    def test_frame_unframe_round_trip(self):
+        payload = pickle.dumps({"hello": "world"})
+        assert unframe_payload(frame_payload(payload)) == payload
+
+    def test_frame_starts_with_magic(self):
+        assert frame_payload(b"x").startswith(MAGIC)
+
+    def test_short_file_is_rejected(self):
+        with pytest.raises(RecoveryError, match="shorter than"):
+            unframe_payload(b"CRQR")
+
+    def test_bad_magic_is_rejected(self):
+        framed = bytearray(frame_payload(b"payload"))
+        framed[:8] = b"NOTMAGIC"
+        with pytest.raises(RecoveryError, match="bad magic"):
+            unframe_payload(bytes(framed))
+
+    def test_future_format_version_is_rejected(self):
+        framed = frame_payload(b"payload", version=2)
+        with pytest.raises(RecoveryError, match="version 2"):
+            unframe_payload(framed)
+
+    def test_torn_payload_is_rejected(self):
+        framed = frame_payload(b"a moderately long payload")
+        with pytest.raises(RecoveryError, match="torn"):
+            unframe_payload(framed[:-5])
+
+    def test_bit_flip_is_rejected(self):
+        framed = bytearray(frame_payload(b"a moderately long payload"))
+        framed[-1] ^= 0x01
+        with pytest.raises(RecoveryError, match="checksum mismatch"):
+            unframe_payload(bytes(framed))
+
+    def test_error_names_the_source(self):
+        with pytest.raises(RecoveryError, match="badfile.ckpt"):
+            unframe_payload(b"", source="badfile.ckpt")
+
+
+class TestAtomicWrites:
+    def test_write_creates_parents_and_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "file.bin"
+        atomic_write_bytes(target, b"data")
+        assert target.read_bytes() == b"data"
+        assert not list(target.parent.glob("*.tmp"))
+
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        atomic_write_text(target, '{"a": 1}\n')
+        assert target.read_text() == '{"a": 1}\n'
+
+    def test_crash_before_replace_preserves_the_old_file(self, tmp_path):
+        """A process dying between temp-write and rename (modelled by a
+        raising hook) must leave the previous contents untouched and no
+        temp file behind — the atomicity contract the crash matrix relies
+        on."""
+        target = tmp_path / "file.bin"
+        atomic_write_bytes(target, b"old contents")
+
+        def crash():
+            raise RuntimeError("simulated power loss")
+
+        with pytest.raises(RuntimeError):
+            atomic_write_bytes(target, b"new contents", pre_replace_hook=crash)
+        assert target.read_bytes() == b"old contents"
+        assert not list(tmp_path.glob("*.tmp")) and not list(tmp_path.glob(".*tmp"))
+
+    def test_snapshot_file_round_trip(self, tmp_path):
+        target = tmp_path / "snap.ckpt"
+        write_snapshot_file(target, b"payload bytes")
+        assert read_snapshot_file(target) == b"payload bytes"
+
+    def test_missing_file_raises_recovery_error(self, tmp_path):
+        with pytest.raises(RecoveryError, match="cannot read"):
+            read_snapshot_file(tmp_path / "nope.ckpt")
+
+
+class TestDirectoryScanning:
+    def test_list_snapshots_sorted_and_filtered(self, tmp_path):
+        for name in [
+            "checkpoint-00000004.ckpt",
+            "checkpoint-00000002.ckpt",
+            "checkpoint-00000010.ckpt",
+            "notes.txt",
+            ".checkpoint-00000006.ckpt.123.tmp",
+        ]:
+            (tmp_path / name).write_bytes(b"")
+        names = [p.name for p in list_snapshots(tmp_path)]
+        assert names == [
+            "checkpoint-00000002.ckpt",
+            "checkpoint-00000004.ckpt",
+            "checkpoint-00000010.ckpt",
+        ]
+
+    def test_list_snapshots_missing_directory(self, tmp_path):
+        assert list_snapshots(tmp_path / "absent") == []
+
+    def test_load_latest_skips_unreadable_newest(self, tmp_path):
+        write_snapshot_file(tmp_path / "checkpoint-00000002.ckpt", b"good")
+        (tmp_path / "checkpoint-00000004.ckpt").write_bytes(b"torn garbage")
+        latest = load_latest(tmp_path)
+        assert latest is not None and latest.name == "checkpoint-00000002.ckpt"
+
+    def test_load_latest_empty_or_corrupt_only(self, tmp_path):
+        assert load_latest(tmp_path) is None
+        (tmp_path / "checkpoint-00000002.ckpt").write_bytes(b"junk")
+        assert load_latest(tmp_path) is None
+
+
+class TestCheckpointStore:
+    def test_rejects_nonpositive_retention(self, tmp_path):
+        with pytest.raises(RecoveryError, match="positive"):
+            CheckpointStore(tmp_path, retain=0)
+
+    def test_path_embeds_zero_padded_batch_index(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.path_for(10).name == "checkpoint-00000010.ckpt"
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        """Running with every=2, retain=3 for 10 batches keeps exactly the
+        three newest files — the older ones were pruned after each write."""
+        engine = make_engine(checkpoint_dir=tmp_path, every=2, retain=3)
+        run_to(engine, 10)
+        names = [p.name for p in list_snapshots(tmp_path)]
+        assert names == [
+            "checkpoint-00000006.ckpt",
+            "checkpoint-00000008.ckpt",
+            "checkpoint-00000010.ckpt",
+        ]
+
+    def test_latest_path_falls_back_over_corrupt_newest(self, tmp_path):
+        engine = make_engine(checkpoint_dir=tmp_path, every=2, retain=3)
+        run_to(engine, 6)
+        newest = tmp_path / "checkpoint-00000006.ckpt"
+        data = bytearray(newest.read_bytes())
+        data[-1] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        store = CheckpointStore(tmp_path)
+        latest = store.latest_path()
+        assert latest is not None and latest.name == "checkpoint-00000004.ckpt"
+        assert store.load_latest().batch_index == 4
+
+    def test_restore_latest_on_empty_directory_raises(self, tmp_path):
+        with pytest.raises(RecoveryError, match="no readable checkpoint"):
+            restore_latest_fresh(tmp_path)
+
+    def test_restore_latest_on_corrupt_only_directory_raises(self, tmp_path):
+        (tmp_path / "checkpoint-00000002.ckpt").write_bytes(b"junk")
+        with pytest.raises(RecoveryError, match="no readable checkpoint"):
+            restore_latest_fresh(tmp_path)
+
+
+class TestSnapshotFiles:
+    def test_engine_snapshot_file_round_trip(self, tmp_path):
+        engine = run_to(make_engine(), 3)
+        snapshot = engine.snapshot()
+        path = snapshot.write(tmp_path / "manual.ckpt")
+        from repro.recovery import load_snapshot
+
+        clone = load_snapshot(path)
+        assert clone.batch_index == 3
+        assert clone.queries == snapshot.queries
+        assert clone.views == snapshot.views
+        assert clone.size_bytes == snapshot.size_bytes
+
+    def test_kind_guard_rejects_foreign_pickles(self, tmp_path):
+        """A well-framed file whose payload is not an engine snapshot (say
+        a BENCH metrics pickle) is rejected by the payload-kind guard."""
+        path = tmp_path / "checkpoint-00000002.ckpt"
+        write_snapshot_file(path, pickle.dumps([1, 2, 3]))
+        from repro.recovery import load_snapshot
+
+        with pytest.raises(RecoveryError, match="not an engine snapshot"):
+            load_snapshot(path)
+
+    def test_explicit_checkpoint_api_writes_where_told(self, tmp_path):
+        engine = run_to(make_engine(), 2)
+        path = engine.checkpoint(tmp_path / "here.ckpt")
+        assert path == tmp_path / "here.ckpt"
+        assert EngineSnapshot.from_bytes(path.read_bytes()).batch_index == 2
+
+    def test_checkpoint_without_directory_raises(self):
+        engine = run_to(make_engine(), 1)
+        with pytest.raises(RecoveryError, match="no checkpoint directory"):
+            engine.checkpoint()

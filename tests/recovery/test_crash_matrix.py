@@ -1,0 +1,165 @@
+"""The crash matrix: kill the engine at every barrier, restore, converge.
+
+Each :class:`~repro.faults.CrashPoint` brackets a different set of state
+mutations (handler/world RNGs, delivered buffers, tuner history, the
+checkpoint file itself).  For every point the test arms a
+:class:`~repro.faults.CrashInjector`, lets the run die, restores from the
+newest surviving checkpoint and replays — the replayed run must be
+byte-identical to an uninterrupted reference.  One test does it with a
+real ``os._exit`` in a subprocess.
+"""
+
+import subprocess
+import sys
+import pathlib
+
+import pytest
+
+from recovery_harness import (
+    engine_digest,
+    make_engine,
+    restore_latest_fresh,
+    run_to,
+)
+from repro.faults import CrashInjector, CrashPoint, SimulatedCrash
+from repro.recovery import list_snapshots
+
+IN_PROCESS_POINTS = [
+    CrashPoint.POST_ACQUISITION,
+    CrashPoint.POST_MERGE,
+    CrashPoint.PRE_VIEW_FOLD,
+]
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("point", IN_PROCESS_POINTS, ids=lambda p: p.value)
+    def test_crash_restore_replay_converges(self, tmp_path, point):
+        reference = run_to(make_engine(), 8)
+
+        crashed = make_engine(checkpoint_dir=tmp_path, every=2)
+        crashed.arm_crash(CrashInjector(point, at_batch=5))
+        with pytest.raises(SimulatedCrash) as exc:
+            run_to(crashed, 8)
+        assert exc.value.point is point
+        assert exc.value.batch_index == 5
+        # The crash hit mid-batch: batch 5 never completed.
+        assert crashed.batches_run == 5
+        del crashed
+
+        restored = restore_latest_fresh(tmp_path)
+        assert restored.batches_run == 4  # newest checkpoint preceding the crash
+        run_to(restored, 8)
+        assert engine_digest(restored) == engine_digest(reference)
+
+    def test_crash_mid_checkpoint_write_leaves_no_torn_file(self, tmp_path):
+        """Dying between the temp-file fsync and the rename must leave the
+        previous checkpoints intact, the interrupted target absent and no
+        temp file behind; recovery falls back to the previous checkpoint
+        and still converges."""
+        reference = run_to(make_engine(), 8)
+
+        crashed = make_engine(checkpoint_dir=tmp_path, every=2)
+        # Batch 5 completes and triggers the checkpoint-6 write; the
+        # injector kills the process inside that write.
+        crashed.arm_crash(
+            CrashInjector(CrashPoint.MID_CHECKPOINT_WRITE, at_batch=5)
+        )
+        with pytest.raises(SimulatedCrash):
+            run_to(crashed, 8)
+        del crashed
+
+        names = [p.name for p in list_snapshots(tmp_path)]
+        assert "checkpoint-00000006.ckpt" not in names
+        assert "checkpoint-00000004.ckpt" in names
+        assert not list(tmp_path.glob("*.tmp")) and not list(tmp_path.glob(".*tmp*"))
+
+        restored = restore_latest_fresh(tmp_path)
+        assert restored.batches_run == 4
+        run_to(restored, 8)
+        assert engine_digest(restored) == engine_digest(reference)
+
+    @pytest.mark.parametrize("damage", ["truncate", "bitflip"], ids=str)
+    def test_damaged_newest_checkpoint_falls_back(self, tmp_path, damage):
+        """A torn or bit-flipped newest file (crash while the data hit the
+        platter badly) is detected by the checksum layer; restore silently
+        falls back to the previous retained checkpoint and converges."""
+        reference = run_to(make_engine(), 8)
+
+        engine = make_engine(checkpoint_dir=tmp_path, every=2)
+        run_to(engine, 6)
+        del engine
+
+        newest = tmp_path / "checkpoint-00000006.ckpt"
+        data = newest.read_bytes()
+        if damage == "truncate":
+            newest.write_bytes(data[: len(data) // 2])
+        else:
+            flipped = bytearray(data)
+            flipped[-10] ^= 0xFF
+            newest.write_bytes(bytes(flipped))
+
+        restored = restore_latest_fresh(tmp_path)
+        assert restored.batches_run == 4
+        run_to(restored, 8)
+        assert engine_digest(restored) == engine_digest(reference)
+
+    def test_injector_fires_exactly_once(self, tmp_path):
+        """The armed injector is one-shot and is not captured into
+        checkpoints: neither the restored engine nor later batches of the
+        crashed one re-fire it."""
+        engine = make_engine(checkpoint_dir=tmp_path, every=2)
+        engine.arm_crash(CrashInjector(CrashPoint.POST_MERGE, at_batch=3))
+        with pytest.raises(SimulatedCrash):
+            run_to(engine, 8)
+        # The same engine object can keep running (the barrier is spent).
+        run_to(engine, 8)
+        assert engine.batches_run == 8
+
+        restored = restore_latest_fresh(tmp_path)
+        run_to(restored, 10)  # no crash plan inherited from the snapshot
+        assert restored.batches_run == 10
+
+
+CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {harness!r})
+
+from recovery_harness import make_engine, run_to
+from repro.faults import CrashInjector, CrashPoint
+
+engine = make_engine(checkpoint_dir={ckpt!r}, every=2)
+engine.arm_crash(
+    CrashInjector(CrashPoint.POST_MERGE, at_batch=5, process_exit=True, exit_code=17)
+)
+run_to(engine, 8)
+print("survived", engine.batches_run)  # unreachable if the crash fires
+"""
+
+
+class TestProcessLevelCrash:
+    def test_os_exit_crash_then_recover_in_parent(self, tmp_path):
+        """The real thing: a child process runs the workload, dies via
+        ``os._exit`` (no atexit, no flushing, no unwinding) mid-batch; the
+        parent restores from the files it left behind and converges with
+        an uninterrupted in-process reference."""
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        script = CHILD_SCRIPT.format(
+            src=str(repo / "src"),
+            harness=str(repo / "tests" / "recovery"),
+            ckpt=str(tmp_path),
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 17, proc.stderr
+        assert "survived" not in proc.stdout
+
+        restored = restore_latest_fresh(tmp_path)
+        assert restored.batches_run == 4
+        run_to(restored, 8)
+        reference = run_to(make_engine(), 8)
+        assert engine_digest(restored) == engine_digest(reference)
