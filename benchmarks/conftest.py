@@ -13,9 +13,10 @@ benchmarks go through ``record_world_metric`` into ``BENCH_world.json``,
 session-surface metrics through ``record_session_metric`` into
 ``BENCH_session.json``, continuous-view metrics through
 ``record_view_metric`` into ``BENCH_views.json``, fault-scenario
-metrics through ``record_scenario_metric`` into ``BENCH_scenarios.json``
-and checkpoint/restore metrics through ``record_recovery_metric`` into
-``BENCH_recovery.json``.
+metrics through ``record_scenario_metric`` into ``BENCH_scenarios.json``,
+checkpoint/restore metrics through ``record_recovery_metric`` into
+``BENCH_recovery.json`` and plan-compiler metrics through
+``record_plan_metric`` into ``BENCH_plan.json``.
 """
 
 from __future__ import annotations
@@ -36,6 +37,7 @@ BENCH_SESSION_JSON = pathlib.Path(__file__).parent.parent / "BENCH_session.json"
 BENCH_VIEWS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_views.json"
 BENCH_SCENARIOS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_scenarios.json"
 BENCH_RECOVERY_JSON = pathlib.Path(__file__).parent.parent / "BENCH_recovery.json"
+BENCH_PLAN_JSON = pathlib.Path(__file__).parent.parent / "BENCH_plan.json"
 
 
 @pytest.fixture(scope="session")
@@ -64,6 +66,7 @@ _SESSION_METRIC_STORE: Dict[str, dict] = {}
 _VIEWS_METRIC_STORE: Dict[str, dict] = {}
 _SCENARIO_METRIC_STORE: Dict[str, dict] = {}
 _RECOVERY_METRIC_STORE: Dict[str, dict] = {}
+_PLAN_METRIC_STORE: Dict[str, dict] = {}
 
 
 def _make_recorder(store: Dict[str, dict]):
@@ -143,6 +146,17 @@ def record_recovery_metric():
     return _make_recorder(_RECOVERY_METRIC_STORE)
 
 
+@pytest.fixture
+def record_plan_metric():
+    """Like ``record_metric`` but routed to ``BENCH_plan.json``.
+
+    Used by the plan-compiler benchmarks (``bench_plan_compiler.py``) so
+    the compiled-vs-interpreted speedup and the cache's recompile counts
+    are tracked separately.
+    """
+    return _make_recorder(_PLAN_METRIC_STORE)
+
+
 def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
     if path.exists():
@@ -181,3 +195,5 @@ def pytest_sessionfinish(session, exitstatus):
         _persist(BENCH_SCENARIOS_JSON, _SCENARIO_METRIC_STORE)
     if _RECOVERY_METRIC_STORE:
         _persist(BENCH_RECOVERY_JSON, _RECOVERY_METRIC_STORE)
+    if _PLAN_METRIC_STORE:
+        _persist(BENCH_PLAN_JSON, _PLAN_METRIC_STORE)

@@ -352,6 +352,7 @@ statements (case-insensitive keywords, ';'-separable):
   CREATE VIEW <name> ON <query> AS <AGG>(value) [GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]
   DROP VIEW <name>
   SHOW VIEWS
+  EXPLAIN <query|view>
 repl commands:
   run [N]          advance N batch windows (default 1)
   frames <view> [N]  show the last N frames of a view (default 5)
@@ -478,7 +479,9 @@ def _execute_repl_statement(
     if isinstance(statement, ParsedQuery):
         catalog.validate_attribute(statement.attribute)
     result = engine.execute(statement)
-    if isinstance(result, list):  # SHOW QUERIES / SHOW VIEWS
+    if isinstance(result, str):  # EXPLAIN
+        out(result)
+    elif isinstance(result, list):  # SHOW QUERIES / SHOW VIEWS
         if isinstance(statement, ShowViewsStatement):
             out(_views_table(result).render())
         else:

@@ -169,6 +169,20 @@ class EngineConfig:
         trades per-sensor stream reproducibility for statistically
         equivalent output at simulation scale.  Flip both on for maximum
         end-to-end throughput (see ``benchmarks/bench_world_advance.py``).
+    compile_plans:
+        When true (the default) and ``columnar`` is on, the engine lowers
+        every registered query's PMAT chain into one per-batch dataflow
+        graph (``repro.plan``) and executes fused kernels: a chain's
+        flatten/thin/partition decisions compose as row indices with a
+        single gather per delivered stream, the intensity SGD loop hoists
+        its loop-invariant compensator, and the fabricator buckets cells
+        from one sorted gather.  Byte-identical to the interpreted
+        operator path (same RNG draws, same counters, same reports);
+        ``False`` keeps the per-operator ``process_batch`` reference path.
+        The compiled plan is derived state — rebuilt after ALTER / STOP /
+        restore, never checkpointed.  Inspect it with ``EXPLAIN <query>``.
+        Discard recording (``store_discarded``) falls back to the
+        interpreted path, which materialises the dropped tuples.
     retention_batches:
         Service-mode memory bound: when set, every query result buffer
         evicts chunks older than this many completed batches, the engine
@@ -210,6 +224,7 @@ class EngineConfig:
     store_discarded: bool = False
     online_estimation: bool = False
     columnar: bool = True
+    compile_plans: bool = True
     retention_batches: Optional[int] = None
     faults: Optional[FaultPlan] = None
     resilience: Optional[ResilienceConfig] = None

@@ -93,7 +93,13 @@ from ..storage import (
     Subscription,
 )
 from ..streams import SensorTuple, TupleBatch
-from ..views import ContinuousView, ViewHandle, ViewSessionInfo, ViewSpec
+from ..views import (
+    ContinuousView,
+    SharedSortCache,
+    ViewHandle,
+    ViewSessionInfo,
+    ViewSpec,
+)
 from .budget import BudgetDecision, BudgetTuner
 from .fabricator import BatchResult, StreamFabricator
 from .planner import PlannerStats, QueryPlanner
@@ -423,6 +429,9 @@ class CraqrEngine:
         )
         #: armed crash injector (tests only); never survives a restore.
         self._crash: Optional[CrashInjector] = None
+        #: compiled-plan cache (repro.plan.PlanCache) — derived state,
+        #: created lazily, never checkpointed, rebuilt after restore.
+        self._plan_cache = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -548,6 +557,84 @@ class CraqrEngine:
     def planner_stats(self) -> PlannerStats:
         """Snapshot of the planner's state (operator counts, materialised cells)."""
         return self._planner.stats()
+
+    # ------------------------------------------------------------------
+    # Compiled plans (repro.plan)
+    # ------------------------------------------------------------------
+    @property
+    def plan_cache(self):
+        """The compiled-plan cache (``None`` until the first compiled batch).
+
+        Derived state: it is never checkpointed and a restored engine
+        rebuilds it lazily; its ``compiles``/``reuses`` counters are what
+        the churn-storm regression test pins.
+        """
+        return self._plan_cache
+
+    def _compiled_enabled(self) -> bool:
+        """Whether batches run through compiled chain programs.
+
+        Requires the columnar path and ``config.compile_plans``; chains
+        recording discarded tuples materialise every dropped batch, so a
+        ``store_discarded`` engine stays on the interpreted reference path.
+        """
+        return (
+            self._config.columnar
+            and self._config.compile_plans
+            and self._discarded is None
+        )
+
+    def _compiled_programs(self):
+        """Valid compiled programs for this batch (``None`` when disabled)."""
+        if not self._compiled_enabled():
+            return None
+        if self._plan_cache is None:
+            from ..plan import PlanCache
+
+            self._plan_cache = PlanCache()
+        return self._plan_cache.programs_for(self._planner)
+
+    def explain(self, name: str) -> str:
+        """Render the compiled plan slice for a query label or view name.
+
+        The ``EXPLAIN <query|view>`` statement: lowers the live topology
+        (and every active view) into the plan graph, runs the optimizer
+        pass pipeline, and renders the nodes the target rides on together
+        with the fused kernel groupings, cross-query sharing, the merge
+        stage structure and the seed cost model's steady-state estimate.
+        """
+        from ..plan import build_plan_graph, optimize, render_explain
+        from .optimizer import estimate_query_cost
+
+        view = self._views.get(name)
+        view_name: Optional[str] = None
+        if view is not None:
+            view_name = name
+            handle = self._handles.get(view.query_id)
+            if handle is None:  # pragma: no cover - drop_view removes these
+                raise QueryError(f"view {name!r} has no registered query")
+        else:
+            try:
+                handle = self.query(name)
+            except QueryError:
+                raise QueryError(
+                    f"EXPLAIN target {name!r} matches no registered query "
+                    f"label and no view name"
+                ) from None
+        query = handle.query
+        graph = build_plan_graph(self._planner, self._views.values())
+        optimize(graph, batch_duration=self._config.batch_duration)
+        cost = estimate_query_cost(
+            query, self._grid, batch_duration=self._config.batch_duration
+        )
+        return render_explain(
+            graph,
+            query_id=query.query_id,
+            query_label=query.label,
+            view_name=view_name,
+            compiled=self._compiled_enabled(),
+            cost_estimate=cost,
+        )
 
     # ------------------------------------------------------------------
     # Query lifecycle
@@ -741,9 +828,30 @@ class CraqrEngine:
 
         view.attach(handle.subscribe(view.accept))
         self._views[view_name] = view
+        self._install_shared_sort(view)
         view_handle = ViewHandle(view, self)
         self._view_handles[view_name] = view_handle
         return view_handle
+
+    def _install_shared_sort(self, view: ContinuousView) -> None:
+        """Give the view its query's shared lexsort cache (compiled path).
+
+        Every view on one query folds the same delivered batch; with
+        compiled plans on, views sharing a ``(slide, group_by)`` signature
+        reuse one (pane, group) sort per batch.  The cache lives only on
+        the views themselves (runtime wiring, dropped from checkpoints),
+        so installation finds a sibling's cache or starts a fresh one.
+        """
+        if not self._compiled_enabled():
+            return
+        for other in self._views.values():
+            if other is view or other.query_id != view.query_id:
+                continue
+            cache = getattr(other, "_shared_sort", None)
+            if cache is not None:
+                view._shared_sort = cache
+                return
+        view._shared_sort = SharedSortCache()
 
     def has_view(self, name: str) -> bool:
         """Whether a view with this name is currently maintained."""
@@ -806,7 +914,8 @@ class CraqrEngine:
           view) and ``DROP VIEW`` (the detached view, frames still
           readable),
         * a list of :class:`~repro.views.ViewSessionInfo` rows for ``SHOW
-          VIEWS``.
+          VIEWS``,
+        * the rendered plan string for ``EXPLAIN <query|view>``.
         """
         # Imported lazily: repro.query imports repro.core.query, so a
         # module-level import would be order-sensitive during package init.
@@ -814,6 +923,7 @@ class CraqrEngine:
             AlterStatement,
             CreateViewStatement,
             DropViewStatement,
+            ExplainStatement,
             ParsedQuery,
             ShowQueriesStatement,
             ShowViewsStatement,
@@ -851,10 +961,12 @@ class CraqrEngine:
             return self.drop_view(statement.name)
         if isinstance(statement, ShowViewsStatement):
             return self.views()
+        if isinstance(statement, ExplainStatement):
+            return self.explain(statement.name)
         raise QueryError(
             f"cannot execute a {type(statement).__name__}; expected a parsed "
             f"ACQUIRE/ALTER/STOP/SHOW QUERIES/CREATE VIEW/DROP VIEW/SHOW "
-            f"VIEWS statement or its text"
+            f"VIEWS/EXPLAIN statement or its text"
         )
 
     def sessions(self) -> List[QuerySessionInfo]:
@@ -921,7 +1033,9 @@ class CraqrEngine:
             )
             self._world.advance(duration)
             self._crash_barrier(CrashPoint.POST_ACQUISITION, batch)
-            fabrication = self._fabricator.process_batch_columnar(batches)
+            fabrication = self._fabricator.process_batch_columnar(
+                batches, programs=self._compiled_programs()
+            )
         else:
             tuples_by_cell, handler_report = self._handler.acquire(
                 attribute_cells, duration=duration
@@ -1083,6 +1197,10 @@ class CraqrEngine:
         # crashed batch to completion, not crash again.
         state = dict(self.__dict__)
         state["_crash"] = None
+        # The compiled-plan cache is derived state: it holds no RNG, no
+        # counters and no results, and is rebuilt lazily from the restored
+        # topology (the recovery contract of tests/plan/).
+        state["_plan_cache"] = None
         return state
 
     def _reattach_after_restore(self) -> None:
@@ -1102,6 +1220,7 @@ class CraqrEngine:
             if handle is None:  # pragma: no cover - drop_view removes these
                 continue
             view.attach(handle.subscribe(view.accept))
+            self._install_shared_sort(view)
 
     # ------------------------------------------------------------------
     # Summaries

@@ -142,6 +142,14 @@ class QueryPlanner:
         """The grid cells a query's region overlaps."""
         return list(self._plan(query_id).cells)
 
+    def query_for_id(self, query_id: int) -> AcquisitionalQuery:
+        """The registered query object for an id."""
+        return self._plan(query_id).query
+
+    def union_operator(self, query_id: int) -> UnionOperator:
+        """The merge-stage Union operator of a registered query."""
+        return self._plan(query_id).union
+
     def _plan(self, query_id: int) -> _QueryPlan:
         try:
             return self._plans[query_id]
@@ -443,7 +451,10 @@ class QueryPlanner:
         return topology.inject_many(items)
 
     def process_columnar(
-        self, mapped: Dict[CellKey, Dict[str, TupleBatch]]
+        self,
+        mapped: Dict[CellKey, Dict[str, TupleBatch]],
+        *,
+        programs: Optional[Dict[CellKey, Dict[str, object]]] = None,
     ) -> int:
         """Columnar process phase: run every materialised cell for one window.
 
@@ -452,11 +463,22 @@ class QueryPlanner:
         mapped to cells without a topology are dropped, mirroring
         :meth:`route_cell_batch` returning 0.  Returns the number of tuples
         routed to materialised cells.
+
+        ``programs`` optionally carries the compiled plan's per-cell chain
+        programs (see :mod:`repro.plan`); cells found in it run fused
+        kernels, the rest interpret their operators.  Either way the cell
+        iteration order — and with it the per-query delivery order that
+        shapes result-buffer chunks — is this method's, so compiled and
+        interpreted runs stay byte-identical.
         """
         routed = 0
         deliver = self._deliver_batch
         for key, topology in self._cells.items():
-            routed += topology.process_batches(mapped.get(key, {}), deliver)
+            routed += topology.process_batches(
+                mapped.get(key, {}),
+                deliver,
+                programs=programs.get(key) if programs else None,
+            )
         return routed
 
     def flush_all(self) -> None:

@@ -32,6 +32,7 @@ from ...pointprocess import (
     OnlineIntensityEstimator,
     fit_linear_intensity_mle,
     flatten_events,
+    flatten_keep_mask,
 )
 from ...pointprocess.estimation import EstimationError
 from ...streams import SensorTuple, TupleBatch
@@ -173,8 +174,15 @@ class FlattenOperator(PMATOperator):
     def process(self, item: SensorTuple) -> None:
         self._buffer.append(item)
 
-    def _estimate_intensity(self, batch: EventBatch) -> IntensityModel:
-        """Pick the intensity model used to flatten the current batch."""
+    def _estimate_intensity(
+        self, batch: EventBatch, *, fused: bool = False
+    ) -> IntensityModel:
+        """Pick the intensity model used to flatten the current batch.
+
+        ``fused`` selects the hoisted-compensator SGD kernel for the online
+        estimator (bit-identical to the reference loop; used by the
+        compiled plan path).
+        """
         if self._intensity is not None:
             return self._intensity
         t_min, t_max = batch.time_span()
@@ -183,7 +191,10 @@ class FlattenOperator(PMATOperator):
             # it the per-event gradient integrated the basis over
             # [0, window_duration] forever while event times grew, biasing
             # theta_t more and more as simulation time advanced.
-            self._online_estimator.observe_batch(batch, window_start=t_min)
+            if fused:
+                self._online_estimator.observe_batch_fused(batch, window_start=t_min)
+            else:
+                self._online_estimator.observe_batch(batch, window_start=t_min)
             # Until the online estimate has warmed up fall back to MLE below.
             if self._online_estimator.updates >= 2 * self._min_batch_for_fit:
                 return self._online_estimator.intensity
@@ -288,3 +299,66 @@ class FlattenOperator(PMATOperator):
             for item in discarded.to_tuples():
                 stream.push(item)
         return kept
+
+    def process_batch_mask(self, batch: TupleBatch) -> np.ndarray:
+        """Compiled-path kernel: the Eq. (3) keep-mask without materialising.
+
+        Byte-identical accounting to :meth:`process_batch` — same report
+        (including the full-shortfall report for an empty batch), same
+        counters, same single ``rng.random(n)`` draw — but returns the
+        boolean keep-mask instead of gathering the surviving columns, so
+        the executor can compose it with downstream thin/partition
+        decisions and gather once at delivery.  The online estimator runs
+        its fused (hoisted-compensator) SGD kernel.  Not available with
+        ``emit_discarded`` (the discard store needs the dropped tuples
+        materialised; the engine keeps those chains on the interpreted
+        path).
+        """
+        if self._emit_discarded:
+            raise StreamError(
+                "the compiled flatten kernel cannot emit discarded tuples"
+            )
+        if batch.is_empty:
+            self._reports.append(
+                FlattenBatchReport(
+                    batch_size=0,
+                    retained=0,
+                    violation_percent=0.0,
+                    shortfall_percent=100.0,
+                    target_rate=self._target_rate,
+                )
+            )
+            return np.empty(0, dtype=bool)
+        n = len(batch)
+        self._tuples_in += n
+        events = EventBatch(batch.t, batch.x, batch.y)
+        intensity = self._estimate_intensity(events, fused=True)
+        target_expected = self._target_rate * self.region.area * self._batch_duration
+        result = flatten_keep_mask(events, intensity, target_expected, rng=self.rng)
+        retained = result.retained_count
+        self._reports.append(
+            FlattenBatchReport(
+                batch_size=n,
+                retained=retained,
+                violation_percent=result.violation_percent,
+                shortfall_percent=result.shortfall_percent,
+                target_rate=self._target_rate,
+            )
+        )
+        self._tuples_out += retained
+        return result.keep_mask
+
+    def lower_ir(self) -> dict:
+        """Describe this operator's compiled kernel for the plan IR."""
+        estimator = "fixed"
+        if self._intensity is None:
+            estimator = "online-sgd" if self._online else "mle"
+        return {
+            "kind": "flatten-mask",
+            "symbol": self.symbol,
+            "name": self.name,
+            "target_rate": self._target_rate,
+            "batch_duration": self._batch_duration,
+            "estimator": estimator,
+            "rng_draws": "random(n)",
+        }

@@ -140,6 +140,59 @@ class PartitionOperator(PMATOperator):
             self._dropped += rest
         return batches
 
+    def primary_mask(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Compiled-path kernel: containment mask of the primary sub-region.
+
+        The planner's query taps carve exactly one overlap region with
+        ``keep_rest=False``, so the compiled chain only needs the primary
+        mask.  Pure function of the coordinates — the caller pairs it with
+        :meth:`account_mask` so identical-region taps can share one
+        containment evaluation (CSE) while each operator still records its
+        own traffic.
+        """
+        if len(self._regions) != 1 or self._keep_rest:
+            raise StreamError(
+                "the compiled partition kernel serves single-region "
+                "drop-rest taps only"
+            )
+        return self._regions[0].contains_many(xs, ys)
+
+    def account_mask(self, total: int, matched: int) -> None:
+        """Record one compiled-path pass: ``total`` in, ``matched`` forwarded.
+
+        Mirrors :meth:`process_batch_multi` accounting for the
+        single-region drop-rest configuration (unmatched tuples count as
+        dropped).  The interpreted path's zero-length early return means a
+        compiled caller must skip this call when ``total`` is 0.
+        """
+        self._tuples_in += total
+        self._tuples_out += matched
+        self._dropped += total - matched
+
+    def mask_signature(self) -> tuple:
+        """Hashable identity of the primary containment predicate.
+
+        Two taps with equal signatures accept exactly the same points, so
+        the optimizer's CSE pass can evaluate the containment mask once
+        and share it.
+        """
+        return tuple(
+            (rect.x_min, rect.y_min, rect.x_max, rect.y_max)
+            for rect in self._regions[0].rectangles
+        )
+
+    def lower_ir(self) -> dict:
+        """Describe this operator's compiled kernel for the plan IR."""
+        return {
+            "kind": "partition-mask",
+            "symbol": self.symbol,
+            "name": self.name,
+            "regions": len(self._regions),
+            "keep_rest": self._keep_rest,
+            "predicate": self.mask_signature() if len(self._regions) == 1 else None,
+            "rng_draws": "none",
+        }
+
     def process_batch(self, batch: TupleBatch) -> TupleBatch:
         """Vectorised partition returning the first sub-region's batch.
 

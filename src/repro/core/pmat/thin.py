@@ -132,6 +132,38 @@ class ThinOperator(PMATOperator):
                 stream.push(item)
         return kept
 
+    def thin_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Compiled-path kernel: Bernoulli retention over surviving row indices.
+
+        ``indices`` are the rows of the original batch still alive after the
+        upstream masks.  Draws the same ``rng.random(m)`` vector that
+        :meth:`process_batch` would draw for a materialised batch of the
+        same ``m`` tuples and updates the same counters, but composes the
+        decision as a fancy-index instead of copying columns.  An empty
+        index set mirrors the interpreted early-return: no counters, no RNG.
+        """
+        m = int(indices.shape[0])
+        if m == 0:
+            return indices
+        self._tuples_in += m
+        keep = self.rng.random(m) < self.retention_probability
+        kept = indices[keep]
+        self._dropped += m - int(kept.shape[0])
+        self._tuples_out += int(kept.shape[0])
+        return kept
+
+    def lower_ir(self) -> dict:
+        """Describe this operator's compiled kernel for the plan IR."""
+        return {
+            "kind": "thin-mask",
+            "symbol": self.symbol,
+            "name": self.name,
+            "rate_in": self._rate_in,
+            "rate_out": self._rate_out,
+            "retention_probability": self.retention_probability,
+            "rng_draws": "random(m)",
+        }
+
     def describe(self) -> str:
         attribute = self.attribute or "*"
         return (

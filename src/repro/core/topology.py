@@ -196,6 +196,11 @@ class AttributeChain:
         return list(self._levels)
 
     @property
+    def router(self) -> Optional[FilterOperator]:
+        """The attribute filter at the chain's head (``None`` before build)."""
+        return self._router
+
+    @property
     def query_ids(self) -> List[int]:
         """Ids of the queries currently routed through this chain."""
         return list(self._entries.keys())
@@ -396,6 +401,24 @@ class AttributeChain:
                 if len(tap_batch):
                     deliver_batch(tap.query_id, tap_batch)
 
+    def lower_ir(self) -> List[dict]:
+        """Per-operator IR descriptors in execution order.
+
+        The plan compiler lowers the chain from its live structure (levels
+        and taps); this flat listing is the operators' own description of
+        their compiled kernels, used by EXPLAIN and pinned by the IR golden
+        tests.
+        """
+        if self._flatten is None:
+            raise PlanningError("the chain has not been built yet")
+        descriptors = [self._flatten.lower_ir()]
+        for level in self._levels:
+            descriptors.append(level.thin.lower_ir())
+            for tap in level.taps:
+                if tap.partition is not None:
+                    descriptors.append(tap.partition.lower_ir())
+        return descriptors
+
     # ------------------------------------------------------------------
     # Invariants (the paper's structural rules, checked by tests)
     # ------------------------------------------------------------------
@@ -558,6 +581,8 @@ class CellTopology:
         self,
         batches_by_attribute: Dict[str, TupleBatch],
         deliver_batch: DeliverBatchFn,
+        *,
+        programs: Optional[Dict[str, "object"]] = None,
     ) -> int:
         """Columnar execution of one batch window for this cell.
 
@@ -567,14 +592,29 @@ class CellTopology:
         cells).  Returns the number of tuples handed to the cell, counting
         batches of attributes without a chain too (the object path injects
         those into the entry stream as well; the router then drops them).
+
+        ``programs`` optionally maps attributes to compiled
+        :class:`~repro.plan.executor.ChainProgram`\\ s; a chain with a
+        program runs its fused kernels instead of the per-operator
+        interpretation.  The iteration order, empty-batch semantics and
+        router accounting live here either way, so both execution modes
+        share one dispatch point.
         """
         routed = sum(len(batch) for batch in batches_by_attribute.values())
         for attribute, chain in self._chains.items():
-            chain.process_batch(
-                batches_by_attribute.get(attribute),
-                deliver_batch,
-                router_tuples_in=routed,
-            )
+            program = programs.get(attribute) if programs else None
+            if program is not None:
+                program.run(
+                    batches_by_attribute.get(attribute),
+                    deliver_batch,
+                    router_tuples_in=routed,
+                )
+            else:
+                chain.process_batch(
+                    batches_by_attribute.get(attribute),
+                    deliver_batch,
+                    router_tuples_in=routed,
+                )
         return routed
 
     def violations(self) -> Dict[str, float]:

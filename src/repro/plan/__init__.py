@@ -1,0 +1,59 @@
+"""Per-batch plan compiler (ROADMAP item 1).
+
+Lowers every registered query's PMAT chain — and the views attached to
+each query — into one explicit dataflow graph per batch, runs an optimizer
+pass pipeline over it (keep-mask fusion, cross-query CSE, shared view
+sorts), and executes the result as a handful of fused numpy kernels that
+are byte-identical to the interpreted per-operator path.
+
+Entry points:
+
+* :class:`PlanCache` — the engine's derived-state cache of compiled
+  :class:`ChainProgram`\\ s, invalidated per changed cell.
+* :func:`build_plan_graph` + :func:`optimize` + :func:`render_explain` —
+  the ``EXPLAIN`` pipeline.
+"""
+
+from .cache import PlanCache
+from .compiler import build_plan_graph, compile_programs
+from .executor import ChainProgram, compile_chain_program
+from .explain import render_explain
+from .ir import (
+    EVENT_SCHEMA,
+    INDEX_SCHEMA,
+    MASK_SCHEMA,
+    SORT_SCHEMA,
+    TUPLE_SCHEMA,
+    FusedKernel,
+    PlanGraph,
+    PlanNode,
+)
+from .passes import (
+    annotate_merge_structure,
+    fuse_keep_masks,
+    optimize,
+    share_common_subplans,
+    share_view_sorts,
+)
+
+__all__ = [
+    "PlanCache",
+    "build_plan_graph",
+    "compile_programs",
+    "ChainProgram",
+    "compile_chain_program",
+    "render_explain",
+    "PlanGraph",
+    "PlanNode",
+    "FusedKernel",
+    "TUPLE_SCHEMA",
+    "EVENT_SCHEMA",
+    "MASK_SCHEMA",
+    "INDEX_SCHEMA",
+    "SORT_SCHEMA",
+    "optimize",
+    "fuse_keep_masks",
+    "share_common_subplans",
+    "share_view_sorts",
+    "annotate_merge_structure",
+]

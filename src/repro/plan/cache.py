@@ -1,0 +1,89 @@
+"""Plan cache: compiled chain programs keyed on live topology identity.
+
+The cache is *derived state*: it holds no RNG, no counters, no results —
+only the step structure of each chain.  It is therefore excluded from
+engine checkpoints (``CraqrEngine.__getstate__`` nulls it, like the crash
+injector) and rebuilt lazily after a restore.
+
+Invalidation is O(changed cells): an entry for ``(cell_key, attribute)``
+stays valid while the cell's topology object, its rebuild counter and the
+chain object are all the ones the program was compiled from.  ALTER /
+STOP / DROP only rebuild the cells they touch (the planner's incremental
+replanning), so only those entries recompile; pausing a query changes no
+topology at all (delivery-time suppression), so the cache is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .compiler import compile_chain_program
+from .executor import ChainProgram
+
+CellKey = Tuple[int, int]
+
+
+@dataclass
+class _CacheEntry:
+    topology: object
+    rebuilds: int
+    chain: object
+    program: ChainProgram
+
+
+class PlanCache:
+    """Per-(cell, attribute) compiled programs with incremental rebuilds."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[CellKey, str], _CacheEntry] = {}
+        #: lifetime number of chain compilations (regression-tested by the
+        #: churn-storm test: must stay O(changed cells), not O(all cells))
+        self.compiles = 0
+        #: lifetime number of cache hits
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def programs_for(self, planner) -> Dict[CellKey, Dict[str, ChainProgram]]:
+        """Valid programs for every materialised chain, recompiling stale ones.
+
+        Iterates the planner's cells in execution order; entries whose
+        topology was rebuilt (or replaced) since compilation are replaced,
+        entries for dropped cells/chains are pruned.
+        """
+        programs: Dict[CellKey, Dict[str, ChainProgram]] = {}
+        live = set()
+        for key in planner.materialized_cells:
+            topology = planner.cell_topology(key)
+            per_attribute: Dict[str, ChainProgram] = {}
+            rebuilds = topology.rebuilds
+            for attribute in topology.attributes:
+                chain = topology.chain(attribute)
+                cache_key = (key, attribute)
+                live.add(cache_key)
+                entry = self._entries.get(cache_key)
+                if (
+                    entry is not None
+                    and entry.topology is topology
+                    and entry.rebuilds == rebuilds
+                    and entry.chain is chain
+                ):
+                    self.reuses += 1
+                    per_attribute[attribute] = entry.program
+                else:
+                    program = compile_chain_program(chain)
+                    self._entries[cache_key] = _CacheEntry(
+                        topology=topology,
+                        rebuilds=rebuilds,
+                        chain=chain,
+                        program=program,
+                    )
+                    self.compiles += 1
+                    per_attribute[attribute] = program
+            programs[key] = per_attribute
+        for cache_key in list(self._entries):
+            if cache_key not in live:
+                del self._entries[cache_key]
+        return programs

@@ -21,7 +21,14 @@ from .intensity import (
 )
 from .homogeneous import HomogeneousMDPP
 from .inhomogeneous import InhomogeneousMDPP
-from .thinning import thin_events, thin_to_rate, flatten_events, ThinningResult
+from .thinning import (
+    thin_events,
+    thin_to_rate,
+    flatten_events,
+    flatten_keep_mask,
+    ThinningResult,
+    ThinningMask,
+)
 from .superposition import superpose
 from .estimation import (
     EstimationResult,
@@ -55,7 +62,9 @@ __all__ = [
     "thin_events",
     "thin_to_rate",
     "flatten_events",
+    "flatten_keep_mask",
     "ThinningResult",
+    "ThinningMask",
     "superpose",
     "EstimationResult",
     "fit_linear_intensity_mle",

@@ -168,6 +168,90 @@ def _compensate_clipping(raw_probability: np.ndarray, target: float) -> np.ndarr
     return np.minimum(hi * raw_probability, 1.0)
 
 
+def _flatten_probabilities(
+    batch: EventBatch,
+    intensity: IntensityModel,
+    target_rate: float,
+    compensate_clipping: bool,
+) -> "tuple[np.ndarray, float, float]":
+    """Eq. (3) retention probabilities plus the violation/shortfall metrics.
+
+    Shared by :func:`flatten_events` (which materialises the retained and
+    discarded event batches) and :func:`flatten_keep_mask` (which returns
+    only the Bernoulli decision).  The batch must be non-empty.
+    """
+    local_rate = np.asarray(intensity.rate(batch.t, batch.x, batch.y), dtype=float)
+    if np.any(local_rate <= 0):
+        raise PointProcessError("intensity must be strictly positive at every event")
+    lambda_c = float(np.sum(1.0 / local_rate))
+    raw_probability = target_rate / (local_rate * lambda_c)
+    violations = raw_probability > 1.0
+    violation_percent = 100.0 * float(np.count_nonzero(violations)) / len(batch)
+    if compensate_clipping:
+        probability = _compensate_clipping(raw_probability, target_rate)
+    else:
+        probability = np.clip(raw_probability, 0.0, 1.0)
+    expected_retained = float(probability.sum())
+    shortfall_percent = 100.0 * max(0.0, target_rate - expected_retained) / target_rate
+    return probability, violation_percent, shortfall_percent
+
+
+@dataclass(frozen=True)
+class ThinningMask:
+    """Mask-only outcome of a flattening pass (no event materialisation).
+
+    The compiled execution path composes keep-decisions as row indices and
+    gathers tuple columns once at delivery, so it never needs the
+    :class:`EventBatch` copies that :class:`ThinningResult` carries.
+    """
+
+    keep_mask: np.ndarray
+    retain_probability: np.ndarray
+    violation_percent: float = 0.0
+    shortfall_percent: float = 0.0
+
+    @property
+    def retained_count(self) -> int:
+        """Number of surviving events."""
+        return int(np.count_nonzero(self.keep_mask))
+
+
+def flatten_keep_mask(
+    batch: EventBatch,
+    intensity: IntensityModel,
+    target_rate: float,
+    *,
+    compensate_clipping: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> ThinningMask:
+    """Mask-only variant of :func:`flatten_events`.
+
+    Computes the same Eq. (3) probabilities, draws the same single
+    ``rng.random(len(batch))`` vector (so a shared generator advances
+    identically in both variants), and reports the same violation and
+    shortfall metrics — but skips building the retained/discarded
+    :class:`EventBatch` copies.
+    """
+    if target_rate <= 0:
+        raise PointProcessError("target rate must be strictly positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    if batch.is_empty:
+        return ThinningMask(
+            keep_mask=np.empty(0, dtype=bool),
+            retain_probability=np.empty(0),
+        )
+    probability, violation_percent, shortfall_percent = _flatten_probabilities(
+        batch, intensity, target_rate, compensate_clipping
+    )
+    keep = rng.random(len(batch)) < probability
+    return ThinningMask(
+        keep_mask=keep,
+        retain_probability=probability,
+        violation_percent=violation_percent,
+        shortfall_percent=shortfall_percent,
+    )
+
+
 def flatten_events(
     batch: EventBatch,
     intensity: IntensityModel,
@@ -217,19 +301,9 @@ def flatten_events(
             violation_percent=0.0,
             keep_mask=np.empty(0, dtype=bool),
         )
-    local_rate = np.asarray(intensity.rate(batch.t, batch.x, batch.y), dtype=float)
-    if np.any(local_rate <= 0):
-        raise PointProcessError("intensity must be strictly positive at every event")
-    lambda_c = float(np.sum(1.0 / local_rate))
-    raw_probability = target_rate / (local_rate * lambda_c)
-    violations = raw_probability > 1.0
-    violation_percent = 100.0 * float(np.count_nonzero(violations)) / len(batch)
-    if compensate_clipping:
-        probability = _compensate_clipping(raw_probability, target_rate)
-    else:
-        probability = np.clip(raw_probability, 0.0, 1.0)
-    expected_retained = float(probability.sum())
-    shortfall_percent = 100.0 * max(0.0, target_rate - expected_retained) / target_rate
+    probability, violation_percent, shortfall_percent = _flatten_probabilities(
+        batch, intensity, target_rate, compensate_clipping
+    )
     keep = rng.random(len(batch)) < probability
     return ThinningResult(
         retained=batch.select(keep),

@@ -11,7 +11,8 @@ plus the session DDL — ``ALTER <name> SET RATE 5 PER KM2 PER MIN``,
 ``ALTER <name> SET REGION RECT(...)``, ``STOP <name>`` and ``SHOW
 QUERIES`` — and the continuous-view DDL — ``CREATE VIEW <name> ON <query>
 AS AGG(value) [GROUP BY CELL|ATTRIBUTE] WINDOW <dur> [SLIDE <dur>]``,
-``DROP VIEW <name>``, ``SHOW VIEWS`` — executed against a live engine by
+``DROP VIEW <name>``, ``SHOW VIEWS`` — plus ``EXPLAIN <query|view>`` for
+the compiled plan (:mod:`repro.plan`), executed against a live engine by
 :meth:`repro.core.engine.CraqrEngine.execute`, and an attribute catalog
 that records which attributes exist and whether they are human- or
 sensor-sensed.
@@ -21,6 +22,7 @@ from .ast import (
     AlterStatement,
     CreateViewStatement,
     DropViewStatement,
+    ExplainStatement,
     ParsedQuery,
     RegionLiteral,
     ShowQueriesStatement,
@@ -36,6 +38,7 @@ __all__ = [
     "AlterStatement",
     "CreateViewStatement",
     "DropViewStatement",
+    "ExplainStatement",
     "ShowViewsStatement",
     "ParsedQuery",
     "RegionLiteral",

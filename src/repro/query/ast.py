@@ -14,6 +14,9 @@ Two families of statement:
   :class:`DropViewStatement` (``DROP VIEW <name>``) and
   :class:`ShowViewsStatement` (``SHOW VIEWS``), the serving surface of the
   continuous-view subsystem (:mod:`repro.views`).
+* Plan introspection — :class:`ExplainStatement` (``EXPLAIN
+  <query|view>``), rendering the compiled dataflow graph of
+  :mod:`repro.plan`.
 
 ``Statement`` is the union of all of them, as produced by
 :func:`repro.query.parse_statements`.
@@ -151,6 +154,19 @@ class ShowViewsStatement:
     """The AST of one ``SHOW VIEWS`` statement."""
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """The AST of one ``EXPLAIN <query|view>`` statement.
+
+    ``name`` addresses either a registered query's label or a maintained
+    view's name; the engine resolves views first (view names are unique,
+    query labels need not be).  Execution returns the rendered compiled
+    plan as a string (see :mod:`repro.plan`).
+    """
+
+    name: str
+
+
 #: Any statement :func:`repro.query.parse_statements` can produce.
 Statement = Union[
     ParsedQuery,
@@ -160,4 +176,5 @@ Statement = Union[
     CreateViewStatement,
     DropViewStatement,
     ShowViewsStatement,
+    ExplainStatement,
 ]

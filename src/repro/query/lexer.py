@@ -26,6 +26,8 @@ KEYWORDS = {
     "STOP",
     "SHOW",
     "QUERIES",
+    # Plan introspection (EXPLAIN <query|view>).
+    "EXPLAIN",
     # Continuous views (CREATE VIEW ... ON <query> AS AGG(...)
     # [GROUP BY ...] WINDOW <dur> [SLIDE <dur>], DROP VIEW, SHOW VIEWS).
     "CREATE",

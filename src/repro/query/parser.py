@@ -3,6 +3,7 @@
 Grammar (keywords are case-insensitive)::
 
     statement  := acquire | alter | stop | show | create_view | drop_view
+                | explain
     acquire    := ACQUIRE attribute FROM region [AT] RATE number
                   [PER area_unit [PER time_unit]] [AS identifier]
     alter      := ALTER name SET ( RATE number [PER area_unit [PER time_unit]]
@@ -12,6 +13,7 @@ Grammar (keywords are case-insensitive)::
     create_view:= CREATE VIEW name ON name AS aggregate '(' [ value | '*' ] ')'
                   [GROUP BY ( CELL | ATTRIBUTE )] WINDOW number [SLIDE number]
     drop_view  := DROP VIEW name
+    explain    := EXPLAIN name
     region     := RECT '(' number ',' number ',' number ',' number ')'
     attribute  := identifier
     name       := identifier
@@ -37,6 +39,7 @@ from .ast import (
     AlterStatement,
     CreateViewStatement,
     DropViewStatement,
+    ExplainStatement,
     ParsedQuery,
     RegionLiteral,
     ShowQueriesStatement,
@@ -332,6 +335,11 @@ def _parse_drop(cursor: _TokenCursor) -> DropViewStatement:
     return DropViewStatement(name=_parse_name(cursor, "a view name"))
 
 
+def _parse_explain(cursor: _TokenCursor) -> ExplainStatement:
+    cursor.expect_keyword("EXPLAIN")
+    return ExplainStatement(name=_parse_name(cursor, "a query or view name"))
+
+
 def _parse_statement(cursor: _TokenCursor) -> Statement:
     token = cursor.peek()
     if token.is_keyword("ACQUIRE"):
@@ -346,9 +354,11 @@ def _parse_statement(cursor: _TokenCursor) -> Statement:
         return _parse_create_view(cursor)
     if token.is_keyword("DROP"):
         return _parse_drop(cursor)
+    if token.is_keyword("EXPLAIN"):
+        return _parse_explain(cursor)
     raise QueryParseError(
-        f"expected a statement keyword (ACQUIRE, ALTER, STOP, SHOW, CREATE "
-        f"or DROP) at position {token.position}, got {token.value!r}"
+        f"expected a statement keyword (ACQUIRE, ALTER, STOP, SHOW, CREATE, "
+        f"DROP or EXPLAIN) at position {token.position}, got {token.value!r}"
     )
 
 

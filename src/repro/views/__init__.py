@@ -27,9 +27,10 @@ from .aggregates import Aggregate, aggregate_names, get_aggregate, register_aggr
 from .frames import FrameCursor, ViewFrame, ViewFrameBuffer
 from .sketch import QuantileSketch
 from .spec import ViewSpec
-from .view import ContinuousView, ViewHandle, ViewSessionInfo
+from .view import ContinuousView, SharedSortCache, ViewHandle, ViewSessionInfo
 
 __all__ = [
+    "SharedSortCache",
     "Aggregate",
     "aggregate_names",
     "get_aggregate",

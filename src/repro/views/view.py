@@ -55,6 +55,43 @@ from .spec import ViewSpec
 _REL_TOL = 1e-9
 
 
+class SharedSortCache:
+    """One (pane, group) lexsort shared by every view on a query.
+
+    All views on one query receive the *same* :class:`TupleBatch` object
+    per engine batch (the result buffer fires one concatenated batch to
+    every subscriber), so views that agree on ``(slide, group_by)`` compute
+    identical ``pane_ids`` / group codes / sort orders.  The compiled plan
+    path installs one cache per query; the first view with a given
+    signature computes and stores the sorted arrays, later views reuse them
+    (a byte-identical skip of the grid lookups and the lexsort).
+
+    Entries are keyed by signature and validated against the batch by
+    identity, so the cache never needs explicit per-batch invalidation.
+    Runtime wiring only — it is nulled out of view checkpoints and
+    reinstalled by the engine after restore.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, tuple] = {}
+        #: lifetime reuse counters (asserted by the plan equivalence tests)
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, signature: tuple, batch: TupleBatch):
+        """The cached ``(order, pane_sorted, code_sorted)`` for this exact batch."""
+        entry = self._entries.get(signature)
+        if entry is not None and entry[0] is batch:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def store(self, signature: tuple, batch: TupleBatch, arrays: tuple) -> None:
+        """Remember one batch's sorted arrays under its signature."""
+        self._entries[signature] = (batch, arrays)
+
+
 @dataclass(frozen=True)
 class ViewSessionInfo:
     """One row of :meth:`CraqrEngine.views` (the ``SHOW VIEWS`` output).
@@ -120,6 +157,9 @@ class ContinuousView:
         #: tuples dropped because they fell before the view's origin pane.
         self._pre_origin_dropped = 0
         self._subscription = None
+        #: optional per-query shared lexsort cache (installed by the engine
+        #: when compiled plans are on; plain runtime wiring otherwise).
+        self._shared_sort: Optional[SharedSortCache] = None
         self._active = True
         self._error: Optional[Exception] = None
 
@@ -186,6 +226,9 @@ class ContinuousView:
         # (see CraqrEngine.restore), so it is never pickled.
         state = dict(self.__dict__)
         state["_subscription"] = None
+        # The shared-sort cache is runtime wiring too (it holds live batch
+        # references); the engine reinstalls it after restore.
+        state["_shared_sort"] = None
         return state
 
     def detach(self) -> None:
@@ -226,8 +269,24 @@ class ContinuousView:
         n = len(batch)
         if n == 0:
             return
+        cache = getattr(self, "_shared_sort", None)
+        signature = (self._slide, self._spec.group_by)
+        if cache is not None:
+            cached = cache.lookup(signature, batch)
+            # Reuse is only sound when this view would neither filter
+            # pre-origin tuples nor clamp any pane id — both hold exactly
+            # when the earliest cached pane is at or past our next open
+            # pane (pane_sorted is pane-major, so [0] is the minimum).
+            if cached is not None and int(cached[1][0]) >= self._next_pane:
+                order, pane_sorted, code_sorted = cached
+                values_sorted = self._value_column(batch, order)
+                self._fold_sorted(
+                    batch, pane_sorted, code_sorted, values_sorted, n
+                )
+                return
         t = np.asarray(batch.t, dtype=np.float64)
         pane_ids = np.floor(t / self._slide + _REL_TOL).astype(np.int64)
+        filtered = False
         if self._next_pane == self._first_pane:
             before = pane_ids < self._first_pane
             if before.any():
@@ -235,6 +294,7 @@ class ContinuousView:
                 # origin: excluded so every emitted frame covers a fully
                 # observed window.
                 self._pre_origin_dropped += int(before.sum())
+                filtered = True
                 keep = ~before
                 batch = batch.select(keep)
                 t = t[keep]
@@ -246,14 +306,28 @@ class ContinuousView:
         # already closed cannot receive data; clamp defensively so a
         # malformed timestamp lands in the oldest open pane instead of
         # resurrecting a closed one.
-        np.maximum(pane_ids, self._next_pane, out=pane_ids)
+        clamped = int(pane_ids.min()) < self._next_pane
+        if clamped:
+            np.maximum(pane_ids, self._next_pane, out=pane_ids)
 
         codes = self._group_codes(batch)
         order = np.lexsort((codes, pane_ids))
         pane_sorted = pane_ids[order]
         code_sorted = codes[order]
         values_sorted = self._value_column(batch, order)
+        if cache is not None and not filtered and not clamped:
+            cache.store(signature, batch, (order, pane_sorted, code_sorted))
+        self._fold_sorted(batch, pane_sorted, code_sorted, values_sorted, n)
 
+    def _fold_sorted(
+        self,
+        batch: TupleBatch,
+        pane_sorted: np.ndarray,
+        code_sorted: np.ndarray,
+        values_sorted,
+        n: int,
+    ) -> None:
+        """Fold one (pane, group)-sorted batch into the open pane partials."""
         if n == 1:
             boundaries = np.empty(0, dtype=np.int64)
         else:

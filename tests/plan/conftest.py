@@ -1,0 +1,15 @@
+"""Path setup for the plan-compiler suite.
+
+The equivalence matrix reuses the recovery suite's fully loaded workload
+builders (flaky crowd + mitigation + view) and its ``engine_digest``
+byte-identity oracle, so the recovery harness directory joins the path.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_RECOVERY_DIR = pathlib.Path(__file__).resolve().parent.parent / "recovery"
+if str(_RECOVERY_DIR) not in sys.path:
+    sys.path.insert(0, str(_RECOVERY_DIR))

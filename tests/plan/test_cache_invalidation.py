@@ -1,0 +1,122 @@
+"""The plan cache must recompile O(changed cells), never O(all cells).
+
+Each test snapshots the live ``(topology identity, rebuild counter, chain
+identity)`` triple for every materialised chain before a DDL churn op,
+predicts from the *post-op* snapshot exactly which chains the planner's
+incremental replanning invalidated, and asserts the cache's lifetime
+``compiles`` counter moved by exactly that number on the next batch —
+no more (storm-proof), no less (no stale programs).
+"""
+
+import pytest
+
+from recovery_harness import SECOND_QUERY, make_engine, run_to
+
+
+def chain_state(planner):
+    """Identity snapshot per (cell, attribute): what the cache keys validity on."""
+    state = {}
+    for key in planner.materialized_cells:
+        topology = planner.cell_topology(key)
+        for attribute in topology.attributes:
+            state[(key, attribute)] = (
+                id(topology),
+                topology.rebuilds,
+                id(topology.chain(attribute)),
+            )
+    return state
+
+
+def predicted_recompiles(before, after):
+    """Chains that are new or whose validity triple changed across the op."""
+    return sum(1 for key, triple in after.items() if before.get(key) != triple)
+
+
+@pytest.fixture
+def engine():
+    # Two overlapping rain queries plus the harness view; warmed up so the
+    # cache holds a valid program for every chain before each churn op.
+    eng = make_engine()
+    eng.execute("ACQUIRE rain FROM RECT(0, 0, 1.5, 1) AT RATE 4 PER KM2 PER MIN AS Edge")
+    return run_to(eng, 3)
+
+
+def churn(engine, statement):
+    """Run one DDL op between batches and return (predicted, actual) compiles."""
+    before = chain_state(engine.planner)
+    compiles_before = engine.plan_cache.compiles
+    if statement is not None:
+        engine.execute(statement)
+    after = chain_state(engine.planner)
+    run_to(engine, engine.batches_run + 1)
+    actual = engine.plan_cache.compiles - compiles_before
+    return predicted_recompiles(before, after), actual
+
+
+class TestIncrementalInvalidation:
+    def test_steady_state_recompiles_nothing(self, engine):
+        predicted, actual = churn(engine, None)
+        assert (predicted, actual) == (0, 0)
+        assert engine.plan_cache.reuses > 0
+
+    def test_alter_rate_recompiles_only_touched_cells(self, engine):
+        total = len(chain_state(engine.planner))
+        predicted, actual = churn(
+            engine, "ALTER Edge SET RATE 2 PER KM2 PER MIN"
+        )
+        # Edge rides 2 cells; the storm query's other cells keep their
+        # programs (strictly fewer recompiles than chains).
+        assert actual == predicted
+        assert 0 < actual < total
+
+    def test_alter_region_recompiles_only_touched_cells(self, engine):
+        total = len(chain_state(engine.planner))
+        predicted, actual = churn(
+            engine, "ALTER Edge SET REGION RECT(1, 0, 3, 1)"
+        )
+        assert actual == predicted
+        assert 0 < actual < total
+
+    def test_stop_prunes_and_recompiles_only_shrunk_cells(self, engine):
+        entries_before = len(engine.plan_cache)
+        predicted, actual = churn(engine, "STOP Edge")
+        assert actual == predicted
+        # Cells Edge rode alone are dropped from the cache outright.
+        assert len(engine.plan_cache) <= entries_before
+
+    def test_new_query_compiles_only_its_new_cells(self, engine):
+        predicted, actual = churn(engine, SECOND_QUERY)
+        assert actual == predicted
+        assert actual > 0
+
+    def test_pause_resume_touches_no_topology(self, engine):
+        # Pausing is delivery-time suppression — zero rebuilds, zero
+        # recompiles, and resuming is equally free.
+        handle = engine.query("Edge")
+        before = chain_state(engine.planner)
+        compiles_before = engine.plan_cache.compiles
+        handle.pause()
+        run_to(engine, engine.batches_run + 1)
+        handle.resume()
+        run_to(engine, engine.batches_run + 1)
+        assert chain_state(engine.planner) == before
+        assert engine.plan_cache.compiles == compiles_before
+
+
+class TestChurnStorm:
+    def test_storm_of_ddl_stays_linear_in_touched_cells(self, engine):
+        """A sustained ALTER storm never triggers whole-grid recompiles."""
+        storm = [
+            "ALTER Edge SET RATE 2 PER KM2 PER MIN",
+            "ALTER Storm SET RATE 6 PER KM2 PER MIN",
+            "ALTER Edge SET REGION RECT(0.5, 0.5, 2, 1.5)",
+            "ALTER Edge SET RATE 3 PER KM2 PER MIN",
+            "ALTER Storm SET RATE 8 PER KM2 PER MIN",
+            "ALTER Edge SET REGION RECT(0, 0, 1.5, 1)",
+        ]
+        for statement in storm:
+            predicted, actual = churn(engine, statement)
+            assert actual == predicted, statement
+        # After the storm settles, steady state is all-reuse again.
+        predicted, actual = churn(engine, None)
+        assert (predicted, actual) == (0, 0)

@@ -1,0 +1,205 @@
+"""Golden tests for the per-operator plan IR and the lowered graph.
+
+Every PMAT operator describes its compiled kernel through ``lower_ir()``;
+these goldens pin the exact descriptor dicts (names, rates, RNG draw
+shapes, containment predicates) so an accidental change to the lowering —
+or to the operator parameters the compiler bakes into programs — fails
+loudly.  The graph-structure tests pin what ``build_plan_graph`` produces
+for a known two-query topology: node kinds, sharing sets, gather wiring,
+merge fan-in and the view sort/fold split.
+"""
+
+import pytest
+
+from repro.config import BudgetConfig, EngineConfig
+from repro.core import CraqrEngine
+from repro.plan import build_plan_graph, optimize
+from repro.sensing import (
+    AlwaysRespond,
+    RainField,
+    RandomWaypointMobility,
+    SensingWorld,
+    WorldConfig,
+)
+from repro.geometry import Rectangle
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+#: Storm covers cells (0,0),(1,0),(0,1),(1,1) fully; Edge overlaps (0,0)
+#: fully and (1,0) partially, so exactly one Partition operator exists.
+STORM = "ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 8 AS Storm"
+EDGE = "ACQUIRE rain FROM RECT(0, 0, 1.5, 1) AT RATE 4 AS Edge"
+
+
+def make_world(seed=7):
+    world = SensingWorld(
+        WorldConfig(region=REGION, sensor_count=60, seed=seed),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.3, pause=0.2),
+        participation_factory=lambda sensor_id: AlwaysRespond(),
+    )
+    world.register_field(RainField(REGION, band_width=1.2, period=50.0))
+    return world
+
+
+@pytest.fixture
+def engine():
+    config = EngineConfig(
+        grid_cells=16,
+        batch_duration=1.0,
+        budget=BudgetConfig(initial=40, delta=10, limit=400, violation_threshold=5.0),
+        seed=42,
+    )
+    eng = CraqrEngine(config, make_world())
+    eng.execute(STORM)
+    eng.execute(EDGE)
+    return eng
+
+
+def chain_at(engine, key, attribute="rain"):
+    return engine.planner.cell_topology(key).chain(attribute)
+
+
+class TestOperatorIRGoldens:
+    def test_flatten_ir(self, engine):
+        chain = chain_at(engine, (0, 0))
+        assert chain.flatten.lower_ir() == {
+            "kind": "flatten-mask",
+            "symbol": "F",
+            "name": "F:rain@(0, 0)",
+            "target_rate": 10.0,  # 1.25 headroom over the highest rate (8)
+            "batch_duration": 1.0,
+            "estimator": "mle",
+            "rng_draws": "random(n)",
+        }
+
+    def test_flatten_ir_online_estimator(self):
+        config = EngineConfig(
+            grid_cells=16,
+            batch_duration=1.0,
+            budget=BudgetConfig(initial=40, delta=10, limit=400, violation_threshold=5.0),
+            seed=42,
+            online_estimation=True,
+        )
+        eng = CraqrEngine(config, make_world())
+        eng.execute(STORM)
+        ir = chain_at(eng, (0, 0)).flatten.lower_ir()
+        assert ir["estimator"] == "online-sgd"
+
+    def test_thin_ir(self, engine):
+        chain = chain_at(engine, (0, 0))
+        levels = chain.levels
+        assert [level.rate for level in levels] == [8.0, 4.0]
+        assert levels[0].thin.lower_ir() == {
+            "kind": "thin-mask",
+            "symbol": "T",
+            "name": "T:rain@(0, 0)#0",
+            "rate_in": 10.0,
+            "rate_out": 8.0,
+            "retention_probability": 0.8,
+            "rng_draws": "random(m)",
+        }
+        second = levels[1].thin.lower_ir()
+        assert second["rate_in"] == 8.0
+        assert second["rate_out"] == 4.0
+        assert second["retention_probability"] == 0.5
+
+    def test_partition_ir(self, engine):
+        # Edge's tap in cell (1, 0): the overlap [1, 1.5] x [0, 1].
+        chain = chain_at(engine, (1, 0))
+        taps = chain.levels[1].taps
+        assert len(taps) == 1 and taps[0].partition is not None
+        assert taps[0].partition.lower_ir() == {
+            "kind": "partition-mask",
+            "symbol": "P",
+            "name": "P:Edge@(1, 0)#1",
+            "regions": 1,
+            "keep_rest": False,
+            "predicate": ((1.0, 0.0, 1.5, 1.0),),
+            "rng_draws": "none",
+        }
+
+    def test_union_ir(self, engine):
+        storm_id = engine.query("Storm").query_id
+        ir = engine.planner.union_operator(storm_id).lower_ir()
+        assert ir == {
+            "kind": "union",
+            "symbol": "U",
+            "name": "U:Storm",
+            "rate": 8.0,
+            "rng_draws": "none",
+        }
+
+    def test_chain_ir_listing_order(self, engine):
+        # Flatten first, then per level thin followed by its partitions.
+        descriptors = chain_at(engine, (1, 0)).lower_ir()
+        assert [d["kind"] for d in descriptors] == [
+            "flatten-mask",
+            "thin-mask",
+            "thin-mask",
+            "partition-mask",
+        ]
+
+
+class TestGraphStructure:
+    def test_lowered_graph_shape(self, engine):
+        graph = build_plan_graph(engine.planner)
+        kinds = {}
+        for node in graph.nodes:
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        # 4 materialised cells, one rain chain each; Storm taps every cell,
+        # Edge taps (0,0) and (1,0) (one behind a partition mask).
+        assert kinds["source"] == 4
+        assert kinds["estimate"] == 4
+        # Masks: 4 flatten + 6 thin (two levels in (0,0)/(1,0), one in the
+        # Storm-only cells) + 1 partition.
+        assert kinds["mask"] == 11
+        assert kinds["gather"] == 6
+        assert kinds["union"] == 2
+        assert kinds["sink"] == 2
+
+    def test_sharing_sets(self, engine):
+        graph = build_plan_graph(engine.planner)
+        storm_id = engine.query("Storm").query_id
+        edge_id = engine.query("Edge").query_id
+        shared_sources = [
+            node
+            for node in graph.nodes_of_kind("source")
+            if node.queries == frozenset({storm_id, edge_id})
+        ]
+        # The two cells both queries ride share source (and chain) nodes.
+        assert len(shared_sources) == 2
+        for node in graph.nodes_of_kind("gather"):
+            assert len(node.queries) == 1  # gathers are per-tap
+
+    def test_union_fan_in_and_gather_wiring(self, engine):
+        graph = build_plan_graph(engine.planner)
+        unions = {node.label: node for node in graph.nodes_of_kind("union")}
+        assert len(unions["U:Storm"].inputs) == 4
+        assert len(unions["U:Edge"].inputs) == 2
+        for node in graph.nodes_of_kind("gather"):
+            source, mask = node.inputs
+            assert graph.node(source).kind == "source"
+            assert graph.node(mask).kind == "mask"
+
+    def test_view_sort_sharing(self, engine):
+        engine.execute("CREATE VIEW A ON Storm AS AVG(value) GROUP BY CELL WINDOW 2")
+        engine.execute("CREATE VIEW B ON Storm AS MAX(value) GROUP BY CELL WINDOW 4 SLIDE 2")
+        engine.execute("CREATE VIEW C ON Storm AS COUNT(*) WINDOW 2")
+        graph = build_plan_graph(engine.planner, engine._views.values())
+        # A and B share (slide=2, cell); C sorts alone (slide=2, region).
+        assert len(graph.nodes_of_kind("view-sort")) == 2
+        assert len(graph.nodes_of_kind("view-sink")) == 3
+
+    def test_optimize_annotations(self, engine):
+        graph = optimize(build_plan_graph(engine.planner))
+        # One fused kernel per chain, covering every mask node.
+        assert len(graph.kernels) == 4
+        masked = {i for kernel in graph.kernels for i in kernel.node_ids}
+        assert masked == {n.node_id for n in graph.nodes_of_kind("mask")}
+        assert graph.shared_cost_saved > 0.0
+        union = next(
+            n for n in graph.nodes_of_kind("union") if n.label == "U:Storm"
+        )
+        assert union.details["fan_in"] == 4
+        assert union.details["tree_depth"] == 2
+        assert union.details["tree_operators"] == 3

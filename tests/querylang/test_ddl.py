@@ -110,7 +110,7 @@ class TestScripts:
         ]
 
     def test_unknown_leading_keyword_is_a_clear_error(self):
-        with pytest.raises(QueryParseError, match="ACQUIRE, ALTER, STOP, SHOW, CREATE or DROP"):
+        with pytest.raises(QueryParseError, match="ACQUIRE, ALTER, STOP, SHOW, CREATE, DROP or EXPLAIN"):
             parse_statements("SELECT rain FROM somewhere")
 
     def test_parse_queries_rejects_ddl(self):
