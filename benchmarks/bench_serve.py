@@ -1,0 +1,239 @@
+"""E19: the serving layer — serialize-once fan-out, stalled-client isolation.
+
+ISSUE 9's acceptance bars, measured at the layer each guarantee lives in:
+
+* **serialize-once fan-out at >= 1k concurrent view subscribers** — the
+  :class:`~repro.serve.FrameFanout` is driven with 10 and with 1000
+  bounded subscriber queues (no sockets: the fan-out is deliberately
+  asyncio-free so its cost model is directly benchable).  The codec call
+  counters must show exactly ONE ``encode_view_frame`` per published
+  frame at either scale, and the per-frame publish cost must stay flat in
+  the subscriber count: growing the audience 100x may only grow the
+  per-frame cost by ``MAX_FANOUT_RATIO`` (the residual is the bytes-
+  reference append per queue, not re-serialization).
+* **a stalled client never touches the engine's batch cadence** — one
+  real server (``serve_in_thread``) runs ``STALL_BATCHES`` engine batches
+  with a subscriber that stops reading its socket entirely (``skip``
+  policy, tiny queue), and again with no subscriber at all.  The engine's
+  in-``run_batch`` time (``Server.batch_seconds``) per batch must agree
+  within ``MAX_STALL_OVERHEAD`` — the serving layer sheds load into the
+  bounded queue instead of backpressuring the engine.
+
+Results land in ``BENCH_serve.json`` via ``record_serve_metric`` so the
+fan-out trajectory is tracked across PRs.
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import BudgetConfig, EngineConfig
+from repro.core import CraqrEngine
+from repro.geometry import Rectangle
+from repro.metrics import ResultTable
+from repro.sensing import (
+    AlwaysRespond,
+    RainField,
+    RandomWaypointMobility,
+    SensingWorld,
+    TemperatureField,
+    WorldConfig,
+)
+from repro.serve import ServeClient, ServeConfig, serve_in_thread
+from repro.serve.fanout import FrameFanout, SubscriberQueue
+from repro.streams.codec import codec_call_counts, reset_codec_call_counts
+from repro.views.frames import ViewFrame, ViewFrameBuffer
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+#: Subscriber-count scales of the fan-out comparison (the acceptance bar
+#: requires the large scale to be >= 1000 concurrent subscribers).
+SMALL_FANOUT = 10
+LARGE_FANOUT = 1_000
+
+#: Frames published per fan-out round.
+FANOUT_FRAMES = 50
+
+#: Groups per synthetic frame (typical GROUP BY CELL output size).
+FRAME_GROUPS = 16
+
+#: Acceptance: per-frame publish cost at 1000 subscribers over the cost
+#: at 10 — a 100x audience may not re-serialize (that would be ~100x).
+MAX_FANOUT_RATIO = 30.0
+
+#: Engine batches driven under the stalled subscriber and the baseline.
+STALL_BATCHES = 30
+
+#: Acceptance: |stalled - baseline| / baseline of per-batch engine time.
+MAX_STALL_OVERHEAD = 0.05
+
+#: Repeats per measurement (best-of, to shed scheduler noise).
+REPEATS = 3
+
+
+def make_frame(index: int, rng) -> ViewFrame:
+    keys = np.empty(FRAME_GROUPS, dtype=object)
+    keys[:] = [(g % 4, g // 4) for g in range(FRAME_GROUPS)]
+    return ViewFrame(
+        frame_index=index,
+        window_start=2.0 * index,
+        window_end=2.0 * index + 2.0,
+        keys=keys,
+        values=rng.random(FRAME_GROUPS),
+        counts=rng.integers(1, 40, FRAME_GROUPS).astype(np.int64),
+    )
+
+
+def publish_round(subscribers: int, rng) -> tuple:
+    """One fan-out round; returns (seconds, encode_calls, events_delivered)."""
+    buffer = ViewFrameBuffer()
+    fanout = FrameFanout()
+    queues = [
+        SubscriberQueue(capacity=FANOUT_FRAMES + 1) for _ in range(subscribers)
+    ]
+    for queue in queues:
+        fanout.subscribe_view("Rain", buffer, queue)
+    for i in range(FANOUT_FRAMES):
+        buffer.append(make_frame(i, rng))
+    reset_codec_call_counts()
+    started = time.perf_counter()
+    events = fanout.publish()
+    elapsed = time.perf_counter() - started
+    encodes = codec_call_counts()["view_frame"]
+    delivered = sum(len(q) for q in queues)
+    assert events == FANOUT_FRAMES
+    assert delivered == FANOUT_FRAMES * subscribers
+    return elapsed, encodes, delivered
+
+
+def make_engine() -> CraqrEngine:
+    world = SensingWorld(
+        WorldConfig(region=REGION, sensor_count=120, seed=11),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.25, pause=0.5),
+        participation_factory=lambda sensor_id: AlwaysRespond(),
+    )
+    world.register_field(RainField(REGION, band_width=1.2, period=60.0))
+    world.register_field(TemperatureField(REGION))
+    config = EngineConfig(
+        grid_cells=16, seed=7, budget=BudgetConfig(initial=40, delta=5, limit=400)
+    )
+    engine = CraqrEngine(config, world)
+    engine.execute(
+        "ACQUIRE rain FROM RECT(0, 0, 4, 4) AT RATE 10 PER KM2 PER MIN AS Storm"
+    )
+    engine.execute("CREATE VIEW Rain ON Storm AS AVG(value) GROUP BY CELL WINDOW 2")
+    return engine
+
+
+def drive_batches(*, stalled_subscriber: bool) -> float:
+    """Engine seconds per batch behind a live server; optionally stalled.
+
+    The stalled subscriber opens a real socket, subscribes with a tiny
+    ``skip`` queue and then never reads again; the driver connection keeps
+    requesting batches either way.
+    """
+    engine = make_engine()
+    server, (host, port), stop = serve_in_thread(engine, ServeConfig())
+    stalled = None
+    try:
+        if stalled_subscriber:
+            stalled = ServeClient(host, port)
+            stalled.subscribe(view="Rain", policy="skip", queue_events=2)
+            stalled.subscribe(query="Storm", policy="skip", queue_events=2)
+            # From here on the stalled client never touches its socket.
+        with ServeClient(host, port, timeout=120) as driver:
+            for _ in range(STALL_BATCHES):
+                driver.run(1)
+        assert server.batches_served == STALL_BATCHES
+        return server.batch_seconds / server.batches_served
+    finally:
+        if stalled is not None:
+            stalled.close()
+        stop()
+
+
+def test_fanout_is_serialize_once_and_flat_in_subscribers(
+    record_serve_metric, record_table
+):
+    rng = np.random.default_rng(12345)
+    small = min(publish_round(SMALL_FANOUT, rng)[0] for _ in range(REPEATS))
+    large = min(publish_round(LARGE_FANOUT, rng)[0] for _ in range(REPEATS))
+    _, encodes_small, _ = publish_round(SMALL_FANOUT, rng)
+    _, encodes_large, delivered = publish_round(LARGE_FANOUT, rng)
+
+    # Serialize-once, asserted through the codec call counters: one
+    # encode per frame regardless of audience size.
+    assert encodes_small == FANOUT_FRAMES
+    assert encodes_large == FANOUT_FRAMES
+
+    per_frame_small = small / FANOUT_FRAMES
+    per_frame_large = large / FANOUT_FRAMES
+    ratio = per_frame_large / per_frame_small
+    assert ratio <= MAX_FANOUT_RATIO, (
+        f"per-frame publish cost grew {ratio:.1f}x when the audience grew "
+        f"{LARGE_FANOUT // SMALL_FANOUT}x — fan-out is re-serializing "
+        f"(bar: {MAX_FANOUT_RATIO}x)"
+    )
+
+    table = ResultTable(
+        "serialize-once fan-out (50 frames per round)",
+        ["subscribers", "encodes", "events", "per-frame us", "ratio"],
+    )
+    table.add_row(SMALL_FANOUT, encodes_small, FANOUT_FRAMES * SMALL_FANOUT,
+                  round(per_frame_small * 1e6, 2), 1.0)
+    table.add_row(LARGE_FANOUT, encodes_large, delivered,
+                  round(per_frame_large * 1e6, 2), round(ratio, 2))
+    record_table("serve_fanout", table)
+
+    record_serve_metric(
+        "fanout_encodes_per_frame_1k_subs",
+        encodes_large / FANOUT_FRAMES,
+        unit="calls/frame",
+        detail={"subscribers": LARGE_FANOUT, "frames": FANOUT_FRAMES},
+    )
+    record_serve_metric(
+        "fanout_per_frame_cost_ratio_1k_vs_10",
+        ratio,
+        unit="x",
+        detail={
+            "per_frame_us_10": per_frame_small * 1e6,
+            "per_frame_us_1000": per_frame_large * 1e6,
+            "bar": MAX_FANOUT_RATIO,
+        },
+    )
+
+
+def test_stalled_client_leaves_batch_cadence_alone(record_serve_metric, record_table):
+    drive_batches(stalled_subscriber=False)  # warm-up: prime caches/allocator
+    baselines, stalleds = [], []
+    for _ in range(REPEATS):  # interleaved, so drift hits both conditions
+        baselines.append(drive_batches(stalled_subscriber=False))
+        stalleds.append(drive_batches(stalled_subscriber=True))
+    baseline = min(baselines)
+    stalled = min(stalleds)
+    overhead = abs(stalled - baseline) / baseline
+    assert overhead <= MAX_STALL_OVERHEAD, (
+        f"engine batch time moved {overhead * 100:.1f}% under a stalled "
+        f"subscriber (baseline {baseline * 1e3:.3f} ms, stalled "
+        f"{stalled * 1e3:.3f} ms; bar: {MAX_STALL_OVERHEAD * 100:.0f}%)"
+    )
+
+    table = ResultTable(
+        f"stalled-client isolation ({STALL_BATCHES} batches, best of {REPEATS})",
+        ["condition", "ms/batch"],
+    )
+    table.add_row("no subscriber", round(baseline * 1e3, 3))
+    table.add_row("stalled subscriber", round(stalled * 1e3, 3))
+    record_table("serve_stalled_client", table)
+
+    record_serve_metric(
+        "stalled_client_batch_overhead_pct",
+        overhead * 100,
+        unit="%",
+        detail={
+            "baseline_ms_per_batch": baseline * 1e3,
+            "stalled_ms_per_batch": stalled * 1e3,
+            "batches": STALL_BATCHES,
+            "bar_pct": MAX_STALL_OVERHEAD * 100,
+        },
+    )

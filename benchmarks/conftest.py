@@ -15,8 +15,9 @@ session-surface metrics through ``record_session_metric`` into
 ``record_view_metric`` into ``BENCH_views.json``, fault-scenario
 metrics through ``record_scenario_metric`` into ``BENCH_scenarios.json``,
 checkpoint/restore metrics through ``record_recovery_metric`` into
-``BENCH_recovery.json`` and plan-compiler metrics through
-``record_plan_metric`` into ``BENCH_plan.json``.
+``BENCH_recovery.json``, plan-compiler metrics through
+``record_plan_metric`` into ``BENCH_plan.json`` and serving-layer
+metrics through ``record_serve_metric`` into ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ BENCH_VIEWS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_views.json"
 BENCH_SCENARIOS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_scenarios.json"
 BENCH_RECOVERY_JSON = pathlib.Path(__file__).parent.parent / "BENCH_recovery.json"
 BENCH_PLAN_JSON = pathlib.Path(__file__).parent.parent / "BENCH_plan.json"
+BENCH_SERVE_JSON = pathlib.Path(__file__).parent.parent / "BENCH_serve.json"
 
 
 @pytest.fixture(scope="session")
@@ -67,6 +69,7 @@ _VIEWS_METRIC_STORE: Dict[str, dict] = {}
 _SCENARIO_METRIC_STORE: Dict[str, dict] = {}
 _RECOVERY_METRIC_STORE: Dict[str, dict] = {}
 _PLAN_METRIC_STORE: Dict[str, dict] = {}
+_SERVE_METRIC_STORE: Dict[str, dict] = {}
 
 
 def _make_recorder(store: Dict[str, dict]):
@@ -157,6 +160,17 @@ def record_plan_metric():
     return _make_recorder(_PLAN_METRIC_STORE)
 
 
+@pytest.fixture
+def record_serve_metric():
+    """Like ``record_metric`` but routed to ``BENCH_serve.json``.
+
+    Used by the serving-layer benchmarks (``bench_serve.py``) so the
+    fan-out trajectory (serialize-once encode counts, per-subscriber
+    publish cost, stalled-client isolation) is tracked separately.
+    """
+    return _make_recorder(_SERVE_METRIC_STORE)
+
+
 def _persist(path: pathlib.Path, store: Dict[str, dict]) -> None:
     existing = {}
     if path.exists():
@@ -197,3 +211,5 @@ def pytest_sessionfinish(session, exitstatus):
         _persist(BENCH_RECOVERY_JSON, _RECOVERY_METRIC_STORE)
     if _PLAN_METRIC_STORE:
         _persist(BENCH_PLAN_JSON, _PLAN_METRIC_STORE)
+    if _SERVE_METRIC_STORE:
+        _persist(BENCH_SERVE_JSON, _SERVE_METRIC_STORE)

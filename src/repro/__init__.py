@@ -45,6 +45,7 @@ from .errors import (
     PlanningError,
     BudgetError,
     AcquisitionError,
+    ServeError,
     StorageError,
     ViewError,
     WorkloadError,
@@ -83,6 +84,7 @@ __all__ = [
     "PlanningError",
     "BudgetError",
     "AcquisitionError",
+    "ServeError",
     "StorageError",
     "ViewError",
     "WorkloadError",

@@ -47,8 +47,12 @@ from .query import (
     AttributeCatalog,
     ParsedQuery,
     ShowViewsStatement,
+    frames_table,
+    health_table,
     parse_queries,
     parse_statements,
+    sessions_table,
+    views_table,
 )
 from .sensing import SensingWorld
 from .views import ViewFrame, ViewHandle, ViewSessionInfo
@@ -237,6 +241,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="batches to run after restoring (default 0: just report the state)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a live engine over TCP/websocket: statements, cursor "
+        "reads with resumable offsets, and push subscriptions",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="rain-temperature",
+        help="which simulated world to acquire from",
+    )
+    serve.add_argument("--sensors", type=int, default=300, help="number of mobile sensors")
+    serve.add_argument("--grid-cells", type=int, default=16, help="grid cells h (perfect square)")
+    serve.add_argument("--seed", type=int, default=7, help="random seed")
+    serve.add_argument("--host", default="127.0.0.1", help="address to bind (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--batch-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run one engine batch every SECONDS server-side "
+        "(default: batches run only on client 'run' requests)",
+    )
+    serve.add_argument(
+        "--backpressure",
+        choices=("skip", "disconnect"),
+        default="skip",
+        help="default policy when a subscriber's queue fills: drop to "
+        "latest and report the skipped count, or drop the client",
+    )
+    serve.add_argument(
+        "--queue-events",
+        type=int,
+        default=64,
+        metavar="N",
+        help="default per-subscription send-queue capacity in events",
+    )
+    serve.add_argument(
+        "--retention-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound engine memory to the last N batches (default: keep everything)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="write periodic crash-consistent checkpoints into this directory",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint every N batches (with --checkpoint-dir; "
+        "default: only on client 'checkpoint' requests)",
+    )
+
     subparsers.add_parser("scenarios", help="list the available simulated scenarios")
     subparsers.add_parser("attributes", help="list the attribute catalog")
     return parser
@@ -365,120 +434,30 @@ repl commands:
   quit/exit        leave the repl"""
 
 
-def _sessions_table(sessions: List[QuerySessionInfo]) -> ResultTable:
-    table = ResultTable(
-        "query sessions",
-        [
-            "query",
-            "attribute",
-            "area",
-            "rate",
-            "achieved",
-            "tuples",
-            "batches",
-            "views",
-            "health",
-            "state",
-        ],
-    )
-    for info in sessions:
-        degraded = len(info.degraded_pairs)
-        table.add_row(
-            info.label,
-            info.attribute,
-            round(info.region_area, 2),
-            round(info.requested_rate, 2),
-            "-" if info.achieved_rate is None else round(info.achieved_rate, 2),
-            info.total_tuples,
-            info.batches_completed,
-            info.views,
-            "ok" if degraded == 0 else f"{degraded} degraded",
-            "paused" if info.paused else "live",
-        )
-    return table
+# The repl's tables are the shared renders of repro.query.render — the
+# serving layer's text mode shows the same bytes (see that module's docs).
+_sessions_table = sessions_table
+_views_table = views_table
+_health_table = health_table
+_frames_table = frames_table
 
 
-def _health_table(engine: CraqrEngine, handle: QueryHandle) -> ResultTable:
-    """Per-cell acquisition health of one query, from the last batch report."""
-    attribute = handle.query.attribute
-    report = engine.reports[-1].handler if engine.reports else None
-    tracker = engine.degradation
-    table = ResultTable(
-        f"health of {handle.query.label} ({attribute}), last batch",
-        ["cell", "requests", "responses", "timeouts", "drops", "retries", "rate ewma", "state"],
-    )
-    for cell in engine.planner.cells_for_query(handle.query_id):
-        pair = (attribute, cell)
-        ewma = tracker.response_rate_for(attribute, cell) if tracker is not None else None
-        degraded = tracker is not None and tracker.is_degraded(attribute, cell)
-        table.add_row(
-            f"({cell[0]}, {cell[1]})",
-            report.per_cell_requests.get(pair, 0) if report is not None else 0,
-            report.per_cell_responses.get(pair, 0) if report is not None else 0,
-            report.per_cell_timeouts.get(pair, 0) if report is not None else 0,
-            report.per_cell_drops.get(pair, 0) if report is not None else 0,
-            report.per_cell_retries.get(pair, 0) if report is not None else 0,
-            "-" if ewma is None else round(ewma, 3),
-            "degraded" if degraded else "ok",
-        )
-    return table
+def _statement_validator(catalog: AttributeCatalog) -> Callable:
+    """The per-statement hook ``execute_script`` runs before executing."""
+
+    def _validate(statement) -> None:
+        if isinstance(statement, ParsedQuery):
+            catalog.validate_attribute(statement.attribute)
+
+    return _validate
 
 
-def _views_table(views: List[ViewSessionInfo]) -> ResultTable:
-    table = ResultTable(
-        "continuous views",
-        ["view", "on", "aggregate", "group by", "window", "slide", "frames", "tuples", "last close", "state"],
-    )
-    for info in views:
-        table.add_row(
-            info.name,
-            info.query_label,
-            info.aggregate,
-            info.group_by,
-            round(info.window, 4),
-            round(info.slide, 4),
-            info.frames_emitted,
-            info.tuples_total,
-            "-" if info.last_window_end is None else round(info.last_window_end, 4),
-            "live" if info.active else f"failed: {info.error}",
-        )
-    return table
-
-
-def _frames_table(view: ViewHandle, frames: List[ViewFrame]) -> ResultTable:
-    """The last frames of a view rendered one row per (frame, group)."""
-    table = ResultTable(
-        f"view {view.name}: {view.spec.describe()}",
-        ["frame", "window", "group", view.spec.aggregate.upper(), "tuples"],
-    )
-    for frame in frames:
-        window = f"[{frame.window_start:g}, {frame.window_end:g})"
-        if frame.is_empty:
-            table.add_row(frame.frame_index, window, "-", "-", 0)
-            continue
-        for i in range(frame.groups):
-            key = frame.keys[i]
-            label = f"({key[0]}, {key[1]})" if isinstance(key, tuple) else str(key)
-            table.add_row(
-                frame.frame_index,
-                window,
-                label,
-                round(float(frame.values[i]), 4),
-                int(frame.counts[i]),
-            )
-    return table
-
-
-def _execute_repl_statement(
-    engine: CraqrEngine,
-    catalog: AttributeCatalog,
+def _narrate_statement_result(
     statement,
+    result,
     out: Callable[[str], None],
 ) -> None:
-    """Run one parsed statement against the live engine and narrate it."""
-    if isinstance(statement, ParsedQuery):
-        catalog.validate_attribute(statement.attribute)
-    result = engine.execute(statement)
+    """Narrate one executed statement's result in the repl's voice."""
     if isinstance(result, str):  # EXPLAIN
         out(result)
     elif isinstance(result, list):  # SHOW QUERIES / SHOW VIEWS
@@ -516,6 +495,17 @@ def _execute_repl_statement(
                 f"stopped {result.query.label} "
                 f"({result.buffer.total_tuples} tuples remain readable)"
             )
+
+
+def _execute_repl_statement(
+    engine: CraqrEngine,
+    catalog: AttributeCatalog,
+    statement,
+    out: Callable[[str], None],
+) -> None:
+    """Run one parsed statement against the live engine and narrate it."""
+    _statement_validator(catalog)(statement)
+    _narrate_statement_result(statement, engine.execute(statement), out)
 
 
 def _command_repl(
@@ -645,13 +635,77 @@ def _command_repl(
         except CraqrError as exc:
             out(f"error: {exc}")
             continue
-        for statement in statements:
-            try:
-                _execute_repl_statement(engine, catalog, statement, out)
-            except CraqrError as exc:
-                out(f"error: {exc}")
+        outcomes = engine.execute_script(
+            statements, on_error="continue", validate=_statement_validator(catalog)
+        )
+        for outcome in outcomes:
+            if outcome.ok:
+                _narrate_statement_result(outcome.statement, outcome.result, out)
+            else:
+                out(f"error: {outcome.error}")
     out(
         f"bye: {engine.batches_run} batches run, "
+        f"{engine.total_tuples_delivered()} tuples delivered"
+    )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Serve one scenario engine until SIGINT/SIGTERM or a shutdown op."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from .serve import ServeConfig, Server
+
+    description, builder = SCENARIOS[args.scenario]
+    world: SensingWorld = builder(sensor_count=args.sensors, seed=args.seed)
+    config = _scenario_engine_config(
+        args.scenario,
+        grid_cells=args.grid_cells,
+        seed=args.seed + 1,
+        retention_batches=args.retention_batches,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    engine = CraqrEngine(config, world)
+    server = Server(
+        engine,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            batch_interval=args.batch_interval,
+            backpressure=args.backpressure,
+            queue_events=args.queue_events,
+        ),
+    )
+
+    async def _main() -> None:
+        host, port = await server.start()
+        out(f"scenario '{args.scenario}': {description}")
+        cadence = (
+            f"one batch every {args.batch_interval:g}s"
+            if args.batch_interval
+            else "client-driven batches"
+        )
+        out(f"serving craqr/1 on {host}:{port} ({cadence}); ctrl-c stops")
+        # The smoke tests parse the banner from a subprocess pipe — make
+        # sure it is visible before the first client connects.
+        sys.stdout.flush()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.stop())
+                )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    out(
+        f"serve done: {engine.batches_run} batches run, "
         f"{engine.total_tuples_delivered()} tuples delivered"
     )
     return 0
@@ -690,6 +744,14 @@ def main(
             if args.checkpoint_every is not None and args.checkpoint_every <= 0:
                 raise CraqrError("--checkpoint-every must be positive")
             return _command_repl(args, out, in_stream if in_stream is not None else sys.stdin)
+        if args.command == "serve":
+            if args.retention_batches is not None and args.retention_batches <= 0:
+                raise CraqrError("--retention-batches must be positive")
+            if args.checkpoint_every is not None and args.checkpoint_every <= 0:
+                raise CraqrError("--checkpoint-every must be positive")
+            if args.queue_events <= 0:
+                raise CraqrError("--queue-events must be positive")
+            return _command_serve(args, out)
         parser.error(f"unknown command {args.command!r}")
         return 2
     except CraqrError as exc:

@@ -38,6 +38,7 @@ from .engine import (
     EngineReport,
     QueryHandle,
     QuerySessionInfo,
+    StatementResult,
     ViolationInfo,
 )
 from .optimizer import (
@@ -79,6 +80,7 @@ __all__ = [
     "EngineReport",
     "QueryHandle",
     "QuerySessionInfo",
+    "StatementResult",
     "ViolationInfo",
     "TopologyCostModel",
     "QueryCostEstimate",

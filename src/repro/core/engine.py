@@ -74,7 +74,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import EngineConfig
-from ..errors import PlanningError, QueryError, RecoveryError, ViewError
+from ..errors import CraqrError, PlanningError, QueryError, RecoveryError, ViewError
 from ..faults import (
     CrashInjector,
     CrashPoint,
@@ -172,6 +172,26 @@ class QuerySessionInfo:
     #: cells of this query currently classified as fault-degraded (empty
     #: without a ResilienceConfig).
     degraded_pairs: Tuple[CellKey, ...] = ()
+
+
+@dataclass
+class StatementResult:
+    """Outcome of one statement of an :meth:`CraqrEngine.execute_script` run.
+
+    Exactly one of ``result`` / ``error`` is meaningful: ``error`` holds
+    the :class:`~repro.errors.CraqrError` the statement raised (only under
+    ``on_error="continue"``), otherwise ``result`` is whatever
+    :meth:`CraqrEngine.execute` returned for the statement.
+    """
+
+    statement: object
+    result: object = None
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the statement executed without raising."""
+        return self.error is None
 
 
 class _ReportsView(Sequence):
@@ -968,6 +988,57 @@ class CraqrEngine:
             f"ACQUIRE/ALTER/STOP/SHOW QUERIES/CREATE VIEW/DROP VIEW/SHOW "
             f"VIEWS/EXPLAIN statement or its text"
         )
+
+    def execute_script(self, script, *, on_error: str = "raise", validate=None):
+        """Parse and run a multi-statement script in order.
+
+        ``script`` is a string of semicolon/newline-separated statements
+        (or an already-parsed statement sequence).  Each statement goes
+        through :meth:`execute`; the per-statement outcomes come back as a
+        list of :class:`StatementResult` in script order.
+
+        ``on_error`` picks the mid-script failure contract:
+
+        * ``"raise"`` (default) — the first failing statement raises a
+          :class:`~repro.errors.QueryError` naming its position; the
+          effects of the statements before it persist (there is no
+          rollback — sessions are live engine state, not a transaction).
+        * ``"continue"`` — failures are captured on their
+          :class:`StatementResult` (``.error``) and the script keeps
+          going, the repl/server behaviour.
+
+        Parse errors always raise: a script that does not parse has no
+        statement positions to attribute results to.  ``validate`` is an
+        optional per-statement hook (e.g. an attribute-catalog check) run
+        before execution; a :class:`~repro.errors.CraqrError` it raises is
+        handled exactly like an execution error.
+        """
+        from ..query.parser import parse_statements
+
+        if on_error not in ("raise", "continue"):
+            raise QueryError(
+                f"on_error must be 'raise' or 'continue', got {on_error!r}"
+            )
+        if isinstance(script, str):
+            statements = parse_statements(script)
+        else:
+            statements = list(script)
+        results: List[StatementResult] = []
+        total = len(statements)
+        for index, statement in enumerate(statements):
+            try:
+                if validate is not None:
+                    validate(statement)
+                results.append(
+                    StatementResult(statement=statement, result=self.execute(statement))
+                )
+            except CraqrError as exc:
+                if on_error == "raise":
+                    raise QueryError(
+                        f"script statement {index + 1} of {total} failed: {exc}"
+                    ) from exc
+                results.append(StatementResult(statement=statement, error=exc))
+        return results
 
     def sessions(self) -> List[QuerySessionInfo]:
         """One :class:`QuerySessionInfo` row per registered query."""

@@ -69,6 +69,23 @@ class WorkloadError(CraqrError):
     """Raised by workload and scenario generators on invalid parameters."""
 
 
+class ServeError(CraqrError):
+    """Raised by the serving layer.
+
+    Covers malformed wire frames and handshakes, unknown protocol
+    operations, invalid or truncated resumable-offset tokens, and
+    client-side errors surfaced from a server's structured error reply
+    (the original server-side exception type is kept in
+    ``ServeError.error_type``).
+    """
+
+    def __init__(self, message: str, *, error_type: str = "ServeError") -> None:
+        super().__init__(message)
+        #: The server-side exception class the reply carried (e.g.
+        #: ``"StorageError"`` when a fetch lagged past retention).
+        self.error_type = error_type
+
+
 class RecoveryError(CraqrError):
     """Raised by the checkpoint/recovery subsystem.
 

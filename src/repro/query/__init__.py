@@ -33,6 +33,7 @@ from .ast import (
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_query, parse_queries, parse_statements
 from .catalog import AttributeCatalog, AttributeInfo, AttributeKind
+from .render import frames_table, health_table, sessions_table, views_table
 
 __all__ = [
     "AlterStatement",
@@ -54,4 +55,8 @@ __all__ = [
     "AttributeCatalog",
     "AttributeInfo",
     "AttributeKind",
+    "frames_table",
+    "health_table",
+    "sessions_table",
+    "views_table",
 ]

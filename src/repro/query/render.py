@@ -1,0 +1,130 @@
+"""Shared table renders for the session surface.
+
+The repl and the serving layer's text mode both show ``SHOW QUERIES`` /
+``SHOW VIEWS`` / per-query health / view frames as fixed-width
+:class:`~repro.metrics.ResultTable` renders.  One module owns those
+renders so the two surfaces cannot drift — the golden outputs are pinned
+in ``tests/querylang/test_render.py``.
+
+Only :mod:`repro.metrics` is imported here; the engine/handle arguments
+are duck-typed (annotated under ``TYPE_CHECKING``) so this module stays
+importable from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..metrics import ResultTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import CraqrEngine, QueryHandle, QuerySessionInfo
+    from ..views import ViewFrame, ViewHandle, ViewSessionInfo
+
+__all__ = ["sessions_table", "views_table", "health_table", "frames_table"]
+
+
+def sessions_table(sessions: "List[QuerySessionInfo]") -> ResultTable:
+    """``SHOW QUERIES`` as one row per registered query session."""
+    table = ResultTable(
+        "query sessions",
+        [
+            "query",
+            "attribute",
+            "area",
+            "rate",
+            "achieved",
+            "tuples",
+            "batches",
+            "views",
+            "health",
+            "state",
+        ],
+    )
+    for info in sessions:
+        degraded = len(info.degraded_pairs)
+        table.add_row(
+            info.label,
+            info.attribute,
+            round(info.region_area, 2),
+            round(info.requested_rate, 2),
+            "-" if info.achieved_rate is None else round(info.achieved_rate, 2),
+            info.total_tuples,
+            info.batches_completed,
+            info.views,
+            "ok" if degraded == 0 else f"{degraded} degraded",
+            "paused" if info.paused else "live",
+        )
+    return table
+
+
+def health_table(engine: "CraqrEngine", handle: "QueryHandle") -> ResultTable:
+    """Per-cell acquisition health of one query, from the last batch report."""
+    attribute = handle.query.attribute
+    report = engine.reports[-1].handler if engine.reports else None
+    tracker = engine.degradation
+    table = ResultTable(
+        f"health of {handle.query.label} ({attribute}), last batch",
+        ["cell", "requests", "responses", "timeouts", "drops", "retries", "rate ewma", "state"],
+    )
+    for cell in engine.planner.cells_for_query(handle.query_id):
+        pair = (attribute, cell)
+        ewma = tracker.response_rate_for(attribute, cell) if tracker is not None else None
+        degraded = tracker is not None and tracker.is_degraded(attribute, cell)
+        table.add_row(
+            f"({cell[0]}, {cell[1]})",
+            report.per_cell_requests.get(pair, 0) if report is not None else 0,
+            report.per_cell_responses.get(pair, 0) if report is not None else 0,
+            report.per_cell_timeouts.get(pair, 0) if report is not None else 0,
+            report.per_cell_drops.get(pair, 0) if report is not None else 0,
+            report.per_cell_retries.get(pair, 0) if report is not None else 0,
+            "-" if ewma is None else round(ewma, 3),
+            "degraded" if degraded else "ok",
+        )
+    return table
+
+
+def views_table(views: "List[ViewSessionInfo]") -> ResultTable:
+    """``SHOW VIEWS`` as one row per registered continuous view."""
+    table = ResultTable(
+        "continuous views",
+        ["view", "on", "aggregate", "group by", "window", "slide", "frames", "tuples", "last close", "state"],
+    )
+    for info in views:
+        table.add_row(
+            info.name,
+            info.query_label,
+            info.aggregate,
+            info.group_by,
+            round(info.window, 4),
+            round(info.slide, 4),
+            info.frames_emitted,
+            info.tuples_total,
+            "-" if info.last_window_end is None else round(info.last_window_end, 4),
+            "live" if info.active else f"failed: {info.error}",
+        )
+    return table
+
+
+def frames_table(view: "ViewHandle", frames: "List[ViewFrame]") -> ResultTable:
+    """The last frames of a view rendered one row per (frame, group)."""
+    table = ResultTable(
+        f"view {view.name}: {view.spec.describe()}",
+        ["frame", "window", "group", view.spec.aggregate.upper(), "tuples"],
+    )
+    for frame in frames:
+        window = f"[{frame.window_start:g}, {frame.window_end:g})"
+        if frame.is_empty:
+            table.add_row(frame.frame_index, window, "-", "-", 0)
+            continue
+        for i in range(frame.groups):
+            key = frame.keys[i]
+            label = f"({key[0]}, {key[1]})" if isinstance(key, tuple) else str(key)
+            table.add_row(
+                frame.frame_index,
+                window,
+                label,
+                round(float(frame.values[i]), 4),
+                int(frame.counts[i]),
+            )
+    return table

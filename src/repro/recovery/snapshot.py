@@ -52,6 +52,12 @@ import numpy as np
 from ..errors import RecoveryError
 from ..sensing.sensor import MobileSensor
 from ..streams import TupleBatch
+from ..streams.codec import (
+    pack_column,
+    reduce_tuple_batch,
+    rebuild_tuple_batch,
+    unpack_column,
+)
 from .io import (
     FORMAT_VERSION,
     PathLike,
@@ -69,37 +75,13 @@ from .io import (
 _PAYLOAD_KIND = "craqr-engine-snapshot"
 
 
-def _pack_column(array: np.ndarray):
-    """One column as raw bytes + dtype + shape (object dtypes as-is)."""
-    if array.dtype.hasobject:
-        return array
-    contiguous = np.ascontiguousarray(array)
-    return (contiguous.tobytes(), array.dtype.str, array.shape)
-
-
-def _unpack_column(packed) -> np.ndarray:
-    if isinstance(packed, np.ndarray):
-        return packed
-    data, dtype, shape = packed
-    return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
-
-
-def _rebuild_tuple_batch(attribute, columns, meta, extra):
-    t, x, y, value, sensor_id, tuple_id = (_unpack_column(c) for c in columns)
-    return TupleBatch(
-        attribute, t, x, y, value, sensor_id, tuple_id,
-        meta=meta,
-        extra={name: _unpack_column(c) for name, c in extra.items()},
-    )
-
-
-def _reduce_tuple_batch(batch):
-    columns = tuple(
-        _pack_column(c)
-        for c in (batch.t, batch.x, batch.y, batch.value, batch.sensor_id, batch.tuple_id)
-    )
-    extra = {name: _pack_column(c) for name, c in batch.extra.items()}
-    return _rebuild_tuple_batch, (batch.attribute, columns, batch.meta, extra)
+# The raw-column packing is shared with the wire protocol through
+# repro.streams.codec; the module-level aliases keep old snapshot payloads
+# (which reference ``repro.recovery.snapshot._rebuild_tuple_batch``) loading.
+_pack_column = pack_column
+_unpack_column = unpack_column
+_rebuild_tuple_batch = rebuild_tuple_batch
+_reduce_tuple_batch = reduce_tuple_batch
 
 
 def _pack_memory(entries):

@@ -1,0 +1,56 @@
+"""The serving layer: one engine, many wire clients.
+
+``repro.serve`` puts the session surface (PR 4), continuous views (PR 5)
+and recovery-safe cursors (PR 7) on the network: a single-threaded
+asyncio :class:`Server` owns one :class:`~repro.core.CraqrEngine`, drives
+its batch loop, and speaks a length-prefixed JSON+binary protocol over
+raw TCP or websocket framing.  Cursor reads resume from opaque offset
+tokens in O(new items); push subscriptions fan each closed frame or
+delivery batch out serialize-once with bounded per-client queues and a
+declared backpressure policy, so the engine's batch cadence is
+independent of the slowest client.
+
+Start one from Python::
+
+    from repro.serve import Server, ServeConfig, serve_in_thread
+    server, (host, port), stop = serve_in_thread(engine, ServeConfig())
+
+or from the command line::
+
+    PYTHONPATH=src python -m repro.cli serve --scenario rain-temperature
+
+and talk to it with the bundled synchronous :class:`ServeClient` (see
+``examples/serve_client_demo.py``).
+"""
+
+from .client import ServeClient
+from .fanout import BACKPRESSURE_POLICIES, FrameFanout, SubscriberQueue
+from .protocol import MAGIC, decode_message, encode_message, pack_payloads, unpack_payloads
+from .server import ServeConfig, Server, serve_in_thread
+from .tokens import (
+    frame_cursor_from_token,
+    frame_token,
+    frame_token_at,
+    result_cursor_from_token,
+    result_token,
+)
+
+__all__ = [
+    "Server",
+    "ServeConfig",
+    "ServeClient",
+    "serve_in_thread",
+    "FrameFanout",
+    "SubscriberQueue",
+    "BACKPRESSURE_POLICIES",
+    "MAGIC",
+    "encode_message",
+    "decode_message",
+    "pack_payloads",
+    "unpack_payloads",
+    "result_token",
+    "frame_token",
+    "frame_token_at",
+    "result_cursor_from_token",
+    "frame_cursor_from_token",
+]

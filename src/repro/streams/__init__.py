@@ -9,6 +9,18 @@ topology runner — on which the PMAT operators of :mod:`repro.core` are built.
 
 from .tuples import SensorTuple, make_tuple_id_allocator
 from .batch import NO_SENSOR_ID, TupleBatch
+from .codec import (
+    codec_call_counts,
+    decode_tuple_batch,
+    decode_view_frame,
+    encode_tuple_batch,
+    encode_view_frame,
+    pack_column,
+    reduce_tuple_batch,
+    rebuild_tuple_batch,
+    reset_codec_call_counts,
+    unpack_column,
+)
 from .stream import Stream, StreamStats
 from .windows import BatchWindow, SlidingWindow, TumblingWindow
 from .operator import StreamOperator, PassThroughOperator, FilterOperator, MapOperator
@@ -22,6 +34,16 @@ __all__ = [
     "make_tuple_id_allocator",
     "TupleBatch",
     "NO_SENSOR_ID",
+    "codec_call_counts",
+    "decode_tuple_batch",
+    "decode_view_frame",
+    "encode_tuple_batch",
+    "encode_view_frame",
+    "pack_column",
+    "reduce_tuple_batch",
+    "rebuild_tuple_batch",
+    "reset_codec_call_counts",
+    "unpack_column",
     "Stream",
     "StreamStats",
     "BatchWindow",

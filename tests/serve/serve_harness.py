@@ -1,0 +1,85 @@
+"""Shared builders for the serving-layer suite.
+
+Every test serves the same deterministic workload — a small city world
+with one rain query and one cell-grouped view — so reference runs (the
+same engine driven in-process) and served runs (the same engine behind
+``serve_in_thread``) can be compared byte-for-byte.  Byte identity is
+checked through the wire codec itself: two frames are equal iff their
+``encode_view_frame`` bytes are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import repro.core.query as _query_module
+from repro.config import CheckpointConfig
+from repro.core import CraqrEngine
+from repro.core.query import QueryIdAllocator
+from repro.geometry import Rectangle
+from repro.sensing import (
+    AlwaysRespond,
+    RainField,
+    RandomWaypointMobility,
+    SensingWorld,
+    TemperatureField,
+    WorldConfig,
+)
+from repro.workloads import default_engine_config
+
+REGION = Rectangle(0.0, 0.0, 4.0, 4.0)
+
+QUERY = "ACQUIRE rain FROM RECT(0, 0, 2, 2) AT RATE 8 PER KM2 PER MIN AS Storm"
+VIEW = "CREATE VIEW Rain ON Storm AS AVG(value) GROUP BY CELL WINDOW 2"
+
+
+def simulate_fresh_process() -> None:
+    """Reset the process-global query-id allocator (see tests/recovery)."""
+    _query_module._query_ids = QueryIdAllocator()
+
+
+def make_world(*, sensor_count: int = 80, seed: int = 11) -> SensingWorld:
+    world = SensingWorld(
+        WorldConfig(region=REGION, sensor_count=sensor_count, seed=seed),
+        mobility_factory=lambda r: RandomWaypointMobility(r, speed=0.25, pause=0.5),
+        participation_factory=lambda sensor_id: AlwaysRespond(),
+    )
+    world.register_field(RainField(REGION, band_width=1.2, period=60.0))
+    world.register_field(TemperatureField(REGION))
+    return world
+
+
+def make_engine(
+    *,
+    checkpoint_dir=None,
+    every: int = 2,
+    retention_batches=None,
+    view: bool = True,
+) -> CraqrEngine:
+    """One deterministic engine with the Storm query (and Rain view)."""
+    simulate_fresh_process()
+    config = default_engine_config(retention_batches=retention_batches)
+    if checkpoint_dir is not None:
+        config = replace(
+            config,
+            checkpoints=CheckpointConfig(directory=str(checkpoint_dir), every=every),
+        )
+    engine = CraqrEngine(config, make_world())
+    engine.execute(QUERY)
+    if view:
+        engine.execute(VIEW)
+    return engine
+
+
+def reference_frames(batches: int):
+    """The Rain view's frames from an uninterrupted in-process run."""
+    engine = make_engine()
+    engine.run(batches)
+    return engine.view("Rain").frames()
+
+
+def reference_deliveries(batches: int):
+    """Storm's lifetime deliveries from an uninterrupted in-process run."""
+    engine = make_engine()
+    engine.run(batches)
+    return engine.query("Storm").cursor().fetch_batch()

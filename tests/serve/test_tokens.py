@@ -1,0 +1,132 @@
+"""Opaque offset tokens: mint, rebuild, reject garbage."""
+
+from __future__ import annotations
+
+import base64
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, StorageError
+from repro.serve.tokens import (
+    frame_cursor_from_token,
+    frame_token,
+    frame_token_at,
+    result_cursor_from_token,
+    result_token,
+)
+
+from serve_harness import make_engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = make_engine()
+    eng.run(6)
+    return eng
+
+
+class TestResultTokens:
+    def test_round_trip_resumes_exactly(self, engine):
+        buffer = engine.query("Storm").buffer
+        cursor = buffer.cursor()
+        first = cursor.fetch_batch()
+        assert len(first)
+        token = result_token(cursor)
+
+        rebuilt = result_cursor_from_token(buffer, token)
+        assert rebuilt.position == cursor.position
+        assert rebuilt.consumed == cursor.consumed
+        # Nothing new has arrived, so the rebuilt cursor reads nothing.
+        assert len(rebuilt.fetch_batch()) == 0
+
+    def test_mid_stream_token_fetches_the_remainder(self, engine):
+        buffer = engine.query("Storm").buffer
+        full = buffer.cursor().fetch_batch()
+
+        # Consume half through one cursor, resume the rest via its token.
+        cursor = buffer.cursor()
+        cursor.fetch_batch()
+        engine.run(2)
+        token = result_token(cursor)
+        rest = result_cursor_from_token(buffer, token).fetch_batch()
+        total = buffer.cursor().fetch_batch()
+        assert len(full) + len(rest) == len(total)
+        np.testing.assert_array_equal(
+            rest.tuple_id, total.tuple_id[len(full):]
+        )
+
+    def test_token_is_opaque_ascii(self, engine):
+        token = result_token(engine.query("Storm").buffer.cursor())
+        assert isinstance(token, str)
+        token.encode("ascii")  # must not raise
+
+    def test_negative_position_rejected(self, engine):
+        raw = json.dumps({"k": "results", "c": -1, "r": 0, "g": 0}).encode()
+        token = base64.urlsafe_b64encode(raw).decode()
+        with pytest.raises(ServeError, match="negative"):
+            result_cursor_from_token(engine.query("Storm").buffer, token)
+
+    def test_missing_field_rejected(self, engine):
+        raw = json.dumps({"k": "results", "c": 0}).encode()
+        token = base64.urlsafe_b64encode(raw).decode()
+        with pytest.raises(ServeError, match="malformed"):
+            result_cursor_from_token(engine.query("Storm").buffer, token)
+
+
+class TestFrameTokens:
+    def test_round_trip_resumes_exactly(self, engine):
+        buffer = engine.view("Rain").buffer
+        cursor = buffer.cursor()
+        frames = cursor.fetch()
+        assert frames
+        token = frame_token(cursor)
+        rebuilt = frame_cursor_from_token(buffer, token)
+        assert rebuilt.position == cursor.position
+        assert rebuilt.fetch() == []
+
+    def test_token_at_explicit_index(self, engine):
+        buffer = engine.view("Rain").buffer
+        emitted = buffer.frames_emitted
+        assert emitted >= 2
+        cursor = frame_cursor_from_token(buffer, frame_token_at(1))
+        frames = cursor.fetch()
+        assert [f.frame_index for f in frames] == list(range(1, emitted))
+
+
+class TestGarbageTokens:
+    @pytest.mark.parametrize(
+        "token",
+        [
+            "not-base64!!",
+            base64.urlsafe_b64encode(b"not json").decode(),
+            base64.urlsafe_b64encode(b"[1,2]").decode(),
+            base64.urlsafe_b64encode(b'{"k":"mystery"}').decode(),
+            "",
+        ],
+    )
+    def test_malformed_tokens_raise_serve_error(self, engine, token):
+        with pytest.raises(ServeError):
+            result_cursor_from_token(engine.query("Storm").buffer, token)
+        with pytest.raises(ServeError):
+            frame_cursor_from_token(engine.view("Rain").buffer, token)
+
+    def test_kind_mismatch_rejected(self, engine):
+        res = result_token(engine.query("Storm").buffer.cursor())
+        frm = frame_token(engine.view("Rain").buffer.cursor())
+        with pytest.raises(ServeError, match="not a 'results' token"):
+            result_cursor_from_token(engine.query("Storm").buffer, frm)
+        with pytest.raises(ServeError, match="not a 'frames' token"):
+            frame_cursor_from_token(engine.view("Rain").buffer, res)
+
+    def test_evicted_result_token_raises_storage_error(self):
+        # A token minted at position 0 of a heavily evicted buffer lags
+        # past retention: the *fetch* raises StorageError, never hangs.
+        eng = make_engine(retention_batches=2, view=False)
+        eng.run(1)
+        stale = result_token(eng.query("Storm").buffer.cursor())
+        eng.run(8)
+        cursor = result_cursor_from_token(eng.query("Storm").buffer, stale)
+        with pytest.raises(StorageError, match="retention"):
+            cursor.fetch_batch()
