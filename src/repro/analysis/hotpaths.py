@@ -1,0 +1,57 @@
+"""The hot-path manifest the CRQ4xx purity rules enforce.
+
+Functions listed here are the per-batch inner loops whose cost the
+benchmark suite gates (``BENCH_world.json`` / ``BENCH_plan.json`` /
+``BENCH_views.json`` / ``BENCH_serve.json``): the fused acquisition
+round, compiled chain execution, the incremental view fold and the
+serve-layer fan-out.  Inside them, per-row Python iteration is a
+regression by construction — the analyzer flags ``.tolist()`` calls,
+``range(len(...))`` / ``zip(...)`` row loops and object construction
+inside loops (see ``docs/craqr_lint.md``).
+
+Registering a new hot path is one line here; the analyzer then fails
+the build when the function regresses to per-row Python, and fails it
+too when the entry goes stale (``CRQ404``) because the function moved
+or was renamed.  Loops that are per-*cell* or per-*group* (bounded by
+topology, not by batch size) are acknowledged at the offending line
+with ``# craqr: ignore[CRQ40x]`` and a justification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: ``(package-relative module path, dotted symbol)`` pairs.
+HOT_PATHS: List[Tuple[str, str]] = [
+    # Fused fast-sim acquisition (PR 3): one bucketing pass, one draw per
+    # attribute.  Per-row Python here undoes the ~4x fused-round win.
+    ("repro/sensing/handler.py", "RequestResponseHandler._bucket_sensors"),
+    (
+        "repro/sensing/handler.py",
+        "RequestResponseHandler._resolve_cell_populations",
+    ),
+    (
+        "repro/sensing/handler.py",
+        "RequestResponseHandler.acquire_attribute_batch",
+    ),
+    ("repro/sensing/handler.py", "RequestResponseHandler._fused_sensor_choices"),
+    ("repro/sensing/handler.py", "RequestResponseHandler._fused_request_times"),
+    # Compiled per-batch chain execution (PR 8): flat numpy kernels with
+    # survivor-index composition; a Python row loop re-interprets the chain.
+    ("repro/plan/executor.py", "ChainProgram.run"),
+    # Incremental view maintenance (PR 5): one lexsort + segment reductions
+    # per delivered batch; history is never rescanned.
+    ("repro/views/view.py", "ContinuousView.on_delivery"),
+    ("repro/views/view.py", "ContinuousView._fold_sorted"),
+    # Serve-layer fan-out (PR 9): encode once per publish, queue appends
+    # per subscriber — never per row.
+    ("repro/serve/fanout.py", "FrameFanout.publish"),
+    ("repro/serve/fanout.py", "FrameFanout._publish_topic"),
+    # Columnar delivery into result buffers (PR 1/4).
+    ("repro/storage/result_buffer.py", "QueryResultBuffer.extend_batch"),
+]
+
+
+def default_hot_paths() -> List[Tuple[str, str]]:
+    """The committed manifest (copied, so callers can extend safely)."""
+    return list(HOT_PATHS)

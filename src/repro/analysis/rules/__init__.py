@@ -1,0 +1,5 @@
+"""Rule modules; importing this package registers every rule family."""
+
+from . import hotpath, protocols, rng, snapshots, wire  # noqa: F401
+
+__all__ = ["hotpath", "protocols", "rng", "snapshots", "wire"]

@@ -1,0 +1,141 @@
+"""CRQ2xx — batch-protocol completeness.
+
+The vectorised fast paths dispatch on *protocol* methods: mobility
+kernels group by ``batch_key`` (PR 2), stateful participation rides the
+six-method vector-state protocol (PR 3), and operators join the
+compiled plan path through ``lower_ir()`` (PR 8).  Each protocol is
+all-or-nothing — a class implementing half of one doesn't fail loudly,
+it silently takes the slow path (or worse, groups incorrectly).  These
+rules make partial implementations a lint error at the diff.
+
+* ``CRQ201`` — a mobility model defines ``step_batch`` without
+  ``batch_key`` (or the reverse): ``SensingWorld.advance`` groups
+  sensors by ``batch_key`` before dispatching ``step_batch`` kernels,
+  so each is meaningless without the other.
+* ``CRQ202`` — a participation model implements *some* of the
+  vector-state protocol's six methods but not all of them: fast-sim
+  probes ``vector_state_columns`` and then trusts the other five.
+* ``CRQ203`` — an operator defines ``process_batch`` without
+  ``lower_ir`` and without the explicit ``interpreted_fallback = True``
+  marker acknowledging that chains containing it stay interpreted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..findings import Finding
+from ..project import Project, enclosing_symbol
+from ..registry import rule
+
+CODES = {
+    "CRQ201": "step_batch and batch_key must be implemented together",
+    "CRQ202": "participation vector-state protocol is all-or-nothing",
+    "CRQ203": "process_batch without lower_ir or interpreted_fallback marker",
+}
+
+#: The six methods of the participation vector-state protocol (PR 3).
+VECTOR_STATE_PROTOCOL = frozenset(
+    {
+        "vector_state_columns",
+        "vector_state_key",
+        "vector_static_params",
+        "init_vector_state",
+        "vector_probabilities",
+        "vector_commit",
+    }
+)
+
+#: Operator base classes whose subclasses the CRQ203 rule applies to.
+OPERATOR_BASES = frozenset({"StreamOperator", "PMATOperator"})
+
+
+def _method_names(class_node: ast.ClassDef) -> Set[str]:
+    return {
+        item.name
+        for item in class_node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _class_assign_names(class_node: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for item in class_node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.value is not None:
+                names.add(item.target.id)
+    return names
+
+
+def _base_names(class_node: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in class_node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+@rule("batch-protocol completeness", CODES)
+def check(project: Project, context) -> Iterator[Finding]:
+    for module, class_node in project.iter_classes():
+        methods = _method_names(class_node)
+        symbol = enclosing_symbol(module.tree, class_node.lineno) or class_node.name
+
+        def finding(code: str, message: str) -> Finding:
+            return Finding(
+                path=module.path,
+                line=class_node.lineno,
+                col=class_node.col_offset,
+                code=code,
+                message=message,
+                symbol=symbol,
+            )
+
+        # CRQ201 — mobility batch kernels pair with their grouping key.
+        has_step_batch = "step_batch" in methods
+        has_batch_key = "batch_key" in methods
+        if has_step_batch != has_batch_key:
+            present, missing = (
+                ("step_batch", "batch_key")
+                if has_step_batch
+                else ("batch_key", "step_batch")
+            )
+            yield finding(
+                "CRQ201",
+                f"class {class_node.name} defines {present} without "
+                f"{missing}; fast-sim groups kernels by batch_key before "
+                "dispatching step_batch",
+            )
+
+        # CRQ202 — the vector-state protocol is all six methods or none.
+        implemented = methods & VECTOR_STATE_PROTOCOL
+        if implemented and implemented != VECTOR_STATE_PROTOCOL:
+            missing_names = sorted(VECTOR_STATE_PROTOCOL - implemented)
+            yield finding(
+                "CRQ202",
+                f"class {class_node.name} implements part of the "
+                f"vector-state protocol but misses "
+                f"{', '.join(missing_names)}; fast-sim probes "
+                "vector_state_columns and then trusts the other five",
+            )
+
+        # CRQ203 — operators either compile or declare they don't.
+        if (
+            _base_names(class_node) & OPERATOR_BASES
+            and "process_batch" in methods
+            and "lower_ir" not in methods
+            and "interpreted_fallback" not in _class_assign_names(class_node)
+        ):
+            yield finding(
+                "CRQ203",
+                f"operator {class_node.name} defines process_batch but "
+                "neither lower_ir() (to join the compiled plan path) nor "
+                "the explicit marker 'interpreted_fallback = True'",
+            )

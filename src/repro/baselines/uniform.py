@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import CraqrError
+from ..rng import ensure_rng
 from ..streams import SensorTuple
 
 
@@ -22,7 +23,7 @@ class UniformSamplingAcquirer:
     """Keeps a uniformly random subset of a raw batch."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
         self._batches = 0
         self._kept = 0
         self._seen = 0

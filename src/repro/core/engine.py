@@ -372,6 +372,10 @@ class QueryHandle:
 class CraqrEngine:
     """The complete CrAQR query processor."""
 
+    #: Runtime wiring __getstate__ deliberately drops from checkpoints;
+    #: craqr-lint (CRQ302) checks this declaration against the exclusions.
+    _DERIVED_STATE = ("_crash", "_plan_cache")
+
     def __init__(
         self,
         config: EngineConfig,

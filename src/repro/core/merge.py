@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import PlanningError
+from ..rng import ensure_rng
 from ..streams import Stream
 from .pmat import UnionOperator
 
@@ -110,7 +111,7 @@ class TreeMergeBuilder:
         self._fan_in = fan_in
         self._attribute = attribute
         self._rate = rate
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
 
     @property
     def fan_in(self) -> int:

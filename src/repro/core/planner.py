@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import PlanningError, QueryError
 from ..geometry import Grid, GridCell, Region
+from ..rng import ensure_rng
 from ..streams import CallbackSink, SensorTuple, TupleBatch
 from .pmat import UnionOperator
 from .query import AcquisitionalQuery
@@ -99,7 +100,7 @@ class QueryPlanner:
         self._headroom = headroom
         self._online = online_estimation
         self._discard_recorder = discard_recorder
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
         #: the hashmap of Section V: grid-cell key -> execution topology
         self._cells: Dict[CellKey, CellTopology] = {}
         self._plans: Dict[int, _QueryPlan] = {}

@@ -18,6 +18,7 @@ import numpy as np
 
 from ...errors import StreamError
 from ...geometry import RectRegion, Rectangle, Region
+from ...rng import ensure_rng
 from ...streams import StreamOperator
 
 
@@ -45,7 +46,7 @@ class PMATOperator(StreamOperator):
         super().__init__(name, outputs=outputs)
         self._attribute = attribute
         self._region = coerce_region(region) if region is not None else None
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
 
     @property
     def attribute(self) -> Optional[str]:

@@ -36,6 +36,8 @@ class ClampOperator(PMATOperator):
     """Clamp tuple coordinates into the deployment region."""
 
     symbol = "CL"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(self, region: Rectangle, *, name: Optional[str] = None, rng=None) -> None:
         super().__init__(name, region=region, outputs=1, rng=rng)
@@ -94,6 +96,8 @@ class OutlierFilterOperator(PMATOperator):
     """
 
     symbol = "OF"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(
         self,
@@ -172,6 +176,8 @@ class DeduplicateOperator(PMATOperator):
     """Drop repeated reports from the same sensor within a time window."""
 
     symbol = "DD"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(
         self,
@@ -235,6 +241,8 @@ class MajorityVoteOperator(PMATOperator):
     """Replace boolean values with the majority of the recent window."""
 
     symbol = "MV"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(
         self,

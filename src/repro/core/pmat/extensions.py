@@ -78,6 +78,8 @@ class ShiftOperator(PMATOperator):
     """Shift every tuple by a constant space-time displacement."""
 
     symbol = "SH"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(
         self,
@@ -125,6 +127,8 @@ class MarkOperator(PMATOperator):
     """
 
     symbol = "MK"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(
         self,
@@ -186,6 +190,8 @@ class SampleOperator(PMATOperator):
     """Retain each tuple with a fixed probability (rate-agnostic thinning)."""
 
     symbol = "SA"
+    #: No lower_ir(): runs via the interpreted per-tuple path by design.
+    interpreted_fallback = True
 
     def __init__(
         self,

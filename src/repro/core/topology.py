@@ -32,6 +32,7 @@ import numpy as np
 
 from ..errors import PlanningError
 from ..geometry import GridCell, Region
+from ..rng import ensure_rng
 from ..streams import (
     CallbackSink,
     FilterOperator,
@@ -166,7 +167,7 @@ class AttributeChain:
         self._batch_duration = batch_duration
         self._online = online_estimation
         self._discard_recorder = discard_recorder
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
         self._entries: Dict[int, _QueryEntry] = {}
         self._flatten: Optional[FlattenOperator] = None
         self._levels: List[RateLevel] = []
@@ -482,7 +483,7 @@ class CellTopology:
         self._headroom = headroom
         self._online = online_estimation
         self._discard_recorder = discard_recorder
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
         self._chains: Dict[str, AttributeChain] = {}
         self._topology = StreamTopology(name=f"cell{cell.key}")
         self._rebuilds = 0

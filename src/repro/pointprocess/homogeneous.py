@@ -16,6 +16,7 @@ import numpy as np
 
 from ..errors import PointProcessError
 from ..geometry import Rectangle, RectRegion, Region
+from ..rng import ensure_rng
 from .events import EventBatch
 from .intensity import ConstantIntensity
 
@@ -110,7 +111,7 @@ class HomogeneousMDPP:
         """
         if duration <= 0:
             raise PointProcessError("duration must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         if count is None:
             n = int(rng.poisson(self.expected_count(duration)))
         else:

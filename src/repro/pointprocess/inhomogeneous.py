@@ -16,6 +16,7 @@ import numpy as np
 
 from ..errors import PointProcessError
 from ..geometry import Rectangle, RectRegion, Region
+from ..rng import ensure_rng
 from .events import EventBatch
 from .homogeneous import HomogeneousMDPP, _coerce_region
 from .intensity import IntensityModel
@@ -59,7 +60,7 @@ class InhomogeneousMDPP:
         """Simulate the process over ``[t_start, t_start + duration)``."""
         if duration <= 0:
             raise PointProcessError("duration must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         t_end = t_start + duration
         lam_max = float(self.intensity.max_rate(self.region, t_start, t_end))
         if lam_max <= 0:

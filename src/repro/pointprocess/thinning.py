@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import PointProcessError
+from ..rng import ensure_rng
 from .events import EventBatch
 from .intensity import IntensityModel
 
@@ -99,7 +100,7 @@ def thin_events(
     """
     if not 0 < probability <= 1:
         raise PointProcessError(f"retention probability must be in (0, 1]; got {probability}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     if batch.is_empty:
         return ThinningResult(
             retained=batch,
@@ -234,7 +235,7 @@ def flatten_keep_mask(
     """
     if target_rate <= 0:
         raise PointProcessError("target rate must be strictly positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     if batch.is_empty:
         return ThinningMask(
             keep_mask=np.empty(0, dtype=bool),
@@ -292,7 +293,7 @@ def flatten_events(
     """
     if target_rate <= 0:
         raise PointProcessError("target rate must be strictly positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
     if batch.is_empty:
         return ThinningResult(
             retained=batch,

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import CraqrError
 from ..geometry import Rectangle
+from ..rng import ensure_rng
 from ..streams import SensorTuple
 
 
@@ -109,7 +110,7 @@ class ErrorInjector:
     ) -> None:
         self._gps = gps
         self._value = value
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
         self._corrupted = 0
 
     @property

@@ -867,7 +867,7 @@ class RequestResponseHandler:
             non_vector_codes = frozenset()
         else:
             non_vector_codes = frozenset(
-                np.unique(
+                np.unique(  # craqr: ignore[CRQ401] - per distinct cell (already unique-reduced), not per row
                     sorted_codes[~soa.vector_participation[sorted_rows]]
                 ).tolist()
             )
@@ -907,8 +907,8 @@ class RequestResponseHandler:
         highs = np.searchsorted(sorted_codes, wanted, side="right")
         populations: Dict[CellKey, np.ndarray] = {}
         fully_vector: Dict[CellKey, bool] = {}
-        for cell, lo, hi, code in zip(
-            cells, lows.tolist(), highs.tolist(), wanted.tolist()
+        for cell, lo, hi, code in zip(  # craqr: ignore[CRQ402] - per requested cell, not per sensor row
+            cells, lows.tolist(), highs.tolist(), wanted.tolist()  # craqr: ignore[CRQ401] - len(cells) scalars, cheaper unboxed once
         ):
             populations[cell.key] = sorted_rows[lo:hi]
             fully_vector[cell.key] = code not in non_vector_codes
@@ -1065,7 +1065,7 @@ class RequestResponseHandler:
         skewed = m * width > max(4 * int(sizes.sum()), 1 << 16)
         if undersized or skewed:
             chosen_parts = []
-            for population, budget in zip(populations, budgets):
+            for population, budget in zip(populations, budgets):  # craqr: ignore[CRQ402] - per cell-population fallback, not per row
                 budget = int(budget)
                 replace = population.size < budget
                 chosen_parts.append(

@@ -21,6 +21,7 @@ from typing import Dict, Hashable, Optional, Tuple
 import numpy as np
 
 from ..errors import CraqrError
+from ..rng import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -233,7 +234,7 @@ class BernoulliParticipation(ParticipationModel):
 
     def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
         del sensor_id, t
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         probability = min(self._probability * incentive_multiplier, self._max_probability)
         if rng.random() >= probability:
             return ResponseDecision.no_response()
@@ -305,7 +306,7 @@ class DistanceDecayParticipation(ParticipationModel):
 
     def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
         del t
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         distance = self._distances.get(sensor_id, 0.0)
         probability = self._base_probability * math.exp(-distance / self._decay_scale)
         probability = min(probability * incentive_multiplier, self._max_probability)
@@ -426,7 +427,7 @@ class FatigueParticipation(ParticipationModel):
         return max(self._base_probability - recovered, self._min_probability)
 
     def decide(self, sensor_id, t, *, incentive_multiplier=1.0, rng=None):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         probability = min(
             self.current_probability(sensor_id, t) * incentive_multiplier,
             self._max_probability,

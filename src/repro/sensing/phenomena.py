@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import CraqrError
 from ..geometry import Rectangle
+from ..rng import ensure_rng
 
 
 class PhenomenonField(ABC):
@@ -117,7 +118,7 @@ class RainField(PhenomenonField):
         return self._p_outside
 
     def value(self, t, x, y, rng=None) -> bool:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         return bool(rng.random() < self.rain_probability(t, x, y))
 
     def rain_probabilities(self, t: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -132,7 +133,7 @@ class RainField(PhenomenonField):
         return np.where(dx <= self._band_width / 2, self._p_inside, self._p_outside)
 
     def values(self, t, x, y, rng=None) -> np.ndarray:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         probabilities = self.rain_probabilities(t, x, y)
         # rng.random(n) consumes the same draws as n scalar rng.random()
         # calls, so this matches the scalar path bit for bit.
@@ -186,7 +187,7 @@ class TemperatureField(PhenomenonField):
         return value
 
     def value(self, t, x, y, rng=None) -> float:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         noise = float(rng.normal(0.0, self._noise_std)) if self._noise_std > 0 else 0.0
         return self.mean_value(t, x, y) + noise
 
@@ -202,7 +203,7 @@ class TemperatureField(PhenomenonField):
         return value
 
     def values(self, t, x, y, rng=None) -> np.ndarray:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng)
         mean = self.mean_values(t, x, y)
         if self._noise_std > 0:
             mean = mean + rng.normal(0.0, self._noise_std, mean.shape[0])

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..errors import AcquisitionError
 from ..geometry import SpacePoint
+from ..rng import ensure_rng
 from .mobility import MobilityModel, MobilityState
 from .participation import AlwaysRespond, ParticipationModel, ResponseDecision
 from .phenomena import PhenomenonField
@@ -65,7 +66,7 @@ class MobileSensor:
         self._sensor_id = sensor_id
         self._mobility = mobility
         self._participation = participation or AlwaysRespond()
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = ensure_rng(rng)
         if state_arrays is None:
             if index is not None:
                 raise AcquisitionError(

@@ -38,6 +38,7 @@ from ..errors import ServeError
 
 __all__ = [
     "MAGIC",
+    "PROTOCOL",
     "MAX_MESSAGE_BYTES",
     "encode_message",
     "decode_message",
@@ -51,6 +52,9 @@ __all__ = [
 
 #: Transport preamble a raw-TCP client must send before its first message.
 MAGIC = b"CRAQR/1\n"
+
+#: Protocol identification returned by the server's ``hello`` reply.
+PROTOCOL = "craqr/1"
 
 #: Hard per-message size cap (64 MiB) — a corrupt length prefix fails
 #: fast instead of waiting on gigabytes that will never arrive.

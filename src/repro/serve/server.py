@@ -70,6 +70,7 @@ from .fanout import (
 )
 from .protocol import (
     MAGIC,
+    PROTOCOL,
     decode_message,
     encode_message,
     frame_message,
@@ -87,9 +88,6 @@ from .tokens import (
 )
 
 __all__ = ["ServeConfig", "Server", "serve_in_thread"]
-
-#: Protocol identification returned by ``hello``.
-PROTOCOL = "craqr/1"
 
 #: Reply-queue bound per connection: a client that floods requests
 #: without reading replies is disconnected rather than buffered forever.

@@ -210,6 +210,10 @@ class QueryResultBuffer:
         :class:`StorageError`.
     """
 
+    #: Runtime wiring __getstate__ deliberately drops from checkpoints;
+    #: craqr-lint (CRQ302) checks this declaration against the exclusions.
+    _DERIVED_STATE = ("_subscribers", "_notify_cursor")
+
     def __init__(
         self,
         query_id: int,

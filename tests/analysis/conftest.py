@@ -1,0 +1,30 @@
+"""Shared fixture: write synthetic modules and lint them."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write ``name -> source`` files into a tmp package and analyze it.
+
+    Sources are dedented; nested paths (``"pkg/mod.py"``) are allowed.
+    Returns the :class:`~repro.analysis.AnalysisReport`.  Keyword
+    arguments are forwarded to :func:`repro.analysis.analyze` (e.g.
+    ``hot_paths`` to register hot functions for the CRQ4xx rules).
+    """
+
+    def _lint(files, **kwargs):
+        root = tmp_path / "proj"
+        for name, source in files.items():
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return analyze([root], **kwargs)
+
+    return _lint

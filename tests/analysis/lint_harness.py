@@ -1,0 +1,8 @@
+"""Tiny shared helpers for the craqr-lint fixture tests."""
+
+from __future__ import annotations
+
+
+def codes(report):
+    """The multiset of finding codes in a report, sorted."""
+    return sorted(f.code for f in report.findings)

@@ -1,0 +1,157 @@
+"""Analyzer framework: suppressions, baselines, report plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    all_codes,
+    all_rules,
+    analyze,
+    load_baseline,
+    render,
+    save_baseline,
+)
+from repro.analysis.findings import collect_suppressions, is_suppressed
+
+from lint_harness import codes
+
+UNSEEDED = """\
+import numpy as np
+
+def fresh():
+    return np.random.default_rng()
+"""
+
+
+# ----------------------------------------------------------------------
+# Suppression comment parsing
+# ----------------------------------------------------------------------
+def test_collect_suppressions_with_codes():
+    source = "x = 1  # craqr: ignore[CRQ103]\ny = 2\n"
+    supp = collect_suppressions(source)
+    assert supp == {1: frozenset({"CRQ103"})}
+
+
+def test_collect_suppressions_multiple_codes():
+    source = "x = 1  # craqr: ignore[CRQ103, CRQ104] - reason\n"
+    assert collect_suppressions(source) == {1: frozenset({"CRQ103", "CRQ104"})}
+
+
+def test_collect_suppressions_bare_ignores_everything():
+    source = "x = 1  # craqr: ignore\n"
+    supp = collect_suppressions(source)
+    assert supp == {1: None}
+    finding = Finding(path="mod.py", line=1, col=0, code="CRQ999", message="m")
+    assert is_suppressed(finding, supp)
+
+
+def test_suppression_on_other_line_does_not_waive():
+    supp = collect_suppressions("x = 1  # craqr: ignore[CRQ103]\ny = 2\n")
+    finding = Finding(path="mod.py", line=2, col=0, code="CRQ103", message="m")
+    assert not is_suppressed(finding, supp)
+
+
+def test_wrong_code_does_not_waive():
+    supp = collect_suppressions("x = 1  # craqr: ignore[CRQ104]\n")
+    finding = Finding(path="mod.py", line=1, col=0, code="CRQ103", message="m")
+    assert not is_suppressed(finding, supp)
+
+
+# ----------------------------------------------------------------------
+# Baseline round trip
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    """Finding -> baseline -> clean run -> fix -> stale entry reported."""
+    mod = tmp_path / "mod.py"
+    mod.write_text(UNSEEDED)
+    baseline = tmp_path / "craqr-baseline.json"
+
+    # 1. The violation is reported with no baseline in play.
+    report = analyze([tmp_path], baseline_path=None)
+    assert codes(report) == ["CRQ103"]
+
+    # 2. Writing the baseline waives it: the run is now clean.
+    report = analyze([tmp_path], baseline_path=baseline, write_baseline=True)
+    assert report.ok and report.baselined == 1
+    report = analyze([tmp_path], baseline_path=baseline)
+    assert report.ok and report.baselined == 1
+
+    # 3. Fixing the violation makes the baseline entry stale — and the
+    #    stale entry itself is a finding, so baselines cannot rot.
+    mod.write_text("import numpy as np\n\nrng = np.random.default_rng(7)\n")
+    report = analyze([tmp_path], baseline_path=baseline)
+    assert codes(report) == ["CRQ002"]
+    assert not report.ok
+
+    # 4. Rewriting the baseline empties it and the tree is clean again.
+    report = analyze([tmp_path], baseline_path=baseline, write_baseline=True)
+    assert report.ok
+    assert load_baseline(baseline) == []
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    """Baseline identity is (code, path, symbol), not line numbers."""
+    mod = tmp_path / "mod.py"
+    mod.write_text(UNSEEDED)
+    baseline = tmp_path / "craqr-baseline.json"
+    analyze([tmp_path], baseline_path=baseline, write_baseline=True)
+
+    mod.write_text("# a new leading comment\n\n" + UNSEEDED)
+    report = analyze([tmp_path], baseline_path=baseline)
+    assert report.ok and report.baselined == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == []
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    bad = tmp_path / "craqr-baseline.json"
+    bad.write_text("not json {")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+def test_save_baseline_is_stable_json(tmp_path):
+    baseline = tmp_path / "craqr-baseline.json"
+    finding = Finding(
+        path="repro/mod.py", line=3, col=4, code="CRQ103", message="m",
+        symbol="fresh",
+    )
+    save_baseline(baseline, [finding])
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+    assert payload["entries"] == [
+        {"code": "CRQ103", "path": "repro/mod.py", "symbol": "fresh"}
+    ]
+
+
+# ----------------------------------------------------------------------
+# Report plumbing
+# ----------------------------------------------------------------------
+def test_parse_error_reported_as_crq001(lint):
+    report = lint({"broken.py": "def broken(:\n"})
+    assert codes(report) == ["CRQ001"]
+
+
+def test_render_json_round_trips(lint):
+    report = lint({"mod.py": UNSEEDED})
+    payload = json.loads(render(report, "json"))
+    assert payload["ok"] is False
+    assert payload["findings"][0]["code"] == "CRQ103"
+    assert "CRQ103" in render(report, "text")
+
+
+def test_every_registered_code_has_a_rationale():
+    registered = set()
+    for spec in all_rules():
+        registered.update(spec.codes)
+    assert registered <= set(all_codes())
+    # Five rule families, plus the two meta codes.
+    families = {code[:4] for code in registered}
+    assert families == {"CRQ1", "CRQ2", "CRQ3", "CRQ4", "CRQ5"}
+    assert {"CRQ001", "CRQ002"} <= set(all_codes())

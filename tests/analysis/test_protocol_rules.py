@@ -1,0 +1,162 @@
+"""CRQ2xx — batch-protocol completeness fixtures."""
+
+from __future__ import annotations
+
+from lint_harness import codes
+
+
+def test_step_batch_without_batch_key_flagged(lint):
+    report = lint(
+        {
+            "mobility.py": """\
+            class DriftMobility:
+                def step_batch(self, rows, dt):
+                    pass
+            """
+        }
+    )
+    assert codes(report) == ["CRQ201"]
+
+
+def test_batch_key_without_step_batch_flagged(lint):
+    report = lint(
+        {
+            "mobility.py": """\
+            class DriftMobility:
+                def batch_key(self):
+                    return ("drift",)
+            """
+        }
+    )
+    assert codes(report) == ["CRQ201"]
+
+
+def test_paired_batch_protocol_is_clean(lint):
+    report = lint(
+        {
+            "mobility.py": """\
+            class DriftMobility:
+                def batch_key(self):
+                    return ("drift",)
+
+                def step_batch(self, rows, dt):
+                    pass
+            """
+        }
+    )
+    assert codes(report) == []
+
+
+def test_partial_vector_state_protocol_flagged(lint):
+    report = lint(
+        {
+            "participation.py": """\
+            class FlakyParticipation:
+                def vector_state_columns(self):
+                    return ("streak",)
+
+                def vector_probabilities(self, params, state, now):
+                    return state
+            """
+        }
+    )
+    assert codes(report) == ["CRQ202"]
+
+
+def test_full_vector_state_protocol_is_clean(lint):
+    report = lint(
+        {
+            "participation.py": """\
+            class FlakyParticipation:
+                def vector_state_columns(self):
+                    return ("streak",)
+
+                def vector_state_key(self):
+                    return ("flaky",)
+
+                def vector_static_params(self):
+                    return ()
+
+                def init_vector_state(self, n):
+                    pass
+
+                def vector_probabilities(self, params, state, now):
+                    return state
+
+                def vector_commit(self, state, responded):
+                    pass
+            """
+        }
+    )
+    assert codes(report) == []
+
+
+def test_operator_process_batch_without_lowering_flagged(lint):
+    report = lint(
+        {
+            "ops.py": """\
+            class NoopOperator(PMATOperator):
+                def process_batch(self, batch):
+                    return batch
+            """
+        }
+    )
+    assert codes(report) == ["CRQ203"]
+
+
+def test_operator_with_lower_ir_is_clean(lint):
+    report = lint(
+        {
+            "ops.py": """\
+            class NoopOperator(StreamOperator):
+                def process_batch(self, batch):
+                    return batch
+
+                def lower_ir(self):
+                    return {"kind": "noop"}
+            """
+        }
+    )
+    assert codes(report) == []
+
+
+def test_operator_with_interpreted_fallback_marker_is_clean(lint):
+    report = lint(
+        {
+            "ops.py": """\
+            class NoopOperator(PMATOperator):
+                interpreted_fallback = True
+
+                def process_batch(self, batch):
+                    return batch
+            """
+        }
+    )
+    assert codes(report) == []
+
+
+def test_non_operator_class_not_held_to_crq203(lint):
+    report = lint(
+        {
+            "ops.py": """\
+            class BatchAccumulator:
+                def process_batch(self, batch):
+                    return batch
+            """
+        }
+    )
+    assert codes(report) == []
+
+
+def test_inline_suppression_waives_protocol_finding(lint):
+    report = lint(
+        {
+            "ops.py": """\
+            class NoopOperator(PMATOperator):  # craqr: ignore[CRQ203] - prototype
+                def process_batch(self, batch):
+                    return batch
+            """
+        }
+    )
+    assert codes(report) == []
+    assert report.suppressed == 1

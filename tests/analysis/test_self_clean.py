@@ -1,0 +1,34 @@
+"""Tier-1 guard: the repo's own source lints clean with an empty baseline.
+
+This is the enforcement point of the whole PR-10 contract: any new RNG
+fallback, partial protocol, undocumented snapshot exclusion, hot-path
+regression or wire-schema drift lands as a failing test, and the
+committed baseline cannot silently grow to absorb it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import repro
+from repro.analysis import DEFAULT_BASELINE_NAME, analyze
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+BASELINE = REPO_ROOT / DEFAULT_BASELINE_NAME
+PACKAGE = pathlib.Path(repro.__file__).parent
+
+
+def test_committed_baseline_is_empty():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert payload == {"version": 1, "entries": []}
+
+
+def test_repro_source_lints_clean():
+    report = analyze([PACKAGE], baseline_path=BASELINE)
+    assert report.findings == [], "\n" + "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.baselined == 0
+    # The whole package was actually scanned, not a stray subset.
+    assert report.checked_files > 100

@@ -282,3 +282,84 @@ class TestFaultScenarios:
         assert "quarantined sensors:" in capture.text
         # Six batches in, the outage window is open and responses are lost.
         assert "degraded" in capture.text or "drops" in capture.text
+
+
+class TestLint:
+    """The ``lint`` sub-command: craqr-lint with the 0/1/2 exit contract."""
+
+    def _write_violation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n\n"
+            "def fresh():\n"
+            "    return np.random.default_rng()\n"
+        )
+        return bad
+
+    def test_lint_clean_tree_exits_zero(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("import numpy as np\n\nrng = np.random.default_rng(7)\n")
+        capture = _Capture()
+        code = main(["lint", str(tmp_path), "--baseline", "none"], out=capture)
+        assert code == 0
+        assert "0 finding(s)" in capture.text
+
+    def test_lint_findings_exit_one(self, tmp_path):
+        self._write_violation(tmp_path)
+        capture = _Capture()
+        code = main(["lint", str(tmp_path), "--baseline", "none"], out=capture)
+        assert code == 1
+        assert "CRQ103" in capture.text
+
+    def test_lint_missing_path_exits_two(self, tmp_path):
+        capture = _Capture()
+        code = main(["lint", str(tmp_path / "nope"), "--baseline", "none"], out=capture)
+        assert code == 2
+        assert "no such path" in capture.text
+
+    def test_lint_usage_error_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["lint", "--format", "xml"])
+        assert excinfo.value.code == 2
+
+    def test_lint_json_format(self, tmp_path):
+        import json
+
+        self._write_violation(tmp_path)
+        capture = _Capture()
+        code = main(
+            ["lint", str(tmp_path), "--baseline", "none", "--format", "json"],
+            out=capture,
+        )
+        assert code == 1
+        payload = json.loads(capture.text)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["code"] == "CRQ103"
+
+    def test_lint_baseline_waives_then_reports_stale(self, tmp_path):
+        bad = self._write_violation(tmp_path)
+        baseline = tmp_path / "craqr-baseline.json"
+        capture = _Capture()
+        code = main(
+            ["lint", str(tmp_path), "--baseline", str(baseline), "--write-baseline"],
+            out=capture,
+        )
+        assert code == 0
+
+        bad.write_text("import numpy as np\n\nrng = np.random.default_rng(7)\n")
+        capture = _Capture()
+        code = main(["lint", str(tmp_path), "--baseline", str(baseline)], out=capture)
+        assert code == 1
+        assert "CRQ002" in capture.text
+
+    def test_lint_explain_lists_rules(self):
+        capture = _Capture()
+        code = main(["lint", "--explain"], out=capture)
+        assert code == 0
+        for family_example in ("CRQ101", "CRQ203", "CRQ302", "CRQ404", "CRQ503"):
+            assert family_example in capture.text
+
+    def test_lint_default_scan_is_clean(self):
+        """Linting the installed package with the repo baseline passes."""
+        capture = _Capture()
+        assert main(["lint"], out=capture) == 0
